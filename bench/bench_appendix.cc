@@ -1,0 +1,88 @@
+// Reproduces the paper's appendix Table A: the full sweep over both GPU
+// systems, 2 and 4 nodes, every parallelism-axis decomposition of the
+// experiment grid and both NCCL algorithms. For each placement: synthesis
+// time, programs outperforming AllReduce / total, AllReduce vs optimal
+// reduction time (substrate-measured) and speedup, for Ring and Tree.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "engine/engine.h"
+#include "engine/experiment_grid.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+namespace {
+
+using p2::FormatSeconds;
+using p2::TextTable;
+using p2::engine::Engine;
+using p2::engine::EngineOptions;
+using p2::engine::ExperimentConfig;
+using p2::engine::FormatSpeedup;
+
+void RunCluster(const char* title, const p2::topology::Cluster& cluster) {
+  std::printf("%s\n", title);
+  TextTable table({"Axes", "Reduce", "Synth(s)", "Outperf(R)", "Outperf(T)",
+                   "Parallelism matrix", "AR Ring", "AR Tree", "Opt Ring",
+                   "Opt Tree", "Speedup R", "Speedup T"});
+  for (const auto& cfg : p2::engine::FullGrid(cluster)) {
+    EngineOptions ring_opts, tree_opts;
+    ring_opts.algo = p2::core::NcclAlgo::kRing;
+    tree_opts.algo = p2::core::NcclAlgo::kTree;
+    const Engine ring_eng(cluster, ring_opts);
+    const Engine tree_eng(cluster, tree_opts);
+    const auto ring = ring_eng.RunExperiment(cfg.axes, cfg.reduction_axes);
+    const auto tree = tree_eng.RunExperiment(cfg.axes, cfg.reduction_axes);
+
+    std::string reduce;
+    for (int a : cfg.reduction_axes) {
+      if (!reduce.empty()) reduce += ' ';
+      reduce += std::to_string(a);
+    }
+    char ring_counts[64], tree_counts[64];
+    std::snprintf(ring_counts, sizeof(ring_counts), "%lld/%lld",
+                  static_cast<long long>(ring.TotalOutperforming()),
+                  static_cast<long long>(ring.TotalPrograms()));
+    std::snprintf(tree_counts, sizeof(tree_counts), "%lld/%lld",
+                  static_cast<long long>(tree.TotalOutperforming()),
+                  static_cast<long long>(tree.TotalPrograms()));
+
+    for (std::size_t i = 0; i < ring.placements.size(); ++i) {
+      const auto& pr = ring.placements[i];
+      const auto& pt = tree.placements[i];
+      const double ar_r = pr.DefaultAllReduce().measured_seconds;
+      const double ar_t = pt.DefaultAllReduce().measured_seconds;
+      const double opt_r =
+          pr.programs[static_cast<std::size_t>(pr.BestMeasuredIndex())]
+              .measured_seconds;
+      const double opt_t =
+          pt.programs[static_cast<std::size_t>(pt.BestMeasuredIndex())]
+              .measured_seconds;
+      const bool first = i == 0;
+      table.AddRow(
+          {first ? p2::BracketJoin(std::span<const std::int64_t>(cfg.axes))
+                 : "",
+           first ? reduce : "",
+           first ? FormatSeconds(ring.TotalSynthesisSeconds()) : "",
+           first ? ring_counts : "", first ? tree_counts : "",
+           pr.matrix.ToString(), FormatSeconds(ar_r), FormatSeconds(ar_t),
+           FormatSeconds(opt_r), FormatSeconds(opt_t),
+           FormatSpeedup(ar_r / opt_r), FormatSpeedup(ar_t / opt_t)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Appendix Table A: full experiment sweep (substrate measurements)\n\n");
+  RunCluster("2 nodes each with 16 A100:", p2::topology::MakeA100Cluster(2));
+  RunCluster("4 nodes each with 16 A100:", p2::topology::MakeA100Cluster(4));
+  RunCluster("2 nodes each with 8 V100:", p2::topology::MakeV100Cluster(2));
+  RunCluster("4 nodes each with 8 V100:", p2::topology::MakeV100Cluster(4));
+  return 0;
+}

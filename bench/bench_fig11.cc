@@ -1,0 +1,98 @@
+// Reproduces paper Figure 11: measured vs simulated reduction time for every
+// (parallelism matrix, program) pair of two configurations, sorted by
+// measured time:
+//   (a) 4 nodes of V100, NCCL Ring, axes [2 16], reduction on axis 1;
+//   (b) 4 nodes of A100, NCCL Tree, axes [4 2 8], reduction on axes {0, 2}.
+// Prints both series as aligned columns (an ASCII rendition of the figure)
+// plus the synthesis/simulation wall-clock the caption reports.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+namespace {
+
+using p2::FormatSeconds;
+using p2::engine::Engine;
+using p2::engine::EngineOptions;
+
+struct Series {
+  std::string placement;
+  std::string program;
+  double measured;
+  double predicted;
+};
+
+void RunConfig(const char* title, const p2::topology::Cluster& cluster,
+               p2::core::NcclAlgo algo, std::vector<std::int64_t> axes,
+               std::vector<int> raxes) {
+  EngineOptions opts;
+  opts.algo = algo;
+  const Engine eng(cluster, opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = eng.RunExperiment(axes, raxes);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  std::vector<Series> series;
+  for (const auto& p : result.placements) {
+    for (const auto& prog : p.programs) {
+      series.push_back(Series{p.matrix.ToString(), prog.text,
+                              prog.measured_seconds, prog.predicted_seconds});
+    }
+  }
+  std::sort(series.begin(), series.end(),
+            [](const Series& a, const Series& b) {
+              return a.measured < b.measured;
+            });
+
+  double synthesis = result.TotalSynthesisSeconds();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+  std::printf("%s\n", title);
+  std::printf("synthesis %.2fs, evaluation (predict+measure) %.2fs\n",
+              synthesis, wall);
+  std::printf("%4s  %10s  %10s  %7s  %-22s\n", "#", "measured", "simulated",
+              "err", "parallelism matrix");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    std::printf("%4zu  %10s  %10s  %+6.1f%%  %-22s\n", i,
+                FormatSeconds(s.measured).c_str(),
+                FormatSeconds(s.predicted).c_str(),
+                100.0 * (s.predicted - s.measured) / s.measured,
+                s.placement.c_str());
+  }
+  // Figure caption data point: how well the simulation tracks the ordering.
+  std::vector<Series> by_pred = series;
+  std::sort(by_pred.begin(), by_pred.end(),
+            [](const Series& a, const Series& b) {
+              return a.predicted < b.predicted;
+            });
+  int rank = 0;
+  for (const auto& s : series) {
+    if (s.measured < by_pred.front().measured) ++rank;
+  }
+  std::printf("predicted-best program lands at measured rank %d of %zu\n\n",
+              rank, series.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 11: simulation vs measurement, programs in increasing order of\n"
+      "measured time\n\n");
+  RunConfig("(a) 4 nodes of V100, NCCL Ring, axes [2 16], reduce axis 1",
+            p2::topology::MakeV100Cluster(4), p2::core::NcclAlgo::kRing,
+            {2, 16}, {1});
+  RunConfig("(b) 4 nodes of A100, NCCL Tree, axes [4 2 8], reduce axes {0,2}",
+            p2::topology::MakeA100Cluster(4), p2::core::NcclAlgo::kTree,
+            {4, 2, 8}, {0, 2});
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces the paper's Section 2.1 / Figure 2 placement-space argument:
+// the number of parallelism matrices P2 enumerates versus the naive
+// "(#devices)! assignments" space, for the running example and the
+// evaluation systems; and lists the matrices of Figure 2.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "core/placement.h"
+#include "topology/presets.h"
+
+namespace {
+
+using p2::BracketJoin;
+using p2::TextTable;
+using p2::core::CountPlacements;
+using p2::core::EnumeratePlacements;
+using p2::topology::SystemHierarchy;
+
+double Log2Factorial(std::int64_t n) {
+  double s = 0.0;
+  for (std::int64_t i = 2; i <= n; ++i) s += std::log2(static_cast<double>(i));
+  return s;
+}
+
+void Count(TextTable& table, const SystemHierarchy& h,
+           std::vector<std::int64_t> axes) {
+  const auto n = CountPlacements(h, axes);
+  char naive[32];
+  std::snprintf(naive, sizeof(naive), "2^%.0f", Log2Factorial(h.num_devices()));
+  table.AddRow({h.ToShortString(),
+                BracketJoin(std::span<const std::int64_t>(axes)),
+                std::to_string(n), naive});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Placement-space reduction (Section 2.1): parallelism matrices vs the\n"
+      "naive device-assignment space\n\n");
+
+  TextTable table({"Hierarchy", "Axes", "Matrices", "Naive assignments"});
+  const auto running = p2::topology::MakeRunningExampleHierarchy();
+  Count(table, running, {4, 4});
+  Count(table, running, {2, 8});
+  Count(table, running, {16});
+
+  const auto a100_2 = p2::topology::MakeA100Cluster(2).hierarchy();
+  const auto a100_4 = p2::topology::MakeA100Cluster(4).hierarchy();
+  const auto v100_4 = p2::topology::MakeV100Cluster(4).hierarchy();
+  Count(table, a100_2, {8, 4});
+  Count(table, a100_4, {4, 16});
+  Count(table, a100_4, {16, 2, 2});
+  Count(table, a100_4, {64});
+  Count(table, v100_4, {8, 4});
+  Count(table, v100_4, {8, 2, 2});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "Figure 2 check: placements of data parallelism 4 x 4 parameter shards\n"
+      "on [(rack,1),(server,2),(cpu,2),(gpu,4)]:\n");
+  const std::vector<std::int64_t> fig2_axes = {4, 4};
+  for (const auto& m : EnumeratePlacements(running, fig2_axes)) {
+    std::printf("  %s\n", m.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Megatron-style parameter sharding combined with data parallelism
+// (Shoeybi et al. 2020; paper Section 4.1, Result 1 discussion): sharded
+// transformer layers AllReduce along the *tensor-parallel* axis inside every
+// layer's forward and backward pass, while gradient reduction happens along
+// the *data-parallel* axis once per step. The right placement must weigh
+// both reductions — the placement that is optimal for one axis can be
+// catastrophic for the other (B1 vs B3 in Table 3).
+//
+// This example plans a 64-GPU A100 job with tensor parallelism 16 and data
+// parallelism 4 using P2's multi-demand planner, which scores each placement
+// by the weighted per-step cost of its best synthesized strategies.
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "engine/planner.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+int main() {
+  using namespace p2;
+
+  const topology::Cluster cluster = topology::MakeA100Cluster(4);
+
+  // Transformer block ~ GPT-3 13B scale per shard group.
+  constexpr double kActivationBytes = 0.4e9;  // per tensor-parallel AllReduce
+  constexpr double kShardedReductionsPerStep = 48;  // 2 per layer, 24 layers
+  constexpr double kGradientBytes = 3.2e9;    // data-parallel gradients
+
+  const std::vector<std::int64_t> axes = {4, 16};  // data x tensor
+  const std::vector<engine::ReductionDemand> demands = {
+      // Demand 0: tensor-parallel activation reductions, many per step.
+      engine::ReductionDemand{{1}, kActivationBytes,
+                              kShardedReductionsPerStep},
+      // Demand 1: one data-parallel gradient reduction per step.
+      engine::ReductionDemand{{0}, kGradientBytes, 1.0},
+  };
+
+  std::printf("Megatron-style planning on %s\n", cluster.ToString().c_str());
+  std::printf(
+      "tensor parallelism 16 (%.0f AllReduce of %.1f GB per step), data\n"
+      "parallelism 4 (1 gradient reduction of %.1f GB per step)\n\n",
+      kShardedReductionsPerStep, kActivationBytes / 1e9,
+      kGradientBytes / 1e9);
+
+  const engine::Engine eng(cluster, {});
+  const auto plans = engine::PlanPlacements(eng, axes, demands);
+
+  std::printf("%-16s %12s %12s %12s  %s\n", "placement", "tensor(s)",
+              "data(s)", "total(s)", "programs (tensor, data)");
+  for (const auto& plan : plans) {
+    std::printf("%-16s %12.3f %12.3f %12.3f  %s, %s\n",
+                plan.matrix.ToString().c_str(),
+                plan.demands[0].seconds_per_step,
+                plan.demands[1].seconds_per_step,
+                plan.total_seconds_per_step,
+                engine::ProgramShape(plan.demands[0].program).c_str(),
+                engine::ProgramShape(plan.demands[1].program).c_str());
+  }
+
+  const auto& best = plans.front();
+  const auto& worst = plans.back();
+  std::printf(
+      "\nbest placement %s is %.1fx faster per step than worst %s —\n"
+      "single-axis tuning would have picked differently: the placement\n"
+      "minimizing only the data reduction maximizes tensor-parallel cost\n"
+      "(the paper's B1-vs-B3 effect).\n",
+      best.matrix.ToString().c_str(),
+      worst.total_seconds_per_step / best.total_seconds_per_step,
+      worst.matrix.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Rack-scale planning: a third hierarchy level. Two racks of two 16-GPU
+// A100 nodes, rack uplinks 4x oversubscribed. A 16-way data-parallel axis
+// spans rack x node x gpu; P2 synthesizes *staged* reductions (gpu-local,
+// then node-local, then cross-rack) that a flat AllReduce cannot match, and
+// quantifies how much rack oversubscription amplifies the advantage.
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+int main() {
+  using namespace p2;
+
+  const core::ParallelismMatrix placement({{2, 2, 4}, {1, 1, 4}});
+  const std::vector<int> reduction_axes = {0};
+
+  std::printf(
+      "Rack-scale planning: 2 racks x 2 nodes x 16 A100, axes [16 4],\n"
+      "placement [[2 2 4] [1 1 4]] (reduction axis spans rack/node/gpu),\n"
+      "payload 1 GB per GPU.\n\n");
+
+  std::printf("%-8s %12s %12s %9s  %-14s %s\n", "oversub", "AllReduce(s)",
+              "best(s)", "speedup", "best shape", "steps");
+  for (double oversub : {1.0, 2.0, 4.0, 8.0}) {
+    const auto cluster = topology::MakeRackedA100Cluster(2, 2, oversub);
+    engine::EngineOptions options;
+    options.payload_bytes = 1e9;
+    const engine::Engine eng(cluster, options);
+
+    const auto eval = eng.EvaluatePlacement(placement, reduction_axes);
+    const auto& best =
+        eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+    const double t_ar = eval.DefaultAllReduce().measured_seconds;
+    std::printf("%-8.1f %12.4f %12.4f %8.2fx  %-14s %d\n", oversub, t_ar,
+                best.measured_seconds, t_ar / best.measured_seconds,
+                engine::ProgramShape(best.program).c_str(), best.num_steps);
+  }
+
+  std::printf(
+      "\nStaged programs that reduce locally before touching the uplink beat\n"
+      "the flat AllReduce throughout; as oversubscription moves the\n"
+      "bottleneck from the NICs to the rack uplink, the *shape* of the best\n"
+      "strategy changes (Reduce-AllReduce-Broadcast gives way to a\n"
+      "scatter-based pipeline that puts fewer bytes on the uplink). This is\n"
+      "what three-level hierarchy-aware synthesis is for.\n");
+  return 0;
+}

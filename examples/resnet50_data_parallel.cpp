@@ -1,0 +1,70 @@
+// The paper's introduction case study: speeding up ResNet-50 data-parallel
+// training on 4 nodes x 8 V100 by replacing the default gradient AllReduce
+// with a P2-synthesized reduction (paper: ~15% end-to-end step improvement).
+//
+// ResNet-50 has ~25.6M parameters; with float32 gradients that is ~102 MB
+// reduced once per step. We model the cluster, synthesize reduction
+// strategies for the single data-parallel axis, and report the communication
+// speedup plus the end-to-end step improvement for a typical compute time.
+#include <algorithm>
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+int main() {
+  using namespace p2;
+
+  const topology::Cluster cluster = topology::MakeV100Cluster(4);
+  constexpr double kResnet50Params = 25.6e6;
+  constexpr double kBytesPerParam = 4.0;  // float32 gradients
+  constexpr double kComputeSecondsPerStep = 0.045;  // fwd+bwd, batch 64/GPU
+
+  engine::EngineOptions options;
+  options.algo = core::NcclAlgo::kRing;
+  options.payload_bytes = kResnet50Params * kBytesPerParam;
+  const engine::Engine eng(cluster, options);
+
+  std::printf("ResNet-50 data-parallel gradient reduction on %s\n",
+              cluster.ToString().c_str());
+  std::printf("gradient buffer: %.1f MB per GPU\n\n",
+              options.payload_bytes / 1e6);
+
+  // Pure data parallelism: one axis covering all 32 GPUs.
+  const std::vector<std::int64_t> axes = {32};
+  const std::vector<int> reduction_axes = {0};
+
+  double best_time = 1e30;
+  std::string best_desc;
+  double allreduce_time = 0.0;
+
+  for (const auto& matrix : eng.SynthesizePlacements(axes)) {
+    const auto eval = eng.EvaluatePlacement(matrix, reduction_axes);
+    allreduce_time = eval.DefaultAllReduce().measured_seconds;
+    for (const auto& p : eval.programs) {
+      if (p.measured_seconds < best_time) {
+        best_time = p.measured_seconds;
+        best_desc = engine::ProgramShape(p.program) + "  " + p.text;
+      }
+    }
+    std::printf("placement %s: %zu candidate programs\n",
+                matrix.ToString().c_str(), eval.programs.size());
+  }
+
+  const double comm_speedup = allreduce_time / best_time;
+  const double step_default = kComputeSecondsPerStep + allreduce_time;
+  const double step_best = kComputeSecondsPerStep + best_time;
+
+  std::printf("\ndefault AllReduce : %6.1f ms per step\n",
+              1e3 * allreduce_time);
+  std::printf("best synthesized  : %6.1f ms per step (%.2fx communication)\n",
+              1e3 * best_time, comm_speedup);
+  std::printf("  %s\n", best_desc.c_str());
+  std::printf(
+      "\nend-to-end: %.1f ms -> %.1f ms per training step (%.1f%% faster;\n"
+      "paper reports ~15%% for this system)\n",
+      1e3 * step_default, 1e3 * step_best,
+      100.0 * (step_default - step_best) / step_default);
+  return 0;
+}

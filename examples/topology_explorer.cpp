@@ -1,0 +1,55 @@
+// "Establishing projections about communication costs when investigating
+// new system hierarchies" (paper's conclusion): sweep hypothetical
+// interconnect configurations and watch the optimal reduction strategy flip.
+//
+// Scenario: a Megatron-style job uses tensor parallelism 4 inside nodes and
+// data parallelism 16 spanning all 4 nodes (placement [[4 4] [1 4]] on
+// 4 x 16 A100), so the gradient reduction mixes intra- and inter-node
+// communication. How does the best reduction strategy —
+// and the value of strategy synthesis — change as the per-node NIC gets
+// faster?
+#include <cstdio>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+int main() {
+  using namespace p2;
+
+  std::printf(
+      "Topology exploration: 4 nodes x 16 GPUs, placement [[4 4] [1 4]]\n"
+      "(tensor parallelism inside nodes, data parallelism spanning nodes),\n"
+      "reducing the data-parallel axis 0, sweeping the per-node NIC bandwidth.\n\n");
+
+  const core::ParallelismMatrix matrix({{4, 4}, {1, 4}});
+  const std::vector<int> reduction_axes = {0};
+
+  std::printf("%-10s %12s %12s %9s  %-12s\n", "NIC GB/s", "AllReduce(s)",
+              "best(s)", "speedup", "best program");
+  for (double nic_gbps : {2.5, 7.5, 25.0, 75.0, 200.0}) {
+    topology::Cluster cluster = topology::MakeA100Cluster(4);
+    cluster.node.nic_bandwidth = nic_gbps;
+
+    engine::EngineOptions options;
+    options.payload_bytes = 1e9;
+    const engine::Engine eng(cluster, options);
+
+    const auto eval = eng.EvaluatePlacement(matrix, reduction_axes);
+    const auto& best =
+        eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+    const double t_ar = eval.DefaultAllReduce().measured_seconds;
+    std::printf("%-10.1f %12.4f %12.4f %8.2fx  %-12s\n", nic_gbps, t_ar,
+                best.measured_seconds, t_ar / best.measured_seconds,
+                engine::ProgramShape(best.program).c_str());
+  }
+
+  std::printf(
+      "\nReading the sweep: the slower the NIC, the more a synthesized\n"
+      "low-NIC-traffic program buys over the default AllReduce; once the\n"
+      "NIC approaches NVSwitch bandwidth the advantage collapses and the\n"
+      "flat AllReduce is fine. This is the paper's conclusion use-case:\n"
+      "projecting communication cost for hierarchies you have not built.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+#include "common/format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2 {
+
+namespace {
+
+template <typename T>
+std::string BracketJoinImpl(std::span<const T> xs) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << xs[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+std::string BracketJoin(std::span<const std::int64_t> xs) {
+  return BracketJoinImpl(xs);
+}
+
+std::string BracketJoin(std::span<const int> xs) { return BracketJoinImpl(xs); }
+
+std::string NestedBracketJoin(
+    std::span<const std::vector<std::int64_t>> rows) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << BracketJoin(std::span<const std::int64_t>(rows[i]));
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (!std::isfinite(seconds)) return "inf";
+  if (seconds >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f", seconds);
+  } else if (seconds >= 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.2f", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  }
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::AddRow: wrong arity");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace p2

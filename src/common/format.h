@@ -1,0 +1,39 @@
+// Lightweight text formatting helpers used by printers, reports and benches.
+#ifndef P2_COMMON_FORMAT_H_
+#define P2_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p2 {
+
+/// "[1 2 2 4]"
+std::string BracketJoin(std::span<const std::int64_t> xs);
+std::string BracketJoin(std::span<const int> xs);
+
+/// "[[1 2] [4 8]]" given rows.
+std::string NestedBracketJoin(
+    std::span<const std::vector<std::int64_t>> rows);
+
+/// Seconds with sensible precision, e.g. "0.17", "89.70", "0.003".
+std::string FormatSeconds(double seconds);
+
+/// Fixed-width column table printer for benches and reports.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Renders with column alignment and a separator under the header.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p2
+
+#endif  // P2_COMMON_FORMAT_H_

@@ -1,0 +1,115 @@
+#include "common/math.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace p2 {
+
+namespace {
+
+std::int64_t CheckedMul(std::int64_t a, std::int64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::int64_t>::max() / a) {
+    throw std::overflow_error("p2::Product: 64-bit overflow");
+  }
+  return a * b;
+}
+
+void FactorizeRec(std::int64_t remaining, int parts_left,
+                  std::vector<std::int64_t>& prefix,
+                  std::vector<std::vector<std::int64_t>>& out) {
+  if (parts_left == 1) {
+    prefix.push_back(remaining);
+    out.push_back(prefix);
+    prefix.pop_back();
+    return;
+  }
+  for (std::int64_t d = 1; d <= remaining; ++d) {
+    if (remaining % d != 0) continue;
+    prefix.push_back(d);
+    FactorizeRec(remaining / d, parts_left - 1, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::int64_t Product(std::span<const std::int64_t> xs) {
+  std::int64_t p = 1;
+  for (std::int64_t x : xs) {
+    if (x < 0) throw std::invalid_argument("p2::Product: negative factor");
+    p = CheckedMul(p, x);
+  }
+  return p;
+}
+
+std::int64_t Product(std::span<const int> xs) {
+  std::int64_t p = 1;
+  for (int x : xs) {
+    if (x < 0) throw std::invalid_argument("p2::Product: negative factor");
+    p = CheckedMul(p, x);
+  }
+  return p;
+}
+
+std::vector<std::vector<std::int64_t>> OrderedFactorizations(std::int64_t n,
+                                                             int parts) {
+  if (n <= 0) throw std::invalid_argument("OrderedFactorizations: n must be positive");
+  if (parts <= 0) throw std::invalid_argument("OrderedFactorizations: parts must be positive");
+  std::vector<std::vector<std::int64_t>> out;
+  std::vector<std::int64_t> prefix;
+  prefix.reserve(static_cast<std::size_t>(parts));
+  FactorizeRec(n, parts, prefix, out);
+  return out;
+}
+
+std::vector<std::int64_t> Divisors(std::int64_t n) {
+  if (n <= 0) throw std::invalid_argument("Divisors: n must be positive");
+  std::vector<std::int64_t> lo, hi;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d != 0) continue;
+    lo.push_back(d);
+    if (d != n / d) hi.push_back(n / d);
+  }
+  lo.insert(lo.end(), hi.rbegin(), hi.rend());
+  return lo;
+}
+
+std::int64_t DigitsToIndex(std::span<const std::int64_t> digits,
+                           std::span<const std::int64_t> radices) {
+  if (digits.size() != radices.size()) {
+    throw std::invalid_argument("DigitsToIndex: size mismatch");
+  }
+  std::int64_t idx = 0;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (digits[i] < 0 || digits[i] >= radices[i]) {
+      throw std::out_of_range("DigitsToIndex: digit out of range");
+    }
+    idx = idx * radices[i] + digits[i];
+  }
+  return idx;
+}
+
+std::vector<std::int64_t> IndexToDigits(std::int64_t index,
+                                        std::span<const std::int64_t> radices) {
+  std::vector<std::int64_t> digits(radices.size(), 0);
+  for (std::size_t i = radices.size(); i-- > 0;) {
+    if (radices[i] <= 0) throw std::invalid_argument("IndexToDigits: bad radix");
+    digits[i] = index % radices[i];
+    index /= radices[i];
+  }
+  if (index != 0) throw std::out_of_range("IndexToDigits: index out of range");
+  return digits;
+}
+
+int CeilLog2(std::int64_t n) {
+  if (n < 1) throw std::invalid_argument("CeilLog2: n must be >= 1");
+  int bits = 0;
+  std::int64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace p2

@@ -1,0 +1,38 @@
+// Small integer-math helpers shared across P2: products, divisibility,
+// ordered factorizations and mixed-radix coordinate conversions.
+#ifndef P2_COMMON_MATH_H_
+#define P2_COMMON_MATH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace p2 {
+
+/// Product of a span of non-negative integers. Throws std::overflow_error on
+/// 64-bit overflow.
+std::int64_t Product(std::span<const std::int64_t> xs);
+std::int64_t Product(std::span<const int> xs);
+
+/// All ordered factorizations of `n` into exactly `parts` positive factors
+/// (factors may be 1). E.g. OrderedFactorizations(4, 2) = {{1,4},{2,2},{4,1}}.
+std::vector<std::vector<std::int64_t>> OrderedFactorizations(std::int64_t n,
+                                                             int parts);
+
+/// All divisors of n in increasing order.
+std::vector<std::int64_t> Divisors(std::int64_t n);
+
+/// Mixed-radix helpers. `radices` are ordered outermost-first, so the flat
+/// index of digits (d0, d1, ..., dk) is ((d0*r1 + d1)*r2 + d2)*...
+/// Digits must satisfy 0 <= di < radices[i].
+std::int64_t DigitsToIndex(std::span<const std::int64_t> digits,
+                           std::span<const std::int64_t> radices);
+std::vector<std::int64_t> IndexToDigits(std::int64_t index,
+                                        std::span<const std::int64_t> radices);
+
+/// Ceiling of log2(n) for n >= 1.
+int CeilLog2(std::int64_t n);
+
+}  // namespace p2
+
+#endif  // P2_COMMON_MATH_H_

@@ -1,0 +1,47 @@
+#include "core/collective.h"
+
+namespace p2::core {
+
+const char* ToString(Collective c) {
+  switch (c) {
+    case Collective::kAllReduce:
+      return "AllReduce";
+    case Collective::kReduceScatter:
+      return "ReduceScatter";
+    case Collective::kAllGather:
+      return "AllGather";
+    case Collective::kReduce:
+      return "Reduce";
+    case Collective::kBroadcast:
+      return "Broadcast";
+  }
+  return "?";
+}
+
+const char* ToString(NcclAlgo a) {
+  switch (a) {
+    case NcclAlgo::kRing:
+      return "Ring";
+    case NcclAlgo::kTree:
+      return "Tree";
+  }
+  return "?";
+}
+
+const char* ShortName(Collective c) {
+  switch (c) {
+    case Collective::kAllReduce:
+      return "AR";
+    case Collective::kReduceScatter:
+      return "RS";
+    case Collective::kAllGather:
+      return "AG";
+    case Collective::kReduce:
+      return "RD";
+    case Collective::kBroadcast:
+      return "BC";
+  }
+  return "?";
+}
+
+}  // namespace p2::core

@@ -1,0 +1,37 @@
+// The collective operations P2 composes (paper Section 3.2).
+#ifndef P2_CORE_COLLECTIVE_H_
+#define P2_CORE_COLLECTIVE_H_
+
+#include <array>
+#include <string>
+
+namespace p2::core {
+
+enum class Collective {
+  kAllReduce,
+  kReduceScatter,
+  kAllGather,
+  kReduce,
+  kBroadcast,
+};
+
+inline constexpr std::array<Collective, 5> kAllCollectives = {
+    Collective::kAllReduce, Collective::kReduceScatter,
+    Collective::kAllGather, Collective::kReduce, Collective::kBroadcast};
+
+const char* ToString(Collective c);
+/// Compact two-letter code used in program dumps: AR, RS, AG, RD, BC.
+const char* ShortName(Collective c);
+
+/// Which NCCL algorithm executes each collective (the paper's NCCL_ALGO
+/// setting); ReduceScatter/AllGather always use rings, as in NCCL.
+enum class NcclAlgo { kRing, kTree };
+
+inline constexpr std::array<NcclAlgo, 2> kAllAlgos = {NcclAlgo::kRing,
+                                                      NcclAlgo::kTree};
+
+const char* ToString(NcclAlgo a);
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_COLLECTIVE_H_

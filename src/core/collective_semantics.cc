@@ -1,0 +1,168 @@
+#include "core/collective_semantics.h"
+
+#include <stdexcept>
+
+namespace p2::core {
+
+const char* ToString(SemanticsError e) {
+  switch (e) {
+    case SemanticsError::kNone:
+      return "ok";
+    case SemanticsError::kGroupTooSmall:
+      return "group too small";
+    case SemanticsError::kRowSetsDiffer:
+      return "row sets differ";
+    case SemanticsError::kEmptyRows:
+      return "no data to reduce";
+    case SemanticsError::kChunksOverlap:
+      return "chunks overlap (would reduce data twice)";
+    case SemanticsError::kNotDivisible:
+      return "rows not divisible by group size";
+    case SemanticsError::kRowSetsOverlap:
+      return "row sets overlap";
+    case SemanticsError::kRowCountsDiffer:
+      return "row counts differ";
+    case SemanticsError::kBroadcastNotSubset:
+      return "broadcast source not a superset";
+    case SemanticsError::kBroadcastNoGain:
+      return "broadcast adds no information";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shared premise of AllReduce / ReduceScatter / Reduce: identical non-empty
+// row sets, at least one row, and pairwise chunk-disjointness. On success
+// `sum` holds the union state (the paper's ⊎ s_i).
+SemanticsError CheckReducePremise(const StateContext& context,
+                                  std::span<const std::int64_t> group,
+                                  DeviceState* sum) {
+  const DeviceState& first = context[static_cast<std::size_t>(group[0])];
+  if (first.IsEmpty()) return SemanticsError::kEmptyRows;
+  DeviceState acc = first;
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const DeviceState& s = context[static_cast<std::size_t>(group[i])];
+    if (!first.SameNonEmptyRows(s)) return SemanticsError::kRowSetsDiffer;
+    if (!acc.ChunksDisjoint(s)) return SemanticsError::kChunksOverlap;
+    acc.UnionInPlace(s);
+  }
+  *sum = std::move(acc);
+  return SemanticsError::kNone;
+}
+
+SemanticsError ApplyToGroup(Collective op, StateContext& context,
+                            std::span<const std::int64_t> group) {
+  if (group.size() < 2) return SemanticsError::kGroupTooSmall;
+  for (std::int64_t d : group) {
+    if (d < 0 || d >= static_cast<std::int64_t>(context.size())) {
+      throw std::out_of_range("ApplyCollectiveToGroup: bad device id");
+    }
+  }
+
+  switch (op) {
+    case Collective::kAllReduce: {
+      DeviceState sum;
+      if (auto e = CheckReducePremise(context, group, &sum);
+          e != SemanticsError::kNone) {
+        return e;
+      }
+      for (std::int64_t d : group) context[static_cast<std::size_t>(d)] = sum;
+      return SemanticsError::kNone;
+    }
+    case Collective::kReduceScatter: {
+      DeviceState sum;
+      if (auto e = CheckReducePremise(context, group, &sum);
+          e != SemanticsError::kNone) {
+        return e;
+      }
+      const std::vector<int> rows = sum.NonEmptyRows();
+      if (rows.size() % group.size() != 0) {
+        return SemanticsError::kNotDivisible;
+      }
+      const std::size_t per_device = rows.size() / group.size();
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        std::span<const int> share(rows.data() + i * per_device, per_device);
+        context[static_cast<std::size_t>(group[i])] =
+            sum.RestrictedToRows(share);
+      }
+      return SemanticsError::kNone;
+    }
+    case Collective::kAllGather: {
+      const DeviceState& first = context[static_cast<std::size_t>(group[0])];
+      const int row_count = first.NumNonEmptyRows();
+      if (row_count == 0) return SemanticsError::kEmptyRows;
+      DeviceState sum = first;
+      // Track row-set occupancy by folding: overlap with the accumulated
+      // union's row set implies overlap with some earlier member.
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        const DeviceState& s = context[static_cast<std::size_t>(group[i])];
+        if (s.NumNonEmptyRows() != row_count) {
+          return SemanticsError::kRowCountsDiffer;
+        }
+        if (!sum.NonEmptyRowSetsDisjoint(s)) {
+          return SemanticsError::kRowSetsOverlap;
+        }
+        sum.UnionInPlace(s);
+      }
+      for (std::int64_t d : group) context[static_cast<std::size_t>(d)] = sum;
+      return SemanticsError::kNone;
+    }
+    case Collective::kReduce: {
+      DeviceState sum;
+      if (auto e = CheckReducePremise(context, group, &sum);
+          e != SemanticsError::kNone) {
+        return e;
+      }
+      context[static_cast<std::size_t>(group[0])] = std::move(sum);
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        context[static_cast<std::size_t>(group[i])].Clear();
+      }
+      return SemanticsError::kNone;
+    }
+    case Collective::kBroadcast: {
+      // The paper's R-BROADCAST requires s_i <= s_0 with *some* strict gain.
+      // We require the gain for *every* non-root member: broadcasting to an
+      // already-informed device is wasted communication, and the laxer rule
+      // admits replica-asymmetric Master broadcasts that break the paper's
+      // Theorem 3.2 ((d) >= (c)) — see DESIGN.md "Deviations" and the
+      // theorem_test.cc counterexample discussion.
+      const DeviceState& root = context[static_cast<std::size_t>(group[0])];
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        const DeviceState& s = context[static_cast<std::size_t>(group[i])];
+        if (!s.IsSubsetOf(root)) return SemanticsError::kBroadcastNotSubset;
+        if (s == root) return SemanticsError::kBroadcastNoGain;
+      }
+      const DeviceState copy = root;
+      for (std::int64_t d : group) context[static_cast<std::size_t>(d)] = copy;
+      return SemanticsError::kNone;
+    }
+  }
+  return SemanticsError::kNone;
+}
+
+}  // namespace
+
+ApplyResult ApplyCollectiveToGroup(Collective op, StateContext& context,
+                                   std::span<const std::int64_t> group) {
+  StateContext backup = context;
+  const SemanticsError e = ApplyToGroup(op, context, group);
+  if (e != SemanticsError::kNone) context = std::move(backup);
+  return ApplyResult{e};
+}
+
+ApplyResult ApplyCollectiveToGroups(
+    Collective op, StateContext& context,
+    std::span<const std::vector<std::int64_t>> groups) {
+  StateContext backup = context;
+  for (const auto& group : groups) {
+    const SemanticsError e = ApplyToGroup(op, context, group);
+    if (e != SemanticsError::kNone) {
+      context = std::move(backup);
+      return ApplyResult{e};
+    }
+  }
+  return ApplyResult{SemanticsError::kNone};
+}
+
+}  // namespace p2::core

@@ -1,0 +1,54 @@
+// Hoare-triple semantics of collective operations (paper Section 3.2,
+// Figure 8). Each rule checks a pre-condition over the states of the devices
+// in a reduction group and, when it holds, produces the post-condition
+// states. Violations identify *semantically invalid* reduction steps: states
+// from which the desired final state is unreachable (paper Section 2.3).
+#ifndef P2_CORE_COLLECTIVE_SEMANTICS_H_
+#define P2_CORE_COLLECTIVE_SEMANTICS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/collective.h"
+#include "core/device_state.h"
+
+namespace p2::core {
+
+enum class SemanticsError {
+  kNone,
+  kGroupTooSmall,       // reduction groups need at least two devices
+  kRowSetsDiffer,       // AllReduce/ReduceScatter/Reduce: rows must match
+  kEmptyRows,           // nothing to reduce (information must increase)
+  kChunksOverlap,       // would reduce the same data twice (Fig. 4b)
+  kNotDivisible,        // ReduceScatter: rows not divisible by group size
+  kRowSetsOverlap,      // AllGather: row sets must be disjoint (Fig. 4a)
+  kRowCountsDiffer,     // AllGather: equal number of rows required
+  kBroadcastNotSubset,  // Broadcast: every state must be <= the root's
+  kBroadcastNoGain,     // Broadcast: some state must be < the root's
+};
+
+const char* ToString(SemanticsError e);
+
+struct ApplyResult {
+  SemanticsError error = SemanticsError::kNone;
+  bool ok() const { return error == SemanticsError::kNone; }
+};
+
+/// Applies collective `op` to the devices listed in `group` (ids into
+/// `context`; group[0] is the root for Reduce/Broadcast, as in the paper).
+/// On success mutates `context`; on failure leaves it untouched.
+ApplyResult ApplyCollectiveToGroup(Collective op, StateContext& context,
+                                   std::span<const std::int64_t> group);
+
+/// Applies `op` simultaneously to several disjoint groups (one DSL
+/// instruction). All groups must succeed; otherwise the context is unchanged
+/// and the first error is returned.
+ApplyResult ApplyCollectiveToGroups(
+    Collective op, StateContext& context,
+    std::span<const std::vector<std::int64_t>> groups);
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_COLLECTIVE_SEMANTICS_H_

@@ -1,0 +1,86 @@
+// Device states (paper Section 3.2, Figure 7): each device's state is a
+// k x k boolean matrix where row r describes data chunk r and column c is set
+// iff device c's original chunk r has been folded into this device's copy.
+#ifndef P2_CORE_DEVICE_STATE_H_
+#define P2_CORE_DEVICE_STATE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p2::core {
+
+class DeviceState {
+ public:
+  DeviceState() = default;
+  /// All-zero k x k state.
+  explicit DeviceState(int k);
+
+  /// The paper's initial state for device `device`: the device holds every
+  /// chunk of its own data, so column `device` is set in every row.
+  static DeviceState Initial(int k, int device);
+
+  int k() const { return k_; }
+
+  bool Get(int row, int col) const;
+  void Set(int row, int col, bool value);
+
+  bool RowEmpty(int row) const;
+  /// Indices of non-empty rows ("rows" in the paper's rules), ascending.
+  std::vector<int> NonEmptyRows() const;
+  int NumNonEmptyRows() const;
+  bool IsEmpty() const;
+
+  /// True iff both states have the same set of non-empty rows.
+  bool SameNonEmptyRows(const DeviceState& other) const;
+  /// True iff the sets of non-empty rows are disjoint (AllGather's premise).
+  bool NonEmptyRowSetsDisjoint(const DeviceState& other) const;
+  /// True iff for every row r, the column sets of this and other are disjoint
+  /// (the per-chunk premise of AllReduce/ReduceScatter/Reduce).
+  bool ChunksDisjoint(const DeviceState& other) const;
+
+  bool IsSubsetOf(const DeviceState& other) const;
+  bool IsStrictSubsetOf(const DeviceState& other) const;
+
+  /// Bitwise union (the paper's ⊎ under the disjointness premises).
+  DeviceState Union(const DeviceState& other) const;
+  void UnionInPlace(const DeviceState& other);
+
+  /// Keeps only the rows in `rows`; clears everything else.
+  DeviceState RestrictedToRows(std::span<const int> rows) const;
+
+  void Clear();
+
+  std::size_t Hash() const;
+  friend bool operator==(const DeviceState&, const DeviceState&) = default;
+
+  /// Multi-line 0/1 grid, e.g. "1100\n0000\n...".
+  std::string ToString() const;
+
+ private:
+  int WordsPerRow() const { return words_per_row_; }
+  std::span<const std::uint64_t> RowBits(int row) const;
+  std::span<std::uint64_t> MutableRowBits(int row);
+
+  int k_ = 0;
+  int words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// A state context G: one state per device, indexed by device id.
+using StateContext = std::vector<DeviceState>;
+
+/// Context where every device only holds its own data.
+StateContext MakeInitialContext(int k);
+
+/// The paper's desired final state: each device has 1 in every row for every
+/// column in its reduction group. `groups` must partition [0, k).
+StateContext MakeGoalContext(int k,
+                             std::span<const std::vector<std::int64_t>> groups);
+
+std::size_t HashContext(const StateContext& context);
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_DEVICE_STATE_H_

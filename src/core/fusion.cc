@@ -1,0 +1,93 @@
+#include "core/fusion.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/collective_semantics.h"
+#include "core/device_state.h"
+#include "core/grouping.h"
+#include "core/synthesizer.h"
+
+namespace p2::core {
+
+namespace {
+
+// Applies one instruction via its deduplicated grouping pattern. Returns
+// false when the semantics rejects it.
+bool ApplyInstruction(const GroupingPattern& pattern, Collective op,
+                      StateContext& ctx) {
+  return ApplyCollectiveToGroups(op, ctx, pattern.groups).ok();
+}
+
+std::optional<Instruction> FindSingleStepEquivalent(
+    const std::vector<GroupingPattern>& alphabet, const StateContext& before,
+    const StateContext& after) {
+  for (const GroupingPattern& pattern : alphabet) {
+    for (Collective op : kAllCollectives) {
+      StateContext ctx = before;
+      if (!ApplyInstruction(pattern, op, ctx)) continue;
+      if (ctx == after) {
+        return Instruction{pattern.slice_level, pattern.form, op};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// The pattern whose groups an instruction denotes (after singleton
+// filtering, matching the synthesizer's alphabet construction).
+const GroupingPattern* PatternFor(
+    const std::vector<GroupingPattern>& alphabet,
+    const SynthesisHierarchy& sh, const Instruction& instr) {
+  auto groups = DeriveGroups(sh.levels(), instr);
+  std::erase_if(groups, [](const auto& g) { return g.size() < 2; });
+  for (const GroupingPattern& pattern : alphabet) {
+    if (pattern.groups == groups) return &pattern;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+FusionResult FuseProgram(const SynthesisHierarchy& sh,
+                         const Program& program) {
+  const auto alphabet = BuildGroupingAlphabet(sh);
+  const int k = static_cast<int>(sh.num_synth_devices());
+
+  FusionResult result;
+  result.program = program;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Contexts before each step.
+    std::vector<StateContext> contexts;
+    contexts.push_back(MakeInitialContext(k));
+    for (const Instruction& instr : result.program) {
+      const GroupingPattern* pattern = PatternFor(alphabet, sh, instr);
+      if (pattern == nullptr) {
+        throw std::invalid_argument("FuseProgram: instruction has no groups");
+      }
+      StateContext next = contexts.back();
+      if (!ApplyInstruction(*pattern, instr.op, next)) {
+        throw std::invalid_argument("FuseProgram: invalid program");
+      }
+      contexts.push_back(std::move(next));
+    }
+
+    for (std::size_t i = 0; i + 1 < result.program.size(); ++i) {
+      const auto fused = FindSingleStepEquivalent(alphabet, contexts[i],
+                                                  contexts[i + 2]);
+      if (!fused.has_value()) continue;
+      result.program[i] = *fused;
+      result.program.erase(result.program.begin() +
+                           static_cast<std::ptrdiff_t>(i) + 1);
+      ++result.steps_removed;
+      changed = true;
+      break;  // recompute contexts from scratch
+    }
+  }
+  return result;
+}
+
+}  // namespace p2::core

@@ -1,0 +1,28 @@
+// Peephole fusion of reduction programs. The paper observes (Section 5)
+// that XLA fuses some synthesized programs — e.g. two consecutive AllReduce
+// steps collapse into a single AllReduce over coarser groups — and that the
+// fused forms are themselves valid synthesizable programs. This pass
+// performs that rewrite inside P2: adjacent instruction pairs are replaced
+// by a single alphabet instruction whenever one produces the identical
+// state context, repeatedly, until a fixed point.
+#ifndef P2_CORE_FUSION_H_
+#define P2_CORE_FUSION_H_
+
+#include "core/reduction_dsl.h"
+#include "core/synthesis_hierarchy.h"
+
+namespace p2::core {
+
+struct FusionResult {
+  Program program;     ///< the (possibly shorter) equivalent program
+  int steps_removed = 0;
+};
+
+/// Fuses `program` (which must be valid on `sh`; throws std::invalid_argument
+/// otherwise). The result is semantically equivalent: it transforms every
+/// reachable context identically, step pair by step pair.
+FusionResult FuseProgram(const SynthesisHierarchy& sh, const Program& program);
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_FUSION_H_

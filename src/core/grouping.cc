@@ -1,0 +1,68 @@
+#include "core/grouping.h"
+
+#include <stdexcept>
+
+namespace p2::core {
+
+std::vector<std::vector<std::int64_t>> DeriveGroups(
+    std::span<const std::int64_t> hierarchy, int slice_level,
+    const Form& form) {
+  const int depth = static_cast<int>(hierarchy.size());
+  if (slice_level < 0 || slice_level >= depth) {
+    throw std::invalid_argument("DeriveGroups: slice level out of range");
+  }
+  std::int64_t total = 1;
+  for (std::int64_t c : hierarchy) {
+    if (c < 1) throw std::invalid_argument("DeriveGroups: bad cardinality");
+    total *= c;
+  }
+  // Number of devices under one node of the slice level.
+  std::int64_t slice_subtree = 1;
+  for (int l = slice_level + 1; l < depth; ++l) {
+    slice_subtree *= hierarchy[static_cast<std::size_t>(l)];
+  }
+
+  std::vector<std::vector<std::int64_t>> groups;
+  switch (form.kind) {
+    case Form::Kind::kInsideGroup: {
+      // One group per slice-level node: a contiguous block of devices.
+      for (std::int64_t base = 0; base < total; base += slice_subtree) {
+        std::vector<std::int64_t> g;
+        g.reserve(static_cast<std::size_t>(slice_subtree));
+        for (std::int64_t t = 0; t < slice_subtree; ++t) g.push_back(base + t);
+        groups.push_back(std::move(g));
+      }
+      return groups;
+    }
+    case Form::Kind::kParallel:
+    case Form::Kind::kMaster: {
+      const int anc = form.ancestor_level;
+      if (anc < 0 || anc >= slice_level) {
+        throw std::invalid_argument(
+            "DeriveGroups: form level must be a strict ancestor of the slice");
+      }
+      // Devices under one ancestor node, and slice-level nodes it contains.
+      std::int64_t anc_subtree = 1;
+      for (int l = anc + 1; l < depth; ++l) {
+        anc_subtree *= hierarchy[static_cast<std::size_t>(l)];
+      }
+      const std::int64_t slices_per_anc = anc_subtree / slice_subtree;
+      for (std::int64_t base = 0; base < total; base += anc_subtree) {
+        const std::int64_t positions =
+            form.kind == Form::Kind::kMaster ? 1 : slice_subtree;
+        for (std::int64_t p = 0; p < positions; ++p) {
+          std::vector<std::int64_t> g;
+          g.reserve(static_cast<std::size_t>(slices_per_anc));
+          for (std::int64_t q = 0; q < slices_per_anc; ++q) {
+            g.push_back(base + q * slice_subtree + p);
+          }
+          groups.push_back(std::move(g));
+        }
+      }
+      return groups;
+    }
+  }
+  throw std::logic_error("DeriveGroups: unknown form");
+}
+
+}  // namespace p2::core

@@ -1,0 +1,32 @@
+// Derivation of device groups from (slice, form) over a hierarchy
+// (paper Section 3.3, Table 2). Devices are mixed-radix indices over the
+// hierarchy cardinalities, outermost level first.
+#ifndef P2_CORE_GROUPING_H_
+#define P2_CORE_GROUPING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/reduction_dsl.h"
+
+namespace p2::core {
+
+/// groups(slice, form) of the paper. `hierarchy` lists level cardinalities,
+/// outermost first; the slice is `instr.slice_level`; Parallel/Master carry a
+/// strict-ancestor level. Groups are returned in deterministic order; groups
+/// of size one are *not* filtered (callers decide whether a trivial group
+/// invalidates the instruction).
+/// Throws std::invalid_argument for out-of-range levels or a form whose
+/// ancestor is not a strict ancestor of the slice.
+std::vector<std::vector<std::int64_t>> DeriveGroups(
+    std::span<const std::int64_t> hierarchy, int slice_level, const Form& form);
+
+inline std::vector<std::vector<std::int64_t>> DeriveGroups(
+    std::span<const std::int64_t> hierarchy, const Instruction& instr) {
+  return DeriveGroups(hierarchy, instr.slice_level, instr.form);
+}
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_GROUPING_H_

@@ -1,0 +1,110 @@
+#include "core/lowering.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/collective_semantics.h"
+#include "core/device_state.h"
+#include "core/grouping.h"
+
+namespace p2::core {
+
+LoweredProgram LowerProgram(const SynthesisHierarchy& sh,
+                            const Program& program) {
+  LoweredProgram out;
+  out.source = program;
+  out.num_devices = sh.num_global_devices();
+
+  const std::int64_t k = sh.num_synth_devices();
+  StateContext ctx = MakeInitialContext(static_cast<int>(k));
+
+  for (const Instruction& instr : program) {
+    auto synth_groups = DeriveGroups(sh.levels(), instr);
+    // Singleton groups perform no communication; the synthesizer's alphabet
+    // filters them identically before validating instructions.
+    std::erase_if(synth_groups, [](const auto& g) { return g.size() < 2; });
+    if (synth_groups.empty()) {
+      throw std::invalid_argument(
+          "LowerProgram: instruction derives no non-trivial groups: " +
+          ToString(instr));
+    }
+
+    LoweredStep step;
+    step.op = instr.op;
+
+    // Fractions: data held by the step's participants before the op. All
+    // reduce-family participants hold equally many rows (the semantics
+    // requires it); for Broadcast the root's volume is what moves.
+    double in_rows = 0;
+    for (const auto& g : synth_groups) {
+      if (g.size() < 2) continue;
+      in_rows = std::max(
+          in_rows,
+          static_cast<double>(
+              ctx[static_cast<std::size_t>(g[0])].NumNonEmptyRows()));
+    }
+    step.in_fraction = in_rows / static_cast<double>(k);
+
+    const ApplyResult r = ApplyCollectiveToGroups(instr.op, ctx, synth_groups);
+    if (!r.ok()) {
+      std::ostringstream os;
+      os << "LowerProgram: invalid instruction " << ToString(instr)
+         << ": " << ToString(r.error);
+      throw std::invalid_argument(os.str());
+    }
+
+    double out_rows = 0;
+    for (const auto& g : synth_groups) {
+      for (std::int64_t d : g) {
+        out_rows = std::max(
+            out_rows, static_cast<double>(
+                          ctx[static_cast<std::size_t>(d)].NumNonEmptyRows()));
+      }
+    }
+    step.out_fraction = out_rows / static_cast<double>(k);
+
+    // Replicate the synthesis groups over every non-reduction assignment.
+    for (std::int64_t rep = 0; rep < sh.num_replicas(); ++rep) {
+      for (const auto& g : synth_groups) {
+        if (g.size() < 2) continue;  // trivial groups perform no communication
+        std::vector<std::int64_t> global;
+        global.reserve(g.size());
+        for (std::int64_t s : g) global.push_back(sh.GlobalDevice(s, rep));
+        step.groups.push_back(std::move(global));
+      }
+    }
+    out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+bool CheckLoweredOnFullSystem(const SynthesisHierarchy& sh,
+                              const LoweredProgram& lowered,
+                              std::string* error) {
+  const int k = static_cast<int>(sh.num_global_devices());
+  StateContext ctx = MakeInitialContext(k);
+  for (std::size_t i = 0; i < lowered.steps.size(); ++i) {
+    const LoweredStep& step = lowered.steps[i];
+    const ApplyResult r =
+        ApplyCollectiveToGroups(step.op, ctx, step.groups);
+    if (!r.ok()) {
+      if (error != nullptr) {
+        std::ostringstream os;
+        os << "step " << i << " (" << ToString(step.op)
+           << ") invalid on full system: " << ToString(r.error);
+        *error = os.str();
+      }
+      return false;
+    }
+  }
+  const auto goal_groups = sh.layout().ReductionGroups(sh.reduction_axes());
+  const StateContext goal = MakeGoalContext(k, goal_groups);
+  if (ctx != goal) {
+    if (error != nullptr) *error = "final context differs from goal";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace p2::core

@@ -1,0 +1,53 @@
+// Lowering of synthesized reduction programs from the synthesis hierarchy to
+// the full system (paper Section 3.4): every instruction becomes a set of
+// concrete global-device groups (the synthesis grouping pattern applied once
+// per assignment of the non-reduction axes' coordinates), annotated with the
+// per-device data volume entering and leaving the step.
+#ifndef P2_CORE_LOWERING_H_
+#define P2_CORE_LOWERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/collective.h"
+#include "core/reduction_dsl.h"
+#include "core/synthesis_hierarchy.h"
+
+namespace p2::core {
+
+struct LoweredStep {
+  Collective op = Collective::kAllReduce;
+  /// Concrete global-device groups executing `op` concurrently.
+  std::vector<std::vector<std::int64_t>> groups;
+  /// Per-participant data entering/leaving the step, as a fraction of the
+  /// per-device payload (rows held / k'). For Reduce/Broadcast the fraction
+  /// of the root is used; for AllGather `out_fraction` is the gathered total.
+  double in_fraction = 1.0;
+  double out_fraction = 1.0;
+};
+
+struct LoweredProgram {
+  Program source;                  ///< the DSL program this was lowered from
+  std::vector<LoweredStep> steps;  ///< executed in order, barrier in between
+  std::int64_t num_devices = 0;    ///< global device count of the system
+};
+
+/// Lowers `program` (which must be semantically valid on `sh`'s synthesis
+/// hierarchy; throws std::invalid_argument otherwise).
+LoweredProgram LowerProgram(const SynthesisHierarchy& sh,
+                            const Program& program);
+
+/// Replays a lowered program on the *full system's* state matrices and
+/// verifies it implements the user-requested reduction: the initial context
+/// must reach exactly the goal context of the placement's reduction groups.
+/// This is the paper's notion of end-to-end semantic validity; the lowering
+/// theorem (Thm 3.2 machinery) says it always holds for programs synthesized
+/// on hierarchy (d) — a property the test-suite checks empirically.
+bool CheckLoweredOnFullSystem(const SynthesisHierarchy& sh,
+                              const LoweredProgram& lowered,
+                              std::string* error = nullptr);
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_LOWERING_H_

@@ -1,0 +1,89 @@
+#include "core/parallelism_matrix.h"
+
+#include <stdexcept>
+
+#include "common/format.h"
+
+namespace p2::core {
+
+ParallelismMatrix::ParallelismMatrix(
+    std::vector<std::vector<std::int64_t>> rows)
+    : rows_(std::move(rows)) {
+  if (rows_.empty() || rows_[0].empty()) {
+    throw std::invalid_argument("ParallelismMatrix: empty");
+  }
+  const std::size_t cols = rows_[0].size();
+  for (const auto& r : rows_) {
+    if (r.size() != cols) {
+      throw std::invalid_argument("ParallelismMatrix: ragged rows");
+    }
+    for (std::int64_t x : r) {
+      if (x < 1) {
+        throw std::invalid_argument("ParallelismMatrix: factor must be >= 1");
+      }
+    }
+  }
+}
+
+std::int64_t ParallelismMatrix::factor(int axis, int level) const {
+  return rows_.at(static_cast<std::size_t>(axis))
+      .at(static_cast<std::size_t>(level));
+}
+
+std::span<const std::int64_t> ParallelismMatrix::row(int axis) const {
+  return rows_.at(static_cast<std::size_t>(axis));
+}
+
+std::int64_t ParallelismMatrix::RowProduct(int axis) const {
+  std::int64_t p = 1;
+  for (std::int64_t x : rows_.at(static_cast<std::size_t>(axis))) p *= x;
+  return p;
+}
+
+std::int64_t ParallelismMatrix::ColumnProduct(int level) const {
+  std::int64_t p = 1;
+  for (const auto& r : rows_) p *= r.at(static_cast<std::size_t>(level));
+  return p;
+}
+
+std::vector<std::int64_t> ParallelismMatrix::AxisSizes() const {
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(rows_.size());
+  for (int i = 0; i < num_axes(); ++i) sizes.push_back(RowProduct(i));
+  return sizes;
+}
+
+std::vector<std::int64_t> ParallelismMatrix::LevelCardinalities() const {
+  std::vector<std::int64_t> cards;
+  cards.reserve(static_cast<std::size_t>(num_levels()));
+  for (int j = 0; j < num_levels(); ++j) cards.push_back(ColumnProduct(j));
+  return cards;
+}
+
+bool ParallelismMatrix::IsValidFor(
+    const topology::SystemHierarchy& hierarchy,
+    std::span<const std::int64_t> axes) const {
+  if (hierarchy.depth() != num_levels()) return false;
+  if (static_cast<int>(axes.size()) != num_axes()) return false;
+  for (int j = 0; j < num_levels(); ++j) {
+    if (ColumnProduct(j) != hierarchy.cardinality(j)) return false;
+  }
+  for (int i = 0; i < num_axes(); ++i) {
+    if (RowProduct(i) != axes[static_cast<std::size_t>(i)]) return false;
+  }
+  return true;
+}
+
+std::int64_t ParallelismMatrix::num_devices() const {
+  std::int64_t p = 1;
+  for (const auto& r : rows_) {
+    for (std::int64_t x : r) p *= x;
+  }
+  return p;
+}
+
+std::string ParallelismMatrix::ToString() const {
+  return NestedBracketJoin(rows_);
+}
+
+}  // namespace p2::core

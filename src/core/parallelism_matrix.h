@@ -1,0 +1,64 @@
+// Parallelism matrices (paper Section 3.1): an (m+1) x (n+1) matrix of
+// positive "parallelism factors" mapping m+1 parallelism axes onto an
+// n+1-level system hierarchy, subject to
+//   (1) column products equal the hierarchy cardinalities, and
+//   (2) row products equal the parallelism axis sizes.
+#ifndef P2_CORE_PARALLELISM_MATRIX_H_
+#define P2_CORE_PARALLELISM_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "topology/system.h"
+
+namespace p2::core {
+
+class ParallelismMatrix {
+ public:
+  ParallelismMatrix() = default;
+
+  /// `rows[i][j]` is the factor of parallelism axis i at hierarchy level j.
+  /// Throws std::invalid_argument on ragged or empty input or factors < 1.
+  explicit ParallelismMatrix(std::vector<std::vector<std::int64_t>> rows);
+
+  int num_axes() const { return static_cast<int>(rows_.size()); }
+  int num_levels() const {
+    return rows_.empty() ? 0 : static_cast<int>(rows_[0].size());
+  }
+
+  std::int64_t factor(int axis, int level) const;
+  std::span<const std::int64_t> row(int axis) const;
+  const std::vector<std::vector<std::int64_t>>& rows() const { return rows_; }
+
+  /// Product of row `axis` (the parallelism axis size this matrix realizes).
+  std::int64_t RowProduct(int axis) const;
+  /// Product of column `level` (the hierarchy cardinality it realizes).
+  std::int64_t ColumnProduct(int level) const;
+
+  /// Axis sizes [RowProduct(0) ... RowProduct(m)].
+  std::vector<std::int64_t> AxisSizes() const;
+  /// Hierarchy cardinalities [ColumnProduct(0) ... ColumnProduct(n)].
+  std::vector<std::int64_t> LevelCardinalities() const;
+
+  /// Checks constraints (1) and (2) against the given hierarchy and axes.
+  bool IsValidFor(const topology::SystemHierarchy& hierarchy,
+                  std::span<const std::int64_t> axes) const;
+
+  /// Total number of devices = product of all entries.
+  std::int64_t num_devices() const;
+
+  /// "[[1 2] [4 8]]"
+  std::string ToString() const;
+
+  friend bool operator==(const ParallelismMatrix&, const ParallelismMatrix&) =
+      default;
+
+ private:
+  std::vector<std::vector<std::int64_t>> rows_;
+};
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_PARALLELISM_MATRIX_H_

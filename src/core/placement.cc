@@ -1,0 +1,189 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "common/math.h"
+
+namespace p2::core {
+
+namespace {
+
+// Recursively assigns one hierarchy level (column) at a time. `running[i]` is
+// the product of row i's factors assigned so far.
+void EnumerateColumns(std::span<const std::int64_t> cards,
+                      std::span<const std::int64_t> axes, int level,
+                      std::vector<std::vector<std::int64_t>>& columns,
+                      std::vector<std::int64_t>& running,
+                      std::vector<ParallelismMatrix>* out,
+                      std::int64_t* count) {
+  const int num_axes = static_cast<int>(axes.size());
+  const int num_levels = static_cast<int>(cards.size());
+  if (level == num_levels) {
+    for (int i = 0; i < num_axes; ++i) {
+      if (running[static_cast<std::size_t>(i)] !=
+          axes[static_cast<std::size_t>(i)]) {
+        return;
+      }
+    }
+    if (count != nullptr) ++*count;
+    if (out != nullptr) {
+      // columns[j][i] -> rows[i][j]
+      std::vector<std::vector<std::int64_t>> rows(
+          static_cast<std::size_t>(num_axes),
+          std::vector<std::int64_t>(static_cast<std::size_t>(num_levels)));
+      for (int j = 0; j < num_levels; ++j) {
+        for (int i = 0; i < num_axes; ++i) {
+          rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+              columns[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+        }
+      }
+      out->push_back(ParallelismMatrix(std::move(rows)));
+    }
+    return;
+  }
+
+  // Enumerate ordered factorizations of this level's cardinality across axes,
+  // pruning rows whose running product would no longer divide the axis size.
+  std::vector<std::int64_t> column(static_cast<std::size_t>(num_axes), 1);
+  auto rec = [&](auto&& self, int axis, std::int64_t remaining) -> void {
+    if (axis == num_axes - 1) {
+      const std::int64_t f = remaining;
+      const std::int64_t next =
+          running[static_cast<std::size_t>(axis)] * f;
+      if (axes[static_cast<std::size_t>(axis)] % next != 0) return;
+      column[static_cast<std::size_t>(axis)] = f;
+      running[static_cast<std::size_t>(axis)] = next;
+      columns.push_back(column);
+      EnumerateColumns(cards, axes, level + 1, columns, running, out, count);
+      columns.pop_back();
+      running[static_cast<std::size_t>(axis)] = next / f;
+      return;
+    }
+    for (std::int64_t f = 1; f <= remaining; ++f) {
+      if (remaining % f != 0) continue;
+      const std::int64_t next = running[static_cast<std::size_t>(axis)] * f;
+      if (axes[static_cast<std::size_t>(axis)] % next != 0) continue;
+      column[static_cast<std::size_t>(axis)] = f;
+      running[static_cast<std::size_t>(axis)] = next;
+      self(self, axis + 1, remaining / f);
+      running[static_cast<std::size_t>(axis)] = next / f;
+    }
+  };
+  rec(rec, 0, cards[static_cast<std::size_t>(level)]);
+}
+
+void Enumerate(const topology::SystemHierarchy& hierarchy,
+               std::span<const std::int64_t> axes,
+               std::vector<ParallelismMatrix>* out, std::int64_t* count) {
+  if (axes.empty()) return;
+  std::int64_t axis_product = 1;
+  for (std::int64_t a : axes) {
+    if (a < 1) throw std::invalid_argument("EnumeratePlacements: axis < 1");
+    axis_product *= a;
+  }
+  if (axis_product != hierarchy.num_devices()) return;
+  const auto cards = hierarchy.cardinalities();
+  std::vector<std::vector<std::int64_t>> columns;
+  std::vector<std::int64_t> running(axes.size(), 1);
+  EnumerateColumns(cards, axes, 0, columns, running, out, count);
+}
+
+}  // namespace
+
+std::vector<ParallelismMatrix> EnumeratePlacements(
+    const topology::SystemHierarchy& hierarchy,
+    std::span<const std::int64_t> axes) {
+  std::vector<ParallelismMatrix> out;
+  Enumerate(hierarchy, axes, &out, nullptr);
+  return out;
+}
+
+std::int64_t CountPlacements(const topology::SystemHierarchy& hierarchy,
+                             std::span<const std::int64_t> axes) {
+  std::int64_t count = 0;
+  Enumerate(hierarchy, axes, nullptr, &count);
+  return count;
+}
+
+PlacementLayout::PlacementLayout(ParallelismMatrix matrix)
+    : matrix_(std::move(matrix)) {
+  num_devices_ = matrix_.num_devices();
+  flat_radices_.reserve(static_cast<std::size_t>(matrix_.num_levels()) *
+                        static_cast<std::size_t>(matrix_.num_axes()));
+  for (int j = 0; j < matrix_.num_levels(); ++j) {
+    for (int i = 0; i < matrix_.num_axes(); ++i) {
+      flat_radices_.push_back(matrix_.factor(i, j));
+    }
+  }
+}
+
+std::int64_t PlacementLayout::Digit(std::int64_t device, int axis,
+                                    int level) const {
+  if (device < 0 || device >= num_devices_) {
+    throw std::out_of_range("PlacementLayout::Digit: bad device");
+  }
+  const auto digits = IndexToDigits(device, flat_radices_);
+  return digits[static_cast<std::size_t>(level) *
+                    static_cast<std::size_t>(matrix_.num_axes()) +
+                static_cast<std::size_t>(axis)];
+}
+
+std::int64_t PlacementLayout::DeviceFromDigits(
+    const std::vector<std::vector<std::int64_t>>& digits) const {
+  if (static_cast<int>(digits.size()) != matrix_.num_axes()) {
+    throw std::invalid_argument("DeviceFromDigits: wrong axis count");
+  }
+  std::vector<std::int64_t> flat;
+  flat.reserve(flat_radices_.size());
+  for (int j = 0; j < matrix_.num_levels(); ++j) {
+    for (int i = 0; i < matrix_.num_axes(); ++i) {
+      flat.push_back(digits.at(static_cast<std::size_t>(i))
+                         .at(static_cast<std::size_t>(j)));
+    }
+  }
+  return DigitsToIndex(flat, flat_radices_);
+}
+
+std::int64_t PlacementLayout::AxisCoordinate(std::int64_t device,
+                                             int axis) const {
+  const auto digits = IndexToDigits(device, flat_radices_);
+  std::int64_t coord = 0;
+  for (int j = 0; j < matrix_.num_levels(); ++j) {
+    coord = coord * matrix_.factor(axis, j) +
+            digits[static_cast<std::size_t>(j) *
+                       static_cast<std::size_t>(matrix_.num_axes()) +
+                   static_cast<std::size_t>(axis)];
+  }
+  return coord;
+}
+
+std::vector<std::vector<std::int64_t>> PlacementLayout::ReductionGroups(
+    std::span<const int> reduction_axes) const {
+  std::vector<bool> is_reduction(static_cast<std::size_t>(matrix_.num_axes()),
+                                 false);
+  for (int a : reduction_axes) {
+    if (a < 0 || a >= matrix_.num_axes()) {
+      throw std::out_of_range("ReductionGroups: bad reduction axis");
+    }
+    is_reduction[static_cast<std::size_t>(a)] = true;
+  }
+  std::map<std::vector<std::int64_t>, std::vector<std::int64_t>> by_key;
+  for (std::int64_t d = 0; d < num_devices_; ++d) {
+    std::vector<std::int64_t> key;
+    for (int i = 0; i < matrix_.num_axes(); ++i) {
+      if (!is_reduction[static_cast<std::size_t>(i)]) {
+        key.push_back(AxisCoordinate(d, i));
+      }
+    }
+    by_key[key].push_back(d);
+  }
+  std::vector<std::vector<std::int64_t>> groups;
+  groups.reserve(by_key.size());
+  for (auto& [key, group] : by_key) groups.push_back(std::move(group));
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+}  // namespace p2::core

@@ -1,0 +1,71 @@
+// Parallelism placement synthesis (paper Section 3.1) and the concrete
+// device layout a parallelism matrix induces.
+//
+// Device-numbering convention: the global device id is the mixed-radix index
+// over hierarchy levels (outermost first); *within* level j, the level digit
+// decomposes into per-axis digits (a_{0,j}, ..., a_{m,j}) with radices
+// (x_{0,j}, ..., x_{m,j}), axis 0 outermost. A device's coordinate on
+// parallelism axis i is the mixed-radix value of (a_{i,0}, ..., a_{i,n}).
+// Devices that agree on every non-reduction axis coordinate form one
+// reduction group of the user-requested reduction.
+#ifndef P2_CORE_PLACEMENT_H_
+#define P2_CORE_PLACEMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/parallelism_matrix.h"
+#include "topology/system.h"
+
+namespace p2::core {
+
+/// Enumerates every parallelism matrix for `hierarchy` and `axes`
+/// (all factorizations satisfying the row/column product constraints),
+/// in deterministic lexicographic order. Requires
+/// product(axes) == hierarchy.num_devices(); otherwise returns {}.
+std::vector<ParallelismMatrix> EnumeratePlacements(
+    const topology::SystemHierarchy& hierarchy,
+    std::span<const std::int64_t> axes);
+
+/// Number of placements without materializing them (used by the placement-
+/// space benchmarks; equals EnumeratePlacements(...).size()).
+std::int64_t CountPlacements(const topology::SystemHierarchy& hierarchy,
+                             std::span<const std::int64_t> axes);
+
+/// The concrete device layout induced by a parallelism matrix.
+class PlacementLayout {
+ public:
+  explicit PlacementLayout(ParallelismMatrix matrix);
+
+  const ParallelismMatrix& matrix() const { return matrix_; }
+  std::int64_t num_devices() const { return num_devices_; }
+
+  /// Per-axis, per-level digit a_{axis, level} of `device`.
+  std::int64_t Digit(std::int64_t device, int axis, int level) const;
+
+  /// The device with the given per-axis-per-level digits
+  /// (digits[axis][level], same shape as the matrix).
+  std::int64_t DeviceFromDigits(
+      const std::vector<std::vector<std::int64_t>>& digits) const;
+
+  /// Coordinate of `device` on parallelism `axis` in [0, axis_size).
+  std::int64_t AxisCoordinate(std::int64_t device, int axis) const;
+
+  /// Partition of all devices into reduction groups for the given reduction
+  /// axes: devices agreeing on all *other* axes' coordinates are grouped.
+  /// Groups are sorted by device id; each group is sorted ascending.
+  std::vector<std::vector<std::int64_t>> ReductionGroups(
+      std::span<const int> reduction_axes) const;
+
+ private:
+  ParallelismMatrix matrix_;
+  std::int64_t num_devices_ = 0;
+  // Flattened radices of the digit expansion of a device id: for each level j
+  // (outer to inner), for each axis i (outer to inner), x_{i,j}.
+  std::vector<std::int64_t> flat_radices_;
+};
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_PLACEMENT_H_

@@ -1,0 +1,49 @@
+#include "core/reduction_dsl.h"
+
+#include <sstream>
+
+namespace p2::core {
+
+namespace {
+
+std::string LevelName(int level, std::span<const std::string> names) {
+  if (level >= 0 && level < static_cast<int>(names.size())) {
+    return names[static_cast<std::size_t>(level)];
+  }
+  return "L" + std::to_string(level);
+}
+
+}  // namespace
+
+std::string ToString(const Instruction& instr,
+                     std::span<const std::string> level_names) {
+  std::ostringstream os;
+  os << ToString(instr.op) << "(slice=" << LevelName(instr.slice_level, level_names);
+  switch (instr.form.kind) {
+    case Form::Kind::kInsideGroup:
+      os << ", InsideGroup";
+      break;
+    case Form::Kind::kParallel:
+      os << ", Parallel(" << LevelName(instr.form.ancestor_level, level_names)
+         << ')';
+      break;
+    case Form::Kind::kMaster:
+      os << ", Master(" << LevelName(instr.form.ancestor_level, level_names)
+         << ')';
+      break;
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string ToString(const Program& program,
+                     std::span<const std::string> level_names) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << ToString(program[i], level_names);
+  }
+  return os.str();
+}
+
+}  // namespace p2::core

@@ -1,0 +1,51 @@
+// The reduction DSL (paper Section 3.3): a program is a list of
+// (slice, form, collective) instructions; the slice chooses a level of the
+// synthesis hierarchy and the form one of InsideGroup / Parallel(e) /
+// Master(e) where e is an ancestor level of the slice.
+#ifndef P2_CORE_REDUCTION_DSL_H_
+#define P2_CORE_REDUCTION_DSL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/collective.h"
+
+namespace p2::core {
+
+struct Form {
+  enum class Kind { kInsideGroup, kParallel, kMaster };
+
+  Kind kind = Kind::kInsideGroup;
+  /// Ancestor level carried by Parallel/Master; -1 for InsideGroup.
+  int ancestor_level = -1;
+
+  static Form InsideGroup() { return Form{Kind::kInsideGroup, -1}; }
+  static Form Parallel(int ancestor) { return Form{Kind::kParallel, ancestor}; }
+  static Form Master(int ancestor) { return Form{Kind::kMaster, ancestor}; }
+
+  friend bool operator==(const Form&, const Form&) = default;
+};
+
+struct Instruction {
+  int slice_level = 0;
+  Form form = Form::InsideGroup();
+  Collective op = Collective::kAllReduce;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// A reduction strategy: instructions applied in order (paper's `program`).
+using Program = std::vector<Instruction>;
+
+/// "AllReduce(slice=gpu, Parallel(rack))"; level names default to "L<i>".
+std::string ToString(const Instruction& instr,
+                     std::span<const std::string> level_names = {});
+/// "RS(slice=L1, InsideGroup); AR(slice=L2, Parallel(L0)); ..."
+std::string ToString(const Program& program,
+                     std::span<const std::string> level_names = {});
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_REDUCTION_DSL_H_

@@ -1,0 +1,278 @@
+#include "core/synthesis_hierarchy.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "common/math.h"
+
+namespace p2::core {
+
+const char* ToString(SynthesisHierarchyKind k) {
+  switch (k) {
+    case SynthesisHierarchyKind::kSystem:
+      return "system";
+    case SynthesisHierarchyKind::kColumnMajor:
+      return "column-major";
+    case SynthesisHierarchyKind::kRowMajor:
+      return "row-major";
+    case SynthesisHierarchyKind::kReductionAxes:
+      return "reduction-axes";
+  }
+  return "?";
+}
+
+SynthesisHierarchy::SynthesisHierarchy(PlacementLayout layout,
+                                       std::vector<int> reduction_axes,
+                                       SynthesisHierarchyKind kind)
+    : kind_(kind),
+      layout_(std::move(layout)),
+      reduction_axes_(std::move(reduction_axes)) {}
+
+std::int64_t SynthesisHierarchy::GlobalDevice(std::int64_t synth,
+                                              std::int64_t replica) const {
+  return device_map_.at(static_cast<std::size_t>(replica))
+      .at(static_cast<std::size_t>(synth));
+}
+
+namespace {
+
+std::vector<bool> ReductionFlags(const ParallelismMatrix& m,
+                                 std::span<const int> reduction_axes) {
+  std::vector<bool> flags(static_cast<std::size_t>(m.num_axes()), false);
+  if (reduction_axes.empty()) {
+    throw std::invalid_argument("SynthesisHierarchy: no reduction axes");
+  }
+  for (int a : reduction_axes) {
+    if (a < 0 || a >= m.num_axes()) {
+      throw std::out_of_range("SynthesisHierarchy: bad reduction axis");
+    }
+    if (flags[static_cast<std::size_t>(a)]) {
+      throw std::invalid_argument("SynthesisHierarchy: duplicate axis");
+    }
+    flags[static_cast<std::size_t>(a)] = true;
+  }
+  return flags;
+}
+
+// Groups synthesis devices by their devices' non-reduction-axis coordinates.
+std::vector<std::vector<std::int64_t>> GoalGroupsFromMap(
+    const PlacementLayout& layout, const std::vector<bool>& is_reduction,
+    std::span<const std::int64_t> synth_to_global) {
+  std::map<std::vector<std::int64_t>, std::vector<std::int64_t>> by_key;
+  for (std::int64_t s = 0;
+       s < static_cast<std::int64_t>(synth_to_global.size()); ++s) {
+    const std::int64_t d = synth_to_global[static_cast<std::size_t>(s)];
+    std::vector<std::int64_t> key;
+    for (int i = 0; i < layout.matrix().num_axes(); ++i) {
+      if (!is_reduction[static_cast<std::size_t>(i)]) {
+        key.push_back(layout.AxisCoordinate(d, i));
+      }
+    }
+    by_key[key].push_back(s);
+  }
+  std::vector<std::vector<std::int64_t>> groups;
+  groups.reserve(by_key.size());
+  for (auto& [k, g] : by_key) groups.push_back(std::move(g));
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+}  // namespace
+
+SynthesisHierarchy SynthesisHierarchy::Build(
+    const ParallelismMatrix& matrix, std::span<const int> reduction_axes,
+    SynthesisHierarchyKind kind, bool collapse) {
+  const std::vector<bool> is_reduction = ReductionFlags(matrix, reduction_axes);
+  SynthesisHierarchy sh(PlacementLayout(matrix),
+                        std::vector<int>(reduction_axes.begin(),
+                                         reduction_axes.end()),
+                        kind);
+  const int m = matrix.num_axes();
+  const int n = matrix.num_levels();
+  const std::int64_t k_global = matrix.num_devices();
+
+  switch (kind) {
+    case SynthesisHierarchyKind::kSystem: {
+      for (int j = 0; j < n; ++j) {
+        sh.levels_.push_back(matrix.ColumnProduct(j));
+        sh.level_names_.push_back("L" + std::to_string(j));
+      }
+      sh.num_synth_devices_ = k_global;
+      sh.num_replicas_ = 1;
+      sh.device_map_.emplace_back();
+      for (std::int64_t d = 0; d < k_global; ++d) {
+        sh.device_map_[0].push_back(d);
+      }
+      break;
+    }
+    case SynthesisHierarchyKind::kColumnMajor: {
+      // Flattening columns matches the global-device digit order exactly, so
+      // the synthesis numbering is the identity.
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < m; ++i) {
+          sh.levels_.push_back(matrix.factor(i, j));
+          sh.level_names_.push_back("L" + std::to_string(j) + ".a" +
+                                    std::to_string(i));
+        }
+      }
+      sh.num_synth_devices_ = k_global;
+      sh.num_replicas_ = 1;
+      sh.device_map_.emplace_back();
+      for (std::int64_t d = 0; d < k_global; ++d) {
+        sh.device_map_[0].push_back(d);
+      }
+      break;
+    }
+    case SynthesisHierarchyKind::kRowMajor: {
+      std::vector<std::int64_t> flat_radices;
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          sh.levels_.push_back(matrix.factor(i, j));
+          flat_radices.push_back(matrix.factor(i, j));
+          sh.level_names_.push_back("a" + std::to_string(i) + ".L" +
+                                    std::to_string(j));
+        }
+      }
+      sh.num_synth_devices_ = k_global;
+      sh.num_replicas_ = 1;
+      sh.device_map_.emplace_back();
+      sh.device_map_[0].resize(static_cast<std::size_t>(k_global));
+      // Synthesis digit order: (a_{0,0}..a_{0,n}, a_{1,0}, ...). Convert each
+      // synthesis index to per-axis digits, then to the global device.
+      for (std::int64_t s = 0; s < k_global; ++s) {
+        const auto digits = IndexToDigits(s, flat_radices);
+        std::vector<std::vector<std::int64_t>> by_axis(
+            static_cast<std::size_t>(m),
+            std::vector<std::int64_t>(static_cast<std::size_t>(n)));
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            by_axis[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                digits[static_cast<std::size_t>(i * n + j)];
+          }
+        }
+        sh.device_map_[0][static_cast<std::size_t>(s)] =
+            sh.layout_.DeviceFromDigits(by_axis);
+      }
+      break;
+    }
+    case SynthesisHierarchyKind::kReductionAxes: {
+      // Root level first (appendix B: "(root, 1) as the root of (d)").
+      sh.levels_.push_back(1);
+      sh.level_names_.push_back("root");
+      // Ordered reduction axes (ascending) and the digit radices of a
+      // synthesis index.
+      std::vector<int> axes_sorted = sh.reduction_axes_;
+      std::sort(axes_sorted.begin(), axes_sorted.end());
+      if (collapse) {
+        for (int j = 0; j < n; ++j) {
+          std::int64_t y = 1;
+          for (int i : axes_sorted) y *= matrix.factor(i, j);
+          sh.levels_.push_back(y);
+          sh.level_names_.push_back("L" + std::to_string(j));
+        }
+      } else {
+        for (int i : axes_sorted) {
+          for (int j = 0; j < n; ++j) {
+            sh.levels_.push_back(matrix.factor(i, j));
+            sh.level_names_.push_back("a" + std::to_string(i) + ".L" +
+                                      std::to_string(j));
+          }
+        }
+      }
+      sh.num_synth_devices_ = Product(std::span<const std::int64_t>(sh.levels_));
+
+      // Replica radices: digits of the non-reduction axes (axis-major).
+      std::vector<std::int64_t> replica_radices;
+      std::vector<std::pair<int, int>> replica_slots;  // (axis, level)
+      for (int i = 0; i < m; ++i) {
+        if (is_reduction[static_cast<std::size_t>(i)]) continue;
+        for (int j = 0; j < n; ++j) {
+          replica_radices.push_back(matrix.factor(i, j));
+          replica_slots.emplace_back(i, j);
+        }
+      }
+      sh.num_replicas_ = Product(std::span<const std::int64_t>(replica_radices));
+
+      // Synthesis-digit radices and their (axis, level) slots.
+      std::vector<std::int64_t> synth_radices;
+      std::vector<std::pair<int, int>> synth_slots;
+      for (int i : axes_sorted) {
+        for (int j = 0; j < n; ++j) {
+          synth_radices.push_back(matrix.factor(i, j));
+          synth_slots.emplace_back(i, j);
+        }
+      }
+      // With collapse, the synthesis *levels* multiply same-level factors
+      // together; the per-(axis, level) digits of a synthesis index are
+      // recovered with the expanded level-major radices below. Mixed radix is
+      // associative under grouping, so decomposing with the flattened radices
+      // equals decomposing level digits b_j and then splitting each b_j.
+      std::vector<std::int64_t> synth_digit_radices;
+      std::vector<std::pair<int, int>> synth_digit_slots;
+      if (collapse) {
+        for (int j = 0; j < n; ++j) {
+          for (int i : axes_sorted) {
+            synth_digit_radices.push_back(matrix.factor(i, j));
+            synth_digit_slots.emplace_back(i, j);
+          }
+        }
+      } else {
+        synth_digit_radices = synth_radices;
+        synth_digit_slots = synth_slots;
+      }
+
+      sh.device_map_.assign(static_cast<std::size_t>(sh.num_replicas_), {});
+      for (std::int64_t rep = 0; rep < sh.num_replicas_; ++rep) {
+        const auto rep_digits =
+            replica_radices.empty()
+                ? std::vector<std::int64_t>{}
+                : IndexToDigits(rep, replica_radices);
+        auto& row = sh.device_map_[static_cast<std::size_t>(rep)];
+        row.resize(static_cast<std::size_t>(sh.num_synth_devices_));
+        for (std::int64_t s = 0; s < sh.num_synth_devices_; ++s) {
+          const auto s_digits = IndexToDigits(s, synth_digit_radices);
+          std::vector<std::vector<std::int64_t>> by_axis(
+              static_cast<std::size_t>(m),
+              std::vector<std::int64_t>(static_cast<std::size_t>(n), 0));
+          for (std::size_t t = 0; t < synth_digit_slots.size(); ++t) {
+            const auto [i, j] = synth_digit_slots[t];
+            by_axis[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                s_digits[t];
+          }
+          for (std::size_t t = 0; t < replica_slots.size(); ++t) {
+            const auto [i, j] = replica_slots[t];
+            by_axis[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+                rep_digits[t];
+          }
+          row[static_cast<std::size_t>(s)] = sh.layout_.DeviceFromDigits(by_axis);
+        }
+      }
+      break;
+    }
+  }
+
+  // Appendix B assumes every synthesis hierarchy is rooted with a level of
+  // cardinality 1 so that Parallel/Master can join groups across the whole
+  // system; hierarchies whose outermost level is already 1 have that root.
+  if (sh.levels_.front() != 1) {
+    sh.levels_.insert(sh.levels_.begin(), 1);
+    sh.level_names_.insert(sh.level_names_.begin(), "root");
+  }
+
+  // Goal groups.
+  if (kind == SynthesisHierarchyKind::kReductionAxes) {
+    std::vector<std::int64_t> all(
+        static_cast<std::size_t>(sh.num_synth_devices_));
+    for (std::int64_t s = 0; s < sh.num_synth_devices_; ++s) {
+      all[static_cast<std::size_t>(s)] = s;
+    }
+    sh.goal_groups_.push_back(std::move(all));
+  } else {
+    sh.goal_groups_ = GoalGroupsFromMap(sh.layout_, is_reduction,
+                                        sh.device_map_[0]);
+  }
+  return sh;
+}
+
+}  // namespace p2::core

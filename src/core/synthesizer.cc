@@ -1,0 +1,103 @@
+#include "core/synthesizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "core/collective_semantics.h"
+#include "core/device_state.h"
+#include "core/grouping.h"
+
+namespace p2::core {
+
+std::vector<GroupingPattern> BuildGroupingAlphabet(
+    const SynthesisHierarchy& sh) {
+  std::vector<GroupingPattern> alphabet;
+  std::set<std::vector<std::vector<std::int64_t>>> seen;
+  const auto& levels = sh.levels();
+  const int depth = static_cast<int>(levels.size());
+  auto consider = [&](int slice, const Form& form) {
+    auto groups = DeriveGroups(levels, slice, form);
+    // Drop trivial groups; a pattern whose groups are all singletons performs
+    // no communication and is not a reduction instruction.
+    std::erase_if(groups, [](const auto& g) { return g.size() < 2; });
+    if (groups.empty()) return;
+    if (!seen.insert(groups).second) return;
+    alphabet.push_back(GroupingPattern{slice, form, std::move(groups)});
+  };
+  for (int slice = 0; slice < depth; ++slice) {
+    consider(slice, Form::InsideGroup());
+    for (int anc = 0; anc < slice; ++anc) {
+      consider(slice, Form::Parallel(anc));
+      consider(slice, Form::Master(anc));
+    }
+  }
+  return alphabet;
+}
+
+namespace {
+
+struct Searcher {
+  const std::vector<GroupingPattern>& alphabet;
+  const StateContext& goal;
+  const SynthesisOptions& options;
+  SynthesisResult& result;
+  Program current;
+
+  void Dfs(const StateContext& ctx) {
+    if (static_cast<std::int64_t>(result.programs.size()) >=
+        options.max_programs) {
+      return;
+    }
+    if (ctx == goal) {
+      result.programs.push_back(current);
+      return;  // extensions of a finished program are not useful programs
+    }
+    if (static_cast<int>(current.size()) >= options.max_program_size) return;
+    for (const GroupingPattern& p : alphabet) {
+      for (Collective op : kAllCollectives) {
+        ++result.stats.instructions_tried;
+        StateContext next = ctx;
+        const ApplyResult r = ApplyCollectiveToGroups(op, next, p.groups);
+        if (!r.ok()) continue;
+        ++result.stats.applications_succeeded;
+        current.push_back(Instruction{p.slice_level, p.form, op});
+        Dfs(next);
+        current.pop_back();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SynthesisResult SynthesizePrograms(const SynthesisHierarchy& sh,
+                                   const SynthesisOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  SynthesisResult result;
+
+  const int k = static_cast<int>(sh.num_synth_devices());
+  const StateContext initial = MakeInitialContext(k);
+  const StateContext goal = MakeGoalContext(k, sh.goal_groups());
+
+  const std::vector<GroupingPattern> alphabet = BuildGroupingAlphabet(sh);
+  result.stats.alphabet_size =
+      static_cast<int>(alphabet.size()) *
+      static_cast<int>(kAllCollectives.size());
+
+  Searcher searcher{alphabet, goal, options, result, {}};
+  searcher.Dfs(initial);
+
+  // Increasing order of program size (stable within a size class).
+  std::stable_sort(result.programs.begin(), result.programs.end(),
+                   [](const Program& a, const Program& b) {
+                     return a.size() < b.size();
+                   });
+
+  result.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace p2::core

@@ -1,0 +1,61 @@
+// Syntax-guided synthesis of reduction programs (paper Section 3.5):
+// enumerate DSL programs in increasing size over a synthesis hierarchy,
+// pruning with the collective semantics, and return every program whose
+// final context is the goal (each device holds exactly its reduction
+// group's data, fully reduced).
+#ifndef P2_CORE_SYNTHESIZER_H_
+#define P2_CORE_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reduction_dsl.h"
+#include "core/synthesis_hierarchy.h"
+
+namespace p2::core {
+
+struct SynthesisOptions {
+  /// The paper uses 5: "we set 5 as the program size limit ... sufficient to
+  /// generate interesting reduction patterns".
+  int max_program_size = 5;
+  /// Safety cap on emitted programs.
+  std::int64_t max_programs = 1 << 20;
+};
+
+struct SynthesisStats {
+  std::int64_t instructions_tried = 0;
+  std::int64_t applications_succeeded = 0;
+  int alphabet_size = 0;  ///< distinct (slice, form) grouping patterns x ops
+  double seconds = 0.0;
+};
+
+struct SynthesisResult {
+  std::vector<Program> programs;
+  SynthesisStats stats;
+};
+
+/// One usable (slice, form) pair of a synthesis hierarchy together with the
+/// device groups it derives. The synthesizer's instruction alphabet is
+/// this set crossed with the five collectives.
+struct GroupingPattern {
+  int slice_level = 0;
+  Form form = Form::InsideGroup();
+  std::vector<std::vector<std::int64_t>> groups;
+};
+
+/// Every distinct grouping pattern of the hierarchy: all (slice, form)
+/// pairs, deduplicated by the groups they derive, trivial (all-singleton)
+/// patterns dropped.
+std::vector<GroupingPattern> BuildGroupingAlphabet(
+    const SynthesisHierarchy& sh);
+
+/// Enumerates all semantically valid programs of size <= max_program_size
+/// reaching the goal of `sh`, in increasing program size (then in instruction
+/// order). Grouping patterns that derive identical device groups are
+/// deduplicated, and programs are not extended past the goal.
+SynthesisResult SynthesizePrograms(const SynthesisHierarchy& sh,
+                                   const SynthesisOptions& options = {});
+
+}  // namespace p2::core
+
+#endif  // P2_CORE_SYNTHESIZER_H_

@@ -1,0 +1,53 @@
+// The analytic performance model of paper Section 5: predicts the end-to-end
+// time of a lowered reduction program on a cluster, aware of the different
+// interconnects (NVSwitch / NVLink ring / PCIe / NIC / data-center network)
+// and of bandwidth sharing between concurrent reduction groups.
+//
+// The model statically charges every point-to-point transfer of a collective
+// schedule to the network links its route crosses, then bounds each step by
+// the most loaded link plus a latency term:
+//
+//   t_step = max_l (bytes_l / bandwidth_l) + rounds(op, algo, n) * alpha
+//
+// It deliberately stays coarser than the runtime substrate (src/runtime):
+// perfect static sharing instead of flow dynamics, chains instead of binary
+// trees across nodes, and no chunk quantization — the fidelity gap the
+// paper's Table 5 quantifies as top-k prediction accuracy.
+#ifndef P2_COST_COST_MODEL_H_
+#define P2_COST_COST_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/lowering.h"
+#include "topology/cluster.h"
+#include "topology/network.h"
+
+namespace p2::cost {
+
+using core::NcclAlgo;
+
+class CostModel {
+ public:
+  explicit CostModel(topology::Cluster cluster);
+
+  const topology::Cluster& cluster() const { return cluster_; }
+
+  /// Predicted seconds for one step moving `payload_bytes` per device
+  /// (the step's in/out fractions scale the payload).
+  double PredictStep(const core::LoweredStep& step, double payload_bytes,
+                     NcclAlgo algo) const;
+
+  /// Predicted seconds for the whole program: steps execute back-to-back
+  /// (XLA runs collectives sequentially).
+  double PredictProgram(const core::LoweredProgram& program,
+                        double payload_bytes, NcclAlgo algo) const;
+
+ private:
+  topology::Cluster cluster_;
+  std::shared_ptr<const topology::Network> network_;
+};
+
+}  // namespace p2::cost
+
+#endif  // P2_COST_COST_MODEL_H_

@@ -1,0 +1,66 @@
+#include "engine/baselines.h"
+
+#include <stdexcept>
+
+#include "core/collective_semantics.h"
+#include "core/grouping.h"
+#include "core/lowering.h"
+
+namespace p2::engine {
+
+using core::Collective;
+using core::Form;
+using core::Instruction;
+using core::Program;
+using core::SynthesisHierarchy;
+
+Program DefaultAllReduceProgram() {
+  // Slice at the root: one group per replica covering the whole reduction
+  // group — exactly what a single NCCL AllReduce call does.
+  return {Instruction{0, Form::InsideGroup(), Collective::kAllReduce}};
+}
+
+std::optional<int> LocalSliceLevel(const SynthesisHierarchy& sh) {
+  const auto& levels = sh.levels();
+  // The deepest level that still has more than one device below it and more
+  // than one group: slicing there yields non-trivial "local" groups.
+  for (int level = static_cast<int>(levels.size()) - 1; level >= 1; --level) {
+    std::int64_t below = 1;
+    for (std::size_t l = static_cast<std::size_t>(level) + 1;
+         l < levels.size(); ++l) {
+      below *= levels[l];
+    }
+    std::int64_t groups = sh.num_synth_devices() / below;
+    if (below >= 2 && groups >= 2) return level;
+  }
+  return std::nullopt;
+}
+
+std::optional<Program> ReduceAllReduceBroadcast(const SynthesisHierarchy& sh) {
+  const auto slice = LocalSliceLevel(sh);
+  if (!slice.has_value()) return std::nullopt;
+  return Program{
+      Instruction{*slice, Form::InsideGroup(), Collective::kReduce},
+      Instruction{*slice, Form::Master(0), Collective::kAllReduce},
+      Instruction{*slice, Form::InsideGroup(), Collective::kBroadcast}};
+}
+
+std::optional<Program> ReduceScatterAllReduceAllGather(
+    const SynthesisHierarchy& sh) {
+  const auto slice = LocalSliceLevel(sh);
+  if (!slice.has_value()) return std::nullopt;
+  const Program program{
+      Instruction{*slice, Form::InsideGroup(), Collective::kReduceScatter},
+      Instruction{*slice, Form::Parallel(0), Collective::kAllReduce},
+      Instruction{*slice, Form::InsideGroup(), Collective::kAllGather}};
+  // The scatter requires the chunk count to divide the local group size;
+  // validate by dry-lowering.
+  try {
+    (void)core::LowerProgram(sh, program);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  return program;
+}
+
+}  // namespace p2::engine

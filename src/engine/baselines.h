@@ -1,0 +1,35 @@
+// Canned baseline reduction strategies from the literature, expressed in the
+// P2 DSL over a synthesis hierarchy:
+//  * the default single-step AllReduce (what XLA emits; the paper's baseline),
+//  * Reduce-AllReduce-Broadcast (Fig. 10i; Goyal et al. 2018, Jia et al. 2018),
+//  * ReduceScatter-AllReduce-AllGather (Fig. 10ii; BlueConnect, Cho et al. 2019).
+#ifndef P2_ENGINE_BASELINES_H_
+#define P2_ENGINE_BASELINES_H_
+
+#include <optional>
+
+#include "core/reduction_dsl.h"
+#include "core/synthesis_hierarchy.h"
+
+namespace p2::engine {
+
+/// The single-step AllReduce over every reduction group.
+core::Program DefaultAllReduceProgram();
+
+/// The deepest synthesis-hierarchy level whose slice splits the reduction
+/// devices into more than one non-trivial local group, or std::nullopt if the
+/// hierarchy has no such structure (everything is one flat group).
+std::optional<int> LocalSliceLevel(const core::SynthesisHierarchy& sh);
+
+/// Fig. 10i over the hierarchy's top split; nullopt if the hierarchy is flat.
+std::optional<core::Program> ReduceAllReduceBroadcast(
+    const core::SynthesisHierarchy& sh);
+
+/// Fig. 10ii (BlueConnect) over the hierarchy's top split; nullopt if flat
+/// or if the scatter is not divisible.
+std::optional<core::Program> ReduceScatterAllReduceAllGather(
+    const core::SynthesisHierarchy& sh);
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_BASELINES_H_

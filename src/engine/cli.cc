@@ -1,0 +1,218 @@
+#include "engine/cli.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "common/format.h"
+#include "core/fusion.h"
+#include "engine/engine.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+namespace p2::engine {
+
+namespace {
+
+bool ParseInt(const std::string& s, std::int64_t* out) {
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseList(const std::string& s, std::vector<std::int64_t>* out) {
+  out->clear();
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    std::int64_t v = 0;
+    if (!ParseInt(item, &v)) return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "p2_plan: synthesize parallelism placements and reduction strategies\n"
+      "\n"
+      "usage: p2_plan --system=a100|v100 --nodes=N --axes=A,B[,C] "
+      "--reduce=I[,J]\n"
+      "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N] "
+      "[--fuse]\n"
+      "\n"
+      "  --system      GPU system model (Fig. 9 of the paper)\n"
+      "  --nodes       number of nodes\n"
+      "  --axes        parallelism axis sizes (product must equal #GPUs)\n"
+      "  --reduce      reduction axis indices\n"
+      "  --algo        NCCL algorithm (default ring)\n"
+      "  --payload-mb  per-GPU payload in MB (default: 2^29*nodes floats)\n"
+      "  --top-k       measure only the top-k programs by prediction\n"
+      "  --fuse        fuse consecutive fusible steps before evaluating\n";
+}
+
+std::optional<CliOptions> ParseCliOptions(
+    const std::vector<std::string>& args, std::string* error) {
+  CliOptions opts;
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      *error = CliUsage();
+      return std::nullopt;
+    }
+    if (arg == "--fuse") {
+      opts.fuse = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      *error = "unrecognized argument: " + arg + "\n\n" + CliUsage();
+      return std::nullopt;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "--system") {
+      if (value != "a100" && value != "v100") {
+        *error = "--system must be a100 or v100";
+        return std::nullopt;
+      }
+      opts.system = value;
+    } else if (key == "--nodes") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 1) {
+        *error = "--nodes must be a positive integer";
+        return std::nullopt;
+      }
+      opts.nodes = static_cast<int>(v);
+    } else if (key == "--axes") {
+      if (!ParseList(value, &opts.axes)) {
+        *error = "--axes must be a comma-separated list of sizes";
+        return std::nullopt;
+      }
+    } else if (key == "--reduce") {
+      std::vector<std::int64_t> raw;
+      if (!ParseList(value, &raw)) {
+        *error = "--reduce must be a comma-separated list of axis indices";
+        return std::nullopt;
+      }
+      opts.reduction_axes.clear();
+      for (std::int64_t v : raw) {
+        opts.reduction_axes.push_back(static_cast<int>(v));
+      }
+    } else if (key == "--algo") {
+      if (value == "ring") {
+        opts.algo = core::NcclAlgo::kRing;
+      } else if (value == "tree") {
+        opts.algo = core::NcclAlgo::kTree;
+      } else {
+        *error = "--algo must be ring or tree";
+        return std::nullopt;
+      }
+    } else if (key == "--payload-mb") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 1) {
+        *error = "--payload-mb must be a positive integer";
+        return std::nullopt;
+      }
+      opts.payload_mb = static_cast<double>(v);
+    } else if (key == "--top-k") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 0) {
+        *error = "--top-k must be a non-negative integer";
+        return std::nullopt;
+      }
+      opts.top_k = static_cast<int>(v);
+    } else {
+      *error = "unrecognized flag: " + key + "\n\n" + CliUsage();
+      return std::nullopt;
+    }
+  }
+  if (opts.axes.empty()) {
+    *error = "missing --axes\n\n" + CliUsage();
+    return std::nullopt;
+  }
+  for (std::int64_t a : opts.axes) {
+    if (a < 1) {
+      *error = "--axes entries must be positive";
+      return std::nullopt;
+    }
+  }
+  if (opts.reduction_axes.empty()) {
+    *error = "missing --reduce\n\n" + CliUsage();
+    return std::nullopt;
+  }
+  for (int a : opts.reduction_axes) {
+    if (a < 0 || a >= static_cast<int>(opts.axes.size())) {
+      *error = "--reduce index out of range";
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+topology::Cluster ClusterFromOptions(const CliOptions& options) {
+  return options.system == "a100"
+             ? topology::MakeA100Cluster(options.nodes)
+             : topology::MakeV100Cluster(options.nodes);
+}
+
+int RunCli(const CliOptions& options, std::string* output) {
+  const topology::Cluster cluster = ClusterFromOptions(options);
+
+  std::int64_t axis_product = 1;
+  for (std::int64_t a : options.axes) axis_product *= a;
+  if (axis_product != cluster.num_devices()) {
+    std::ostringstream os;
+    os << "error: axes multiply to " << axis_product << " but the system has "
+       << cluster.num_devices() << " GPUs\n";
+    *output = os.str();
+    return 1;
+  }
+
+  EngineOptions eng_opts;
+  eng_opts.algo = options.algo;
+  if (options.payload_mb > 0) {
+    eng_opts.payload_bytes = options.payload_mb * 1e6;
+  }
+  const Engine engine(cluster, eng_opts);
+
+  std::ostringstream os;
+  os << "system: " << cluster.ToString() << ", "
+     << core::ToString(options.algo) << ", payload "
+     << engine.payload_bytes() / 1e6 << " MB/GPU\n\n";
+
+  TextTable table({"Placement", "Programs", "AllReduce(s)", "Best(s)",
+                   "Speedup", "Best program"});
+  for (const auto& matrix : engine.SynthesizePlacements(options.axes)) {
+    auto eval = options.top_k > 0
+                    ? engine.EvaluatePlacementGuided(
+                          matrix, options.reduction_axes, options.top_k)
+                    : engine.EvaluatePlacement(matrix,
+                                               options.reduction_axes);
+    const auto& best =
+        eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+    std::string best_text = best.text;
+    if (options.fuse) {
+      const auto sh = core::SynthesisHierarchy::Build(
+          matrix, options.reduction_axes,
+          core::SynthesisHierarchyKind::kReductionAxes);
+      const auto fused = core::FuseProgram(sh, best.program);
+      if (fused.steps_removed > 0) {
+        best_text += "  [fused to " +
+                     core::ToString(fused.program, sh.level_names()) + "]";
+      }
+    }
+    table.AddRow({matrix.ToString(), std::to_string(eval.programs.size()),
+                  FormatSeconds(eval.DefaultAllReduce().measured_seconds),
+                  FormatSeconds(best.measured_seconds),
+                  FormatSpeedup(eval.DefaultAllReduce().measured_seconds /
+                                best.measured_seconds),
+                  best_text});
+  }
+  os << table.Render();
+  *output = os.str();
+  return 0;
+}
+
+}  // namespace p2::engine

@@ -1,0 +1,47 @@
+// Argument parsing and driver for the p2_plan command-line tool, kept in
+// the library so it is unit-testable.
+//
+//   p2_plan --system=a100 --nodes=4 --axes=4,16 --reduce=0
+//           [--algo=ring|tree] [--payload-mb=N] [--top-k=N] [--fuse]
+#ifndef P2_ENGINE_CLI_H_
+#define P2_ENGINE_CLI_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collective.h"
+#include "topology/cluster.h"
+
+namespace p2::engine {
+
+struct CliOptions {
+  std::string system = "a100";  // "a100" or "v100"
+  int nodes = 2;
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+  core::NcclAlgo algo = core::NcclAlgo::kRing;
+  double payload_mb = 0.0;  // 0 => the paper's default
+  int top_k = 0;            // 0 => measure everything
+  bool fuse = false;        // apply the fusion pass before evaluation
+};
+
+/// Parses argv-style arguments. On error returns std::nullopt and fills
+/// `error` with a message (also used for --help).
+std::optional<CliOptions> ParseCliOptions(
+    const std::vector<std::string>& args, std::string* error);
+
+/// The --help text.
+std::string CliUsage();
+
+/// Builds the cluster the options describe.
+topology::Cluster ClusterFromOptions(const CliOptions& options);
+
+/// Runs the full plan and renders the report table. Returns the process
+/// exit code.
+int RunCli(const CliOptions& options, std::string* output);
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_CLI_H_

@@ -1,0 +1,123 @@
+// The P2 tool, end to end (paper Sections 3-5): enumerate parallelism
+// placements, synthesize reduction programs per placement, lower them,
+// predict their cost with the analytic model and measure them on the
+// runtime substrate, and rank the results.
+#ifndef P2_ENGINE_ENGINE_H_
+#define P2_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collective.h"
+#include "core/lowering.h"
+#include "core/parallelism_matrix.h"
+#include "core/synthesizer.h"
+#include "cost/cost_model.h"
+#include "runtime/executor.h"
+#include "topology/cluster.h"
+
+namespace p2::engine {
+
+struct EngineOptions {
+  core::NcclAlgo algo = core::NcclAlgo::kRing;
+  /// Per-GPU payload in bytes. The paper uses 2^29 * num_nodes float32.
+  double payload_bytes = 0.0;  // 0 => the paper's default for the cluster
+  core::SynthesisOptions synthesis;
+  /// Collapse same-hardware-level factors in the synthesis hierarchy
+  /// (Table 1 step 3; the ablation bench turns this off).
+  bool collapse_hierarchy = true;
+  core::SynthesisHierarchyKind hierarchy_kind =
+      core::SynthesisHierarchyKind::kReductionAxes;
+  /// Skip the runtime-substrate measurement (prediction only).
+  bool measure = true;
+};
+
+/// One synthesized (or baseline) program, evaluated.
+struct ProgramEvaluation {
+  core::Program program;
+  std::string text;                ///< human-readable DSL form
+  int num_steps = 0;
+  double predicted_seconds = 0.0;  ///< analytic model (the paper's simulator)
+  double measured_seconds = 0.0;   ///< runtime substrate (the "testbed")
+  bool measured = false;           ///< false under guided evaluation
+  bool is_default_allreduce = false;
+};
+
+/// All programs of one parallelism placement.
+struct PlacementEvaluation {
+  core::ParallelismMatrix matrix;
+  double synthesis_seconds = 0.0;
+  core::SynthesisStats synthesis_stats;
+  std::vector<ProgramEvaluation> programs;  ///< [0] is the default AllReduce
+
+  const ProgramEvaluation& DefaultAllReduce() const { return programs.front(); }
+  /// Index of the measured-best program among those actually measured.
+  int BestMeasuredIndex() const;
+  int BestPredictedIndex() const;
+  /// Programs measurably faster than the default AllReduce (with a small
+  /// relative tolerance so that byte-identical schedules do not count).
+  int NumOutperforming() const;
+};
+
+/// One experiment: a cluster + parallelism axes + reduction axes + algo.
+struct ExperimentResult {
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+  core::NcclAlgo algo = core::NcclAlgo::kRing;
+  double payload_bytes = 0.0;
+  std::vector<PlacementEvaluation> placements;
+
+  std::int64_t TotalPrograms() const;
+  std::int64_t TotalOutperforming() const;
+  double TotalSynthesisSeconds() const;
+};
+
+class Engine {
+ public:
+  Engine(topology::Cluster cluster, EngineOptions options = {});
+
+  const topology::Cluster& cluster() const { return cluster_; }
+  const EngineOptions& options() const { return options_; }
+  double payload_bytes() const { return payload_bytes_; }
+
+  /// The paper's payload: 2^29 * num_nodes float32 elements per GPU.
+  static double DefaultPayloadBytes(const topology::Cluster& cluster);
+
+  /// Enumerates every placement of `axes` on the cluster's hierarchy.
+  std::vector<core::ParallelismMatrix> SynthesizePlacements(
+      std::span<const std::int64_t> axes) const;
+
+  /// Synthesizes, lowers, predicts and measures all programs (plus the
+  /// default single-step AllReduce) for one placement.
+  PlacementEvaluation EvaluatePlacement(const core::ParallelismMatrix& matrix,
+                                        std::span<const int> reduction_axes) const;
+
+  /// Simulator-guided evaluation (the paper's Section 5 workflow): predict
+  /// every program with the analytic model, but *measure* only the top
+  /// `measure_top_k` by prediction (plus the default AllReduce). This is how
+  /// P2 avoids evaluating hundreds of candidates on the real system.
+  PlacementEvaluation EvaluatePlacementGuided(
+      const core::ParallelismMatrix& matrix,
+      std::span<const int> reduction_axes, int measure_top_k) const;
+
+  /// Full experiment over every placement of `axes`.
+  ExperimentResult RunExperiment(std::span<const std::int64_t> axes,
+                                 std::span<const int> reduction_axes) const;
+
+  /// Evaluates a single DSL program on a placement (used by examples).
+  ProgramEvaluation EvaluateProgram(const core::SynthesisHierarchy& sh,
+                                    const core::Program& program) const;
+
+ private:
+  topology::Cluster cluster_;
+  EngineOptions options_;
+  double payload_bytes_ = 0.0;
+  cost::CostModel cost_model_;
+  runtime::Executor executor_;
+};
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_ENGINE_H_

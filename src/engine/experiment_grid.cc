@@ -1,0 +1,53 @@
+#include "engine/experiment_grid.h"
+
+#include <sstream>
+
+#include "common/format.h"
+
+namespace p2::engine {
+
+std::string ExperimentConfig::ToString() const {
+  std::ostringstream os;
+  os << BracketJoin(std::span<const std::int64_t>(axes)) << " reduce";
+  for (int a : reduction_axes) os << ' ' << a;
+  return os.str();
+}
+
+std::vector<ExperimentConfig> SingleAxisConfigs(std::int64_t num_devices) {
+  return {ExperimentConfig{{num_devices}, {0}}};
+}
+
+std::vector<ExperimentConfig> TwoAxisConfigs(std::int64_t num_devices) {
+  std::vector<ExperimentConfig> configs;
+  for (std::int64_t a = 2; a < num_devices; a *= 2) {
+    if (num_devices % a != 0) continue;
+    const std::int64_t b = num_devices / a;
+    if (b < 2) continue;
+    configs.push_back(ExperimentConfig{{a, b}, {0}});
+    configs.push_back(ExperimentConfig{{a, b}, {1}});
+  }
+  return configs;
+}
+
+std::vector<ExperimentConfig> ThreeAxisConfigs(std::int64_t num_devices) {
+  std::vector<ExperimentConfig> configs;
+  if (num_devices % 2 != 0) return configs;
+  const std::int64_t rest = num_devices / 2;
+  for (std::int64_t x = 2; x < rest; x *= 2) {
+    if (rest % x != 0) continue;
+    const std::int64_t y = rest / x;
+    if (y < 2) continue;
+    configs.push_back(ExperimentConfig{{x, 2, y}, {0, 2}});
+  }
+  return configs;
+}
+
+std::vector<ExperimentConfig> FullGrid(const topology::Cluster& cluster) {
+  const std::int64_t d = cluster.num_devices();
+  std::vector<ExperimentConfig> grid = SingleAxisConfigs(d);
+  for (auto& c : TwoAxisConfigs(d)) grid.push_back(std::move(c));
+  for (auto& c : ThreeAxisConfigs(d)) grid.push_back(std::move(c));
+  return grid;
+}
+
+}  // namespace p2::engine

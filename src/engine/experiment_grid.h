@@ -1,0 +1,39 @@
+// The paper's experiment grid (Section 4 / appendix Table A): for each GPU
+// system and node count, the set of parallelism-axis decompositions and
+// reduction-axis choices evaluated.
+#ifndef P2_ENGINE_EXPERIMENT_GRID_H_
+#define P2_ENGINE_EXPERIMENT_GRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/cluster.h"
+
+namespace p2::engine {
+
+struct ExperimentConfig {
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+
+  std::string ToString() const;
+};
+
+/// One-axis config [D] with reduction on it.
+std::vector<ExperimentConfig> SingleAxisConfigs(std::int64_t num_devices);
+
+/// All two-axis decompositions [a b] of num_devices with a,b >= 2 (powers of
+/// two between the extremes, as in the appendix), reducing on axis 0 and on
+/// axis 1 as separate configs.
+std::vector<ExperimentConfig> TwoAxisConfigs(std::int64_t num_devices);
+
+/// The paper's three-axis configs [x 2 y] with x*2*y = num_devices,
+/// reduction on axes {0, 2}.
+std::vector<ExperimentConfig> ThreeAxisConfigs(std::int64_t num_devices);
+
+/// The full appendix grid for one cluster: single + two + three axis configs.
+std::vector<ExperimentConfig> FullGrid(const topology::Cluster& cluster);
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_EXPERIMENT_GRID_H_

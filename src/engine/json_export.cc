@@ -1,0 +1,94 @@
+#include "engine/json_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "engine/report.h"
+
+namespace p2::engine {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const PlacementEvaluation& eval) {
+  std::ostringstream os;
+  os << "{\"matrix\":\"" << JsonEscape(eval.matrix.ToString()) << "\","
+     << "\"synthesis_seconds\":" << Num(eval.synthesis_seconds) << ","
+     << "\"programs\":[";
+  for (std::size_t i = 0; i < eval.programs.size(); ++i) {
+    const auto& p = eval.programs[i];
+    if (i > 0) os << ',';
+    os << "{\"text\":\"" << JsonEscape(p.text) << "\","
+       << "\"shape\":\"" << JsonEscape(ProgramShape(p.program)) << "\","
+       << "\"steps\":" << p.num_steps << ","
+       << "\"predicted_seconds\":" << Num(p.predicted_seconds) << ","
+       << "\"measured_seconds\":" << Num(p.measured_seconds) << ","
+       << "\"measured\":" << (p.measured ? "true" : "false") << ","
+       << "\"default_allreduce\":"
+       << (p.is_default_allreduce ? "true" : "false") << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ToJson(const ExperimentResult& result) {
+  std::ostringstream os;
+  os << "{\"axes\":[";
+  for (std::size_t i = 0; i < result.axes.size(); ++i) {
+    if (i > 0) os << ',';
+    os << result.axes[i];
+  }
+  os << "],\"reduction_axes\":[";
+  for (std::size_t i = 0; i < result.reduction_axes.size(); ++i) {
+    if (i > 0) os << ',';
+    os << result.reduction_axes[i];
+  }
+  os << "],\"algo\":\"" << core::ToString(result.algo) << "\","
+     << "\"payload_bytes\":" << Num(result.payload_bytes) << ","
+     << "\"placements\":[";
+  for (std::size_t i = 0; i < result.placements.size(); ++i) {
+    if (i > 0) os << ',';
+    os << ToJson(result.placements[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace p2::engine

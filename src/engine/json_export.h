@@ -1,0 +1,29 @@
+// JSON serialization of P2 results for downstream tooling (dashboards,
+// notebooks, regression tracking). Hand-rolled emitter — results only
+// contain numbers, short identifiers and program strings, so no external
+// dependency is warranted.
+#ifndef P2_ENGINE_JSON_EXPORT_H_
+#define P2_ENGINE_JSON_EXPORT_H_
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace p2::engine {
+
+/// {"matrix": "[[1 2] [4 8]]", "synthesis_seconds": ...,
+///  "programs": [{"text": ..., "shape": ..., "steps": N,
+///                "predicted_seconds": ..., "measured_seconds": ...,
+///                "measured": true, "default_allreduce": false}, ...]}
+std::string ToJson(const PlacementEvaluation& eval);
+
+/// {"axes": [4, 16], "reduction_axes": [0], "algo": "Ring",
+///  "payload_bytes": ..., "placements": [...]}
+std::string ToJson(const ExperimentResult& result);
+
+/// Escapes a string for embedding in JSON output.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_JSON_EXPORT_H_

@@ -1,0 +1,43 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2::engine {
+
+std::vector<PlacementPlan> PlanPlacements(
+    const Engine& engine, std::span<const std::int64_t> axes,
+    std::span<const ReductionDemand> demands) {
+  if (demands.empty()) {
+    throw std::invalid_argument("PlanPlacements: no demands");
+  }
+  std::vector<PlacementPlan> plans;
+  for (const auto& matrix : engine.SynthesizePlacements(axes)) {
+    PlacementPlan plan;
+    plan.matrix = matrix;
+    for (const ReductionDemand& demand : demands) {
+      // Re-scale the engine's payload per demand.
+      EngineOptions opts = engine.options();
+      opts.payload_bytes = demand.payload_bytes;
+      const Engine scoped(engine.cluster(), opts);
+      const auto eval =
+          scoped.EvaluatePlacement(matrix, demand.reduction_axes);
+      const auto& best =
+          eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+      DemandPlan dp;
+      dp.seconds_per_step = demand.count_per_step * best.measured_seconds;
+      dp.program = best.program;
+      dp.program_text = best.text;
+      plan.total_seconds_per_step += dp.seconds_per_step;
+      plan.demands.push_back(std::move(dp));
+    }
+    plans.push_back(std::move(plan));
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const PlacementPlan& a, const PlacementPlan& b) {
+              return a.total_seconds_per_step < b.total_seconds_per_step;
+            });
+  return plans;
+}
+
+}  // namespace p2::engine

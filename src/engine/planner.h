@@ -1,0 +1,47 @@
+// Multi-reduction placement planning. Models with several parallelism forms
+// perform reductions along several axes with different payloads and
+// frequencies (paper Section 4.1: "models with multiple parallelism forms
+// involve reductions across both axes, and the selection of a mapping should
+// take all of them into account"). The planner scores every placement by the
+// weighted sum of its best synthesized strategy per reduction demand.
+#ifndef P2_ENGINE_PLANNER_H_
+#define P2_ENGINE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace p2::engine {
+
+/// One recurring reduction of the training step.
+struct ReductionDemand {
+  std::vector<int> reduction_axes;
+  double payload_bytes = 0.0;
+  /// How many times the reduction runs per training step (e.g. one
+  /// tensor-parallel AllReduce per sharded layer per pass).
+  double count_per_step = 1.0;
+};
+
+struct DemandPlan {
+  double seconds_per_step = 0.0;  ///< count * best program's measured time
+  core::Program program;          ///< the chosen strategy
+  std::string program_text;
+};
+
+struct PlacementPlan {
+  core::ParallelismMatrix matrix;
+  double total_seconds_per_step = 0.0;
+  std::vector<DemandPlan> demands;  ///< one per input demand, same order
+};
+
+/// Evaluates every placement of `axes` against all demands and returns the
+/// plans sorted by total per-step communication time (best first).
+std::vector<PlacementPlan> PlanPlacements(
+    const Engine& engine, std::span<const std::int64_t> axes,
+    std::span<const ReductionDemand> demands);
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_PLANNER_H_

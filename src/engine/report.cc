@@ -1,0 +1,73 @@
+#include "engine/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2::engine {
+
+std::vector<RankedPair> CollectPairs(const ExperimentResult& result) {
+  std::vector<RankedPair> pairs;
+  for (int pi = 0; pi < static_cast<int>(result.placements.size()); ++pi) {
+    const auto& placement = result.placements[static_cast<std::size_t>(pi)];
+    for (int gi = 0; gi < static_cast<int>(placement.programs.size()); ++gi) {
+      const auto& prog = placement.programs[static_cast<std::size_t>(gi)];
+      pairs.push_back(RankedPair{pi, gi, prog.predicted_seconds,
+                                 prog.measured_seconds});
+    }
+  }
+  return pairs;
+}
+
+int MeasuredRankOfPredictedBest(const std::vector<RankedPair>& pairs) {
+  if (pairs.empty()) {
+    throw std::invalid_argument("MeasuredRankOfPredictedBest: no pairs");
+  }
+  const auto best_pred = std::min_element(
+      pairs.begin(), pairs.end(), [](const RankedPair& a, const RankedPair& b) {
+        return a.predicted_seconds < b.predicted_seconds;
+      });
+  int rank = 0;
+  for (const RankedPair& p : pairs) {
+    if (p.measured_seconds < best_pred->measured_seconds) ++rank;
+  }
+  return rank;
+}
+
+AccuracyCounter::AccuracyCounter(std::vector<int> ks)
+    : ks_(std::move(ks)), hits_(ks_.size(), 0) {}
+
+void AccuracyCounter::AddExperiment(const ExperimentResult& result) {
+  const auto pairs = CollectPairs(result);
+  if (pairs.empty()) return;
+  const int rank = MeasuredRankOfPredictedBest(pairs);
+  ++total_;
+  for (std::size_t i = 0; i < ks_.size(); ++i) {
+    if (rank < ks_[i]) ++hits_[i];
+  }
+}
+
+double AccuracyCounter::Rate(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(hits_.at(i)) / static_cast<double>(total_);
+}
+
+std::string FormatSpeedup(double speedup) {
+  if (std::abs(speedup - 1.0) < 5e-3) return "1x";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", speedup);
+  return buf;
+}
+
+std::string ProgramShape(const core::Program& program) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    if (i > 0) os << '-';
+    os << core::ShortName(program[i].op);
+  }
+  return os.str();
+}
+
+}  // namespace p2::engine

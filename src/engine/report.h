@@ -1,0 +1,60 @@
+// Ranking/accuracy analysis (paper Table 5) and small formatting helpers
+// shared by the bench binaries.
+#ifndef P2_ENGINE_REPORT_H_
+#define P2_ENGINE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace p2::engine {
+
+/// One (placement, program) pair of an experiment, flattened for ranking.
+struct RankedPair {
+  int placement_index = 0;
+  int program_index = 0;
+  double predicted_seconds = 0.0;
+  double measured_seconds = 0.0;
+};
+
+/// All pairs of an experiment, in input order.
+std::vector<RankedPair> CollectPairs(const ExperimentResult& result);
+
+/// Measured rank (0-based) of the predicted-best pair: the paper's
+/// simulator-accuracy metric. Ties on measured time count as the better rank.
+int MeasuredRankOfPredictedBest(const std::vector<RankedPair>& pairs);
+
+/// Accumulates top-k accuracy over experiments (Table 5).
+class AccuracyCounter {
+ public:
+  explicit AccuracyCounter(std::vector<int> ks = {1, 2, 3, 5, 6, 10});
+
+  void AddExperiment(const ExperimentResult& result);
+
+  const std::vector<int>& ks() const { return ks_; }
+  std::int64_t total() const { return total_; }
+  /// Fraction of experiments whose predicted-best program was within the
+  /// measured top-k (k = ks()[i]).
+  double Rate(std::size_t i) const;
+  std::int64_t Hits(std::size_t i) const {
+    return hits_.at(i);
+  }
+
+ private:
+  std::vector<int> ks_;
+  std::vector<std::int64_t> hits_;
+  std::int64_t total_ = 0;
+};
+
+/// "1.83x" (two decimals, trailing x); "1x" for exactly one.
+std::string FormatSpeedup(double speedup);
+
+/// Classifies a program's shape for the Fig. 10 analysis: "AR", "AR-AR",
+/// "RD-AR-BC", "RS-AR-AG", or the generic short-op chain.
+std::string ProgramShape(const core::Program& program);
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_REPORT_H_

@@ -1,0 +1,175 @@
+#include "runtime/collective_schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2::runtime {
+
+namespace {
+
+using core::Collective;
+using core::NcclAlgo;
+
+Flow MakeFlow(int src, int dst, double bytes, const Network& net) {
+  Flow f;
+  f.links = net.PathLinks(src, dst);
+  f.bytes = bytes;
+  for (int l : f.links) {
+    f.latency += net.links()[static_cast<std::size_t>(l)].latency;
+  }
+  return f;
+}
+
+// Ring rounds: `num_rounds` rounds in which every member forwards one chunk
+// to its ring successor.
+TaskSequence RingRounds(const std::vector<int>& order, int num_rounds,
+                        double chunk_bytes, const Network& net) {
+  TaskSequence seq;
+  const int n = static_cast<int>(order.size());
+  seq.rounds.reserve(static_cast<std::size_t>(num_rounds));
+  for (int r = 0; r < num_rounds; ++r) {
+    Round round;
+    round.flows.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const int src = order[static_cast<std::size_t>(i)];
+      const int dst = order[static_cast<std::size_t>((i + 1) % n)];
+      round.flows.push_back(MakeFlow(src, dst, chunk_bytes, net));
+    }
+    seq.rounds.push_back(std::move(round));
+  }
+  return seq;
+}
+
+// Pipelined chain: in each of `chunks` rounds every chain edge forwards one
+// chunk. `edges` are (src, dst) pairs.
+TaskSequence ChainRounds(const std::vector<std::pair<int, int>>& edges,
+                         int chunks, double chunk_bytes, const Network& net) {
+  TaskSequence seq;
+  seq.rounds.reserve(static_cast<std::size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) {
+    Round round;
+    round.flows.reserve(edges.size());
+    for (const auto& [src, dst] : edges) {
+      round.flows.push_back(MakeFlow(src, dst, chunk_bytes, net));
+    }
+    seq.rounds.push_back(std::move(round));
+  }
+  return seq;
+}
+
+struct TreeEdges {
+  std::vector<std::pair<int, int>> up;    // child -> parent
+  std::vector<std::pair<int, int>> down;  // parent -> child
+};
+
+// Hierarchical tree: chains inside nodes, balanced binary tree across node
+// heads. The root is the head of group[0]'s node.
+TreeEdges BuildTree(const std::vector<int>& members,
+                    const topology::Cluster& cluster) {
+  TreeEdges t;
+  std::vector<std::vector<int>> per_node;
+  for (int m : members) {
+    if (per_node.empty() ||
+        cluster.NodeOf(per_node.back().front()) != cluster.NodeOf(m)) {
+      per_node.push_back({m});
+    } else {
+      per_node.back().push_back(m);
+    }
+  }
+  std::vector<int> heads;
+  heads.reserve(per_node.size());
+  for (const auto& local : per_node) {
+    heads.push_back(local.front());
+    for (std::size_t i = 1; i < local.size(); ++i) {
+      t.up.emplace_back(local[i], local[i - 1]);
+    }
+  }
+  // Balanced binary tree over heads: parent(i) = (i-1)/2.
+  for (std::size_t i = 1; i < heads.size(); ++i) {
+    t.up.emplace_back(heads[i], heads[(i - 1) / 2]);
+  }
+  t.down.reserve(t.up.size());
+  for (const auto& [c, p] : t.up) t.down.emplace_back(p, c);
+  return t;
+}
+
+}  // namespace
+
+TaskSequence CompileCollective(Collective op, NcclAlgo algo,
+                               const std::vector<std::int64_t>& group,
+                               double bytes_in, double bytes_out,
+                               const topology::Cluster& cluster,
+                               const Network& network,
+                               const ScheduleOptions& options) {
+  if (group.size() < 2) {
+    throw std::invalid_argument("CompileCollective: group too small");
+  }
+  const int n = static_cast<int>(group.size());
+  // Members in id order; the DSL's root (group[0]) is also the smallest id
+  // under the lowering's deterministic group construction, but sort defensively
+  // while keeping the root first for Reduce/Broadcast chains.
+  std::vector<int> order;
+  order.reserve(group.size());
+  for (std::int64_t d : group) order.push_back(static_cast<int>(d));
+  std::sort(order.begin(), order.end());
+
+  const int chunks = std::max(1, options.pipeline_chunks);
+  const bool ring_only =
+      op == Collective::kReduceScatter || op == Collective::kAllGather;
+  const bool use_ring = algo == NcclAlgo::kRing || ring_only;
+
+  switch (op) {
+    case Collective::kAllReduce: {
+      if (use_ring) {
+        return RingRounds(order, 2 * (n - 1), bytes_in / n, network);
+      }
+      const TreeEdges tree = BuildTree(order, cluster);
+      // Pipelined up+down: every round carries one chunk in both directions.
+      TaskSequence seq;
+      const double chunk = bytes_in / chunks;
+      for (int c = 0; c < chunks; ++c) {
+        Round round;
+        for (const auto& [s, d] : tree.up) {
+          round.flows.push_back(MakeFlow(s, d, chunk, network));
+        }
+        for (const auto& [s, d] : tree.down) {
+          round.flows.push_back(MakeFlow(s, d, chunk, network));
+        }
+        seq.rounds.push_back(std::move(round));
+      }
+      return seq;
+    }
+    case Collective::kReduceScatter:
+      return RingRounds(order, n - 1, bytes_in / n, network);
+    case Collective::kAllGather:
+      return RingRounds(order, n - 1, bytes_out / n, network);
+    case Collective::kReduce: {
+      if (use_ring) {
+        // Pipelined chain toward the root along the ring.
+        std::vector<std::pair<int, int>> edges;
+        for (int i = n - 1; i > 0; --i) {
+          edges.emplace_back(order[static_cast<std::size_t>(i)],
+                             order[static_cast<std::size_t>(i - 1)]);
+        }
+        return ChainRounds(edges, chunks, bytes_in / chunks, network);
+      }
+      const TreeEdges tree = BuildTree(order, cluster);
+      return ChainRounds(tree.up, chunks, bytes_in / chunks, network);
+    }
+    case Collective::kBroadcast: {
+      if (use_ring) {
+        std::vector<std::pair<int, int>> edges;
+        for (int i = 0; i + 1 < n; ++i) {
+          edges.emplace_back(order[static_cast<std::size_t>(i)],
+                             order[static_cast<std::size_t>(i + 1)]);
+        }
+        return ChainRounds(edges, chunks, bytes_out / chunks, network);
+      }
+      const TreeEdges tree = BuildTree(order, cluster);
+      return ChainRounds(tree.down, chunks, bytes_out / chunks, network);
+    }
+  }
+  throw std::logic_error("CompileCollective: unknown op");
+}
+
+}  // namespace p2::runtime

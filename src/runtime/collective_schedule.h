@@ -1,0 +1,43 @@
+// Compiles one collective over one device group into a chunked transfer
+// schedule (a TaskSequence) over the network graph — the runtime substrate's
+// equivalent of NCCL's ring and tree algorithms:
+//
+//  * Ring: members in id order (the physical order on a full NVLink-ring
+//    node); AllReduce runs the classic 2(n-1)-round reduce-scatter +
+//    all-gather pipeline with chunk size S/n; ReduceScatter/AllGather run
+//    their (n-1)-round halves; Reduce/Broadcast run pipelined chains.
+//  * Tree: GPUs chain inside each node; the first member of each node joins
+//    a balanced binary tree across nodes (NCCL-style hierarchical tree).
+//    AllReduce pipelines chunks up (reduce) and down (broadcast);
+//    ReduceScatter/AllGather always use rings, as in NCCL.
+#ifndef P2_RUNTIME_COLLECTIVE_SCHEDULE_H_
+#define P2_RUNTIME_COLLECTIVE_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/collective.h"
+#include "runtime/flow_sim.h"
+#include "topology/network.h"
+#include "topology/cluster.h"
+
+namespace p2::runtime {
+
+struct ScheduleOptions {
+  /// Pipeline depth for tree and chain schedules.
+  int pipeline_chunks = 8;
+};
+
+/// `bytes_in` is the per-member payload entering the step; `bytes_out` the
+/// per-member payload after it (used by AllGather/Broadcast whose traffic is
+/// proportional to the output). group[0] is the root for Reduce/Broadcast.
+TaskSequence CompileCollective(core::Collective op, core::NcclAlgo algo,
+                               const std::vector<std::int64_t>& group,
+                               double bytes_in, double bytes_out,
+                               const topology::Cluster& cluster,
+                               const Network& network,
+                               const ScheduleOptions& options = {});
+
+}  // namespace p2::runtime
+
+#endif  // P2_RUNTIME_COLLECTIVE_SCHEDULE_H_

@@ -1,0 +1,144 @@
+#include "runtime/data_executor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/collective_semantics.h"
+#include "core/device_state.h"
+
+namespace p2::runtime {
+
+namespace {
+
+using core::Collective;
+using core::DeviceState;
+using core::StateContext;
+
+std::vector<float> SumBuffers(const std::vector<std::vector<float>>& buffers,
+                              const std::vector<std::int64_t>& group) {
+  std::vector<float> sum(buffers[static_cast<std::size_t>(group[0])].size(),
+                         0.0f);
+  for (std::int64_t d : group) {
+    const auto& b = buffers[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += b[i];
+  }
+  return sum;
+}
+
+std::vector<float> MaskToRows(const std::vector<float>& buffer,
+                              const DeviceState& state, int elems_per_chunk) {
+  std::vector<float> out(buffer.size(), 0.0f);
+  for (int r : state.NonEmptyRows()) {
+    const std::size_t begin =
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(elems_per_chunk);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(elems_per_chunk);
+         ++i) {
+      out[begin + i] = buffer[begin + i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> DataExecutor::InitialBuffer(int device, int num_devices,
+                                               int elems_per_chunk) {
+  std::vector<float> buffer(static_cast<std::size_t>(num_devices) *
+                            static_cast<std::size_t>(elems_per_chunk));
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    // Distinct, exactly-representable values so float sums are exact.
+    buffer[i] = static_cast<float>((device + 1) * 1000 +
+                                   static_cast<int>(i % 977));
+  }
+  return buffer;
+}
+
+bool DataExecutor::ExecuteAndVerify(const core::SynthesisHierarchy& sh,
+                                    const core::LoweredProgram& lowered,
+                                    int elems_per_chunk, std::string* error) {
+  const int k = static_cast<int>(sh.num_global_devices());
+  StateContext ctx = core::MakeInitialContext(k);
+  std::vector<std::vector<float>> buffers;
+  buffers.reserve(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    buffers.push_back(InitialBuffer(d, k, elems_per_chunk));
+  }
+
+  for (std::size_t si = 0; si < lowered.steps.size(); ++si) {
+    const core::LoweredStep& step = lowered.steps[si];
+    for (const auto& group : step.groups) {
+      const auto r = core::ApplyCollectiveToGroup(step.op, ctx, group);
+      if (!r.ok()) {
+        if (error != nullptr) {
+          std::ostringstream os;
+          os << "step " << si << ": semantics rejected "
+             << core::ToString(step.op) << ": " << core::ToString(r.error);
+          *error = os.str();
+        }
+        return false;
+      }
+      switch (step.op) {
+        case Collective::kAllReduce:
+        case Collective::kAllGather: {
+          const auto sum = SumBuffers(buffers, group);
+          for (std::int64_t d : group) {
+            buffers[static_cast<std::size_t>(d)] = sum;
+          }
+          break;
+        }
+        case Collective::kReduceScatter: {
+          const auto sum = SumBuffers(buffers, group);
+          for (std::int64_t d : group) {
+            buffers[static_cast<std::size_t>(d)] = MaskToRows(
+                sum, ctx[static_cast<std::size_t>(d)], elems_per_chunk);
+          }
+          break;
+        }
+        case Collective::kReduce: {
+          const auto sum = SumBuffers(buffers, group);
+          buffers[static_cast<std::size_t>(group[0])] = sum;
+          for (std::size_t i = 1; i < group.size(); ++i) {
+            auto& b = buffers[static_cast<std::size_t>(group[i])];
+            std::fill(b.begin(), b.end(), 0.0f);
+          }
+          break;
+        }
+        case Collective::kBroadcast: {
+          const auto& root = buffers[static_cast<std::size_t>(group[0])];
+          for (std::size_t i = 1; i < group.size(); ++i) {
+            buffers[static_cast<std::size_t>(group[i])] = root;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Expected: every device holds the sum of its reduction group.
+  std::vector<std::vector<float>> init;
+  init.reserve(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    init.push_back(InitialBuffer(d, k, elems_per_chunk));
+  }
+  const auto groups = sh.layout().ReductionGroups(sh.reduction_axes());
+  for (const auto& group : groups) {
+    const auto expected = SumBuffers(init, group);
+    for (std::int64_t d : group) {
+      const auto& got = buffers[static_cast<std::size_t>(d)];
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (got[i] != expected[i]) {
+          if (error != nullptr) {
+            std::ostringstream os;
+            os << "device " << d << " elem " << i << ": got " << got[i]
+               << ", want " << expected[i];
+            *error = os.str();
+          }
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace p2::runtime

@@ -1,0 +1,36 @@
+// Numeric execution of lowered reduction programs: every device gets a real
+// float buffer, the collectives are executed on the buffers (sum + the
+// masking the state semantics dictates), and the final buffers are verified
+// against the mathematically expected per-group reductions. This is the
+// end-to-end "does the synthesized program compute the right all-reduce"
+// check — the runtime analogue of NCCL executing the XLA collectives.
+#ifndef P2_RUNTIME_DATA_EXECUTOR_H_
+#define P2_RUNTIME_DATA_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/lowering.h"
+#include "core/synthesis_hierarchy.h"
+
+namespace p2::runtime {
+
+class DataExecutor {
+ public:
+  /// Runs `lowered` on per-device buffers of `elems_per_chunk` floats per
+  /// data chunk (chunk = state-matrix row; buffers have
+  /// num_devices * elems_per_chunk floats). Returns true iff every device
+  /// ends with exactly the sum of its reduction group's initial buffers.
+  static bool ExecuteAndVerify(const core::SynthesisHierarchy& sh,
+                               const core::LoweredProgram& lowered,
+                               int elems_per_chunk = 4,
+                               std::string* error = nullptr);
+
+  /// The deterministic initial buffer of `device` used by ExecuteAndVerify.
+  static std::vector<float> InitialBuffer(int device, int num_devices,
+                                          int elems_per_chunk);
+};
+
+}  // namespace p2::runtime
+
+#endif  // P2_RUNTIME_DATA_EXECUTOR_H_

@@ -1,0 +1,53 @@
+#include "runtime/executor.h"
+
+#include "runtime/flow_sim.h"
+
+namespace p2::runtime {
+
+Executor::Executor(topology::Cluster cluster, ScheduleOptions options)
+    : cluster_(std::move(cluster)),
+      options_(options),
+      network_(topology::Network::Build(
+          cluster_, topology::NetworkFidelity::kMeasured)) {}
+
+double Executor::MeasureStep(const core::LoweredStep& step,
+                             double payload_bytes, core::NcclAlgo algo,
+                             StepTrace* trace) const {
+  std::vector<TaskSequence> tasks;
+  tasks.reserve(step.groups.size());
+  const double bytes_in = step.in_fraction * payload_bytes;
+  const double bytes_out = step.out_fraction * payload_bytes;
+  for (const auto& group : step.groups) {
+    tasks.push_back(CompileCollective(step.op, algo, group, bytes_in,
+                                      bytes_out, cluster_, network_,
+                                      options_));
+  }
+  FlowSimulator sim(network_);
+  FlowSimStats stats;
+  const double seconds = sim.Run(tasks, &stats);
+  if (trace != nullptr) {
+    trace->op = step.op;
+    trace->num_groups = static_cast<int>(step.groups.size());
+    trace->group_size =
+        step.groups.empty() ? 0 : static_cast<int>(step.groups[0].size());
+    trace->bytes_in = bytes_in;
+    trace->seconds = seconds;
+    trace->flows_completed = stats.flows_completed;
+  }
+  return seconds;
+}
+
+double Executor::MeasureProgram(const core::LoweredProgram& program,
+                                double payload_bytes, core::NcclAlgo algo,
+                                std::vector<StepTrace>* trace) const {
+  double total = 0.0;
+  for (const auto& step : program.steps) {
+    StepTrace step_trace;
+    total += MeasureStep(step, payload_bytes, algo,
+                         trace != nullptr ? &step_trace : nullptr);
+    if (trace != nullptr) trace->push_back(step_trace);
+  }
+  return total;
+}
+
+}  // namespace p2::runtime

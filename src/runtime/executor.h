@@ -1,0 +1,54 @@
+// The runtime substrate's program executor: runs a lowered reduction program
+// on the simulated cluster, step by step (barrier between steps, groups of a
+// step contending concurrently for the network), and reports the simulated
+// wall-clock. This is the stand-in for the paper's XLA->NCCL-on-GCP
+// measurements — see DESIGN.md, substitutions.
+#ifndef P2_RUNTIME_EXECUTOR_H_
+#define P2_RUNTIME_EXECUTOR_H_
+
+#include <memory>
+
+#include "core/lowering.h"
+#include "runtime/collective_schedule.h"
+#include "topology/network.h"
+#include "topology/cluster.h"
+
+namespace p2::runtime {
+
+/// Observability record for one executed step.
+struct StepTrace {
+  core::Collective op = core::Collective::kAllReduce;
+  int num_groups = 0;
+  int group_size = 0;
+  double bytes_in = 0.0;   ///< per-participant payload entering the step
+  double seconds = 0.0;
+  std::int64_t flows_completed = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(topology::Cluster cluster, ScheduleOptions options = {});
+
+  const topology::Cluster& cluster() const { return cluster_; }
+  const Network& network() const { return network_; }
+
+  /// Simulated seconds to run one step: every group executes `op`
+  /// concurrently on the shared network.
+  double MeasureStep(const core::LoweredStep& step, double payload_bytes,
+                     core::NcclAlgo algo, StepTrace* trace = nullptr) const;
+
+  /// Simulated seconds for the whole program (steps run back-to-back).
+  /// When `trace` is non-null it receives one StepTrace per step.
+  double MeasureProgram(const core::LoweredProgram& program,
+                        double payload_bytes, core::NcclAlgo algo,
+                        std::vector<StepTrace>* trace = nullptr) const;
+
+ private:
+  topology::Cluster cluster_;
+  ScheduleOptions options_;
+  Network network_;
+};
+
+}  // namespace p2::runtime
+
+#endif  // P2_RUNTIME_EXECUTOR_H_

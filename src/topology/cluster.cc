@@ -1,0 +1,49 @@
+#include "topology/cluster.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace p2::topology {
+
+const char* ToString(IntraNodeTransport t) {
+  switch (t) {
+    case IntraNodeTransport::kNvSwitch:
+      return "NVSwitch";
+    case IntraNodeTransport::kNvLinkRing:
+      return "NVLinkRing";
+  }
+  return "?";
+}
+
+int GpuNodeModel::PcieDomainOf(int local_rank) const {
+  if (pcie_domains <= 0) return -1;
+  if (local_rank < 0 || local_rank >= gpus_per_node) {
+    throw std::out_of_range("GpuNodeModel::PcieDomainOf: bad rank");
+  }
+  const int per_domain = gpus_per_node / pcie_domains;
+  return local_rank / per_domain;
+}
+
+SystemHierarchy Cluster::hierarchy() const {
+  if (racks > 1) {
+    if (num_nodes % racks != 0) {
+      throw std::invalid_argument("Cluster: racks must divide num_nodes");
+    }
+    return SystemHierarchy({Level{"rack", racks},
+                            Level{"node", num_nodes / racks},
+                            Level{"gpu", node.gpus_per_node}});
+  }
+  return SystemHierarchy({Level{"node", num_nodes},
+                          Level{"gpu", node.gpus_per_node}});
+}
+
+std::string Cluster::ToString() const {
+  std::ostringstream os;
+  if (racks > 1) os << racks << " racks of ";
+  os << (racks > 1 ? nodes_per_rack() : num_nodes) << " nodes, each with "
+     << node.gpus_per_node << ' ' << node.name << " ("
+     << topology::ToString(node.transport) << ")";
+  return os.str();
+}
+
+}  // namespace p2::topology

@@ -1,0 +1,84 @@
+// Explicit network graph of a cluster for the flow-level runtime substrate:
+// GPUs, switches, NICs and the data-center fabric as vertices; directed
+// capacity/latency links between them; shortest-path routing that never
+// relays traffic through a GPU.
+//
+// This plays the role of the paper's physical testbed (Fig. 9 systems): the
+// executor schedules collective transfers over these links and measures the
+// simulated wall-clock, against which the analytic model (src/cost) is
+// validated — exactly how the paper validates its simulator against GCP runs.
+#ifndef P2_TOPOLOGY_NETWORK_H_
+#define P2_TOPOLOGY_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/cluster.h"
+
+namespace p2::topology {
+
+struct Link {
+  int src = 0;
+  int dst = 0;
+  double bandwidth = 0.0;  ///< bytes per second
+  double latency = 0.0;    ///< seconds per message
+  /// Per-extra-flow capacity degradation (incast/packet-processing overhead):
+  /// with f concurrent flows the effective capacity is
+  /// bandwidth / (1 + congestion * (f - 1)). Non-zero only on NIC links of
+  /// kMeasured-fidelity networks.
+  double congestion = 0.0;
+};
+
+/// Which view of the hardware a network models.
+///  - kNominal: datasheet bandwidths, ideal fabric. What the paper's analytic
+///    simulator (src/cost) assumes.
+///  - kMeasured: the "physical testbed" the runtime substrate executes on:
+///    NIC links degrade under many concurrent flows and the data-center
+///    fabric paths are mildly heterogeneous (deterministic per-NIC factors) —
+///    real-world effects the analytic model does not capture, which is what
+///    makes the paper's Table 5 accuracy study non-trivial.
+enum class NetworkFidelity { kNominal, kMeasured };
+
+class Network {
+ public:
+  /// Builds the graph for a cluster:
+  ///  - NVSwitch nodes: gpu <-> switch <-> nic;
+  ///  - NVLink-ring nodes: directed ring gpu_i -> gpu_(i+1) (both ways),
+  ///    gpu <-> PCIe domain switch, PCIe switch <-> nic (the shared-NIC
+  ///    cross-domain simplification of Fig. 9b);
+  ///  - all NICs <-> one data-center switch.
+  static Network Build(const Cluster& cluster,
+                       NetworkFidelity fidelity = NetworkFidelity::kNominal);
+
+  int num_vertices() const { return num_vertices_; }
+  const std::vector<Link>& links() const { return links_; }
+  int DeviceVertex(int device) const;
+  int num_devices() const { return num_devices_; }
+
+  /// Link indices of the routed path from device src to device dst.
+  /// Routing minimizes hop count, breaking ties by total inverse bandwidth,
+  /// and never transits *through* a GPU vertex. NVLink ring links are only
+  /// usable as a direct single hop between physically adjacent GPUs.
+  const std::vector<int>& PathLinks(int src_device, int dst_device) const;
+
+ private:
+  int AddVertex();
+  int AddLink(int src, int dst, double gbps, double latency,
+              double congestion = 0.0);
+  void AddDuplex(int a, int b, double gbps, double latency,
+                 double congestion = 0.0);
+  void ComputeRoutes();
+
+  int num_vertices_ = 0;
+  int num_devices_ = 0;
+  std::vector<Link> links_;
+  std::vector<int> device_vertex_;
+  std::vector<bool> is_gpu_vertex_;
+  // routes_[src * num_devices + dst] = link indices.
+  std::vector<std::vector<int>> routes_;
+};
+
+}  // namespace p2::topology
+
+#endif  // P2_TOPOLOGY_NETWORK_H_

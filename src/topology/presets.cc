@@ -1,0 +1,47 @@
+#include "topology/presets.h"
+
+namespace p2::topology {
+
+Cluster MakeA100Cluster(int num_nodes) {
+  GpuNodeModel node;
+  node.name = "A100";
+  node.gpus_per_node = 16;
+  node.transport = IntraNodeTransport::kNvSwitch;
+  node.local_bandwidth = 270.0;  // 90% of nominal 300 GB/s, one direction
+  node.local_latency = 2e-6;
+  node.pcie_domains = 0;
+  node.nic_bandwidth = 7.5;  // 100 Gbps at 60%
+  node.nic_latency = 1e-5;
+  return Cluster{node, num_nodes, /*dcn_latency=*/2.5e-5};
+}
+
+Cluster MakeV100Cluster(int num_nodes) {
+  GpuNodeModel node;
+  node.name = "V100";
+  node.gpus_per_node = 8;
+  node.transport = IntraNodeTransport::kNvLinkRing;
+  node.local_bandwidth = 135.0;  // 90% of nominal 150 GB/s, one direction
+  node.local_latency = 2e-6;
+  node.pcie_domains = 2;
+  node.pcie_bandwidth = 32.0;
+  node.pcie_latency = 5e-6;
+  node.nic_bandwidth = 7.5;
+  node.nic_latency = 1e-5;
+  return Cluster{node, num_nodes, /*dcn_latency=*/2.5e-5};
+}
+
+Cluster MakeRackedA100Cluster(int racks, int nodes_per_rack,
+                              double oversubscription) {
+  Cluster cluster = MakeA100Cluster(racks * nodes_per_rack);
+  cluster.racks = racks;
+  cluster.rack_uplink_bandwidth =
+      nodes_per_rack * cluster.node.nic_bandwidth / oversubscription;
+  return cluster;
+}
+
+SystemHierarchy MakeRunningExampleHierarchy() {
+  return SystemHierarchy({Level{"rack", 1}, Level{"server", 2},
+                          Level{"cpu", 2}, Level{"gpu", 4}});
+}
+
+}  // namespace p2::topology

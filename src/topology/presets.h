@@ -1,0 +1,33 @@
+// The two GCP systems of the paper's evaluation (Figure 9) plus the running
+// example of Figure 2a. Bandwidth assumptions follow Section 5: 100 Gbps NICs
+// at 60% utilization (7.5-8 GB/s), PCIe switches at 32 GB/s, V100 NVLink ring
+// at 135 GB/s per direction, A100 NVSwitch at 270 GB/s unidirectional.
+#ifndef P2_TOPOLOGY_PRESETS_H_
+#define P2_TOPOLOGY_PRESETS_H_
+
+#include "topology/cluster.h"
+#include "topology/system.h"
+
+namespace p2::topology {
+
+/// Fig. 9a: nodes of 16 A100s sharing one NVSwitch and one NIC.
+Cluster MakeA100Cluster(int num_nodes);
+
+/// Fig. 9b: nodes of 8 V100s forming an NVLink ring, two PCIe domains of 4
+/// GPUs, one (modeled) shared NIC.
+Cluster MakeV100Cluster(int num_nodes);
+
+/// A rack-scale A100 cluster: `racks` racks of `nodes_per_rack` nodes, rack
+/// uplinks oversubscribed by `oversubscription` (uplink capacity =
+/// nodes_per_rack * NIC bandwidth / oversubscription). Gives P2 a three-level
+/// hierarchy [(rack, R), (node, N), (gpu, 16)] to synthesize against — the
+/// conclusion's "projections for new system hierarchies" use case.
+Cluster MakeRackedA100Cluster(int racks, int nodes_per_rack,
+                              double oversubscription = 4.0);
+
+/// Fig. 2a running example: [(rack,1), (server,2), (cpu,2), (gpu,4)].
+SystemHierarchy MakeRunningExampleHierarchy();
+
+}  // namespace p2::topology
+
+#endif  // P2_TOPOLOGY_PRESETS_H_

@@ -1,0 +1,96 @@
+#include "topology/system.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/math.h"
+
+namespace p2::topology {
+
+SystemHierarchy::SystemHierarchy(std::vector<Level> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) {
+    throw std::invalid_argument("SystemHierarchy: needs at least one level");
+  }
+  for (const Level& l : levels_) {
+    if (l.cardinality < 1) {
+      throw std::invalid_argument("SystemHierarchy: cardinality must be >= 1");
+    }
+  }
+}
+
+SystemHierarchy SystemHierarchy::FromCardinalities(
+    std::span<const std::int64_t> cards) {
+  std::vector<Level> levels;
+  levels.reserve(cards.size());
+  for (std::size_t i = 0; i < cards.size(); ++i) {
+    levels.push_back(Level{"L" + std::to_string(i), cards[i]});
+  }
+  return SystemHierarchy(std::move(levels));
+}
+
+std::int64_t SystemHierarchy::cardinality(int level) const {
+  return levels_.at(static_cast<std::size_t>(level)).cardinality;
+}
+
+const std::string& SystemHierarchy::name(int level) const {
+  return levels_.at(static_cast<std::size_t>(level)).name;
+}
+
+std::int64_t SystemHierarchy::num_devices() const {
+  std::int64_t p = 1;
+  for (const Level& l : levels_) p *= l.cardinality;
+  return p;
+}
+
+std::vector<std::int64_t> SystemHierarchy::cardinalities() const {
+  std::vector<std::int64_t> cards;
+  cards.reserve(levels_.size());
+  for (const Level& l : levels_) cards.push_back(l.cardinality);
+  return cards;
+}
+
+std::int64_t SystemHierarchy::subtree_size(int level) const {
+  if (level < 0 || level >= depth()) {
+    throw std::out_of_range("SystemHierarchy::subtree_size: bad level");
+  }
+  std::int64_t p = 1;
+  for (int l = level + 1; l < depth(); ++l) p *= cardinality(l);
+  return p;
+}
+
+std::vector<std::int64_t> SystemHierarchy::coordinates(
+    std::int64_t device) const {
+  auto cards = cardinalities();
+  return IndexToDigits(device, cards);
+}
+
+std::int64_t SystemHierarchy::device_of(
+    std::span<const std::int64_t> coords) const {
+  auto cards = cardinalities();
+  return DigitsToIndex(coords, cards);
+}
+
+std::string SystemHierarchy::ToShortString() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << levels_[i].cardinality;
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string SystemHierarchy::ToString() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '(' << levels_[i].name << ", " << levels_[i].cardinality << ')';
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace p2::topology

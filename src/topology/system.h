@@ -1,0 +1,67 @@
+// The hierarchical system model of P2 (paper Section 2, Figure 2a):
+// a system hierarchy is an ordered list of named levels with cardinalities,
+// outermost level first, e.g. [(rack,1), (server,2), (cpu,2), (gpu,4)].
+#ifndef P2_TOPOLOGY_SYSTEM_H_
+#define P2_TOPOLOGY_SYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p2::topology {
+
+/// One level of the hardware hierarchy: `cardinality` children of this kind
+/// per parent node (the outermost level's parent being the whole system).
+struct Level {
+  std::string name;
+  std::int64_t cardinality = 1;
+
+  friend bool operator==(const Level&, const Level&) = default;
+};
+
+/// An ordered hardware hierarchy. Devices live at the innermost level; the
+/// total device count is the product of all cardinalities. Device ids are
+/// mixed-radix indices over the level cardinalities, outermost level first.
+class SystemHierarchy {
+ public:
+  SystemHierarchy() = default;
+  explicit SystemHierarchy(std::vector<Level> levels);
+
+  /// Convenience: unnamed levels "L0", "L1", ... from cardinalities.
+  static SystemHierarchy FromCardinalities(std::span<const std::int64_t> cards);
+
+  const std::vector<Level>& levels() const { return levels_; }
+  int depth() const { return static_cast<int>(levels_.size()); }
+  std::int64_t cardinality(int level) const;
+  const std::string& name(int level) const;
+
+  /// Product of all cardinalities (number of leaf devices).
+  std::int64_t num_devices() const;
+
+  /// Cardinalities as a plain vector, outermost first.
+  std::vector<std::int64_t> cardinalities() const;
+
+  /// Number of leaf devices under one node of `level`
+  /// (= product of cardinalities strictly below `level`).
+  std::int64_t subtree_size(int level) const;
+
+  /// Hierarchy coordinates of a device id (digit per level, outermost first).
+  std::vector<std::int64_t> coordinates(std::int64_t device) const;
+  std::int64_t device_of(std::span<const std::int64_t> coords) const;
+
+  /// "[1 2 2 4]"
+  std::string ToShortString() const;
+  /// "[(rack, 1), (server, 2), (cpu, 2), (gpu, 4)]"
+  std::string ToString() const;
+
+  friend bool operator==(const SystemHierarchy&, const SystemHierarchy&) =
+      default;
+
+ private:
+  std::vector<Level> levels_;
+};
+
+}  // namespace p2::topology
+
+#endif  // P2_TOPOLOGY_SYSTEM_H_

@@ -1,0 +1,88 @@
+// Tests of the synthesizer's instruction alphabet (BuildGroupingAlphabet):
+// deduplication, singleton filtering, and the exact pattern set of the
+// running example — the machinery behind the paper's Result 2 search-space
+// numbers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/grouping.h"
+#include "core/synthesizer.h"
+
+namespace p2::core {
+namespace {
+
+SynthesisHierarchy Fig2dHierarchy() {
+  const ParallelismMatrix m({{1, 1, 2, 2}, {1, 2, 1, 2}});
+  const std::vector<int> axes = {1};
+  return SynthesisHierarchy::Build(m, axes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+TEST(Alphabet, RunningExampleHasExactlyFourPatterns) {
+  // Levels [1 1 2 1 2], 4 synthesis devices: the distinct group sets are
+  // {all}, {local pairs}, {cross pairs}, {first cross pair (Master)}.
+  const auto alphabet = BuildGroupingAlphabet(Fig2dHierarchy());
+  ASSERT_EQ(alphabet.size(), 4u);
+  std::set<std::vector<std::vector<std::int64_t>>> group_sets;
+  for (const auto& p : alphabet) group_sets.insert(p.groups);
+  EXPECT_TRUE(group_sets.count({{0, 1, 2, 3}}));
+  EXPECT_TRUE(group_sets.count({{0, 1}, {2, 3}}));
+  EXPECT_TRUE(group_sets.count({{0, 2}, {1, 3}}));
+  EXPECT_TRUE(group_sets.count({{0, 2}}));
+}
+
+TEST(Alphabet, NoSingletonGroups) {
+  const auto alphabet = BuildGroupingAlphabet(Fig2dHierarchy());
+  for (const auto& p : alphabet) {
+    for (const auto& g : p.groups) EXPECT_GE(g.size(), 2u);
+  }
+}
+
+TEST(Alphabet, NoDuplicateGroupSets) {
+  const ParallelismMatrix m({{2, 2, 2}, {1, 1, 1}});
+  const std::vector<int> axes = {0};
+  const auto sh =
+      SynthesisHierarchy::Build(m, axes, SynthesisHierarchyKind::kReductionAxes);
+  const auto alphabet = BuildGroupingAlphabet(sh);
+  std::set<std::vector<std::vector<std::int64_t>>> seen;
+  for (const auto& p : alphabet) {
+    EXPECT_TRUE(seen.insert(p.groups).second);
+  }
+  // Deeper hierarchy => strictly richer alphabet than the flat one.
+  EXPECT_GT(alphabet.size(), 4u);
+}
+
+TEST(Alphabet, FlatHierarchyHasOnlyTheFullGroup) {
+  const ParallelismMatrix m({{1, 8}, {2, 2}});
+  const std::vector<int> axes = {0};
+  const auto sh =
+      SynthesisHierarchy::Build(m, axes, SynthesisHierarchyKind::kReductionAxes);
+  const auto alphabet = BuildGroupingAlphabet(sh);
+  ASSERT_EQ(alphabet.size(), 1u);
+  EXPECT_EQ(alphabet[0].groups.size(), 1u);
+  EXPECT_EQ(alphabet[0].groups[0].size(), 8u);
+}
+
+TEST(Alphabet, PatternsRecordUsableSliceAndForm) {
+  // Every recorded (slice, form) must re-derive exactly its stored groups
+  // (after singleton filtering) — the synthesizer and the lowering rely on
+  // this agreement.
+  const auto sh = Fig2dHierarchy();
+  for (const auto& p : BuildGroupingAlphabet(sh)) {
+    auto groups = DeriveGroups(sh.levels(), p.slice_level, p.form);
+    std::erase_if(groups, [](const auto& g) { return g.size() < 2; });
+    EXPECT_EQ(groups, p.groups);
+  }
+}
+
+TEST(Alphabet, AlphabetSizeDrivesSynthesisStats) {
+  const auto sh = Fig2dHierarchy();
+  const auto alphabet = BuildGroupingAlphabet(sh);
+  const auto result = SynthesizePrograms(sh);
+  EXPECT_EQ(result.stats.alphabet_size,
+            static_cast<int>(alphabet.size() * kAllCollectives.size()));
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,97 @@
+#include "engine/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lowering.h"
+
+namespace p2::engine {
+namespace {
+
+using core::ParallelismMatrix;
+using core::SynthesisHierarchy;
+using core::SynthesisHierarchyKind;
+
+SynthesisHierarchy TwoLevelHierarchy() {
+  // Reduction axis split 2 (nodes) x 4 (gpus).
+  const ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  return SynthesisHierarchy::Build(m, axes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+SynthesisHierarchy FlatHierarchy() {
+  // Reduction axis entirely inside one level: [root 1 8].
+  const ParallelismMatrix m({{1, 8}, {2, 2}});
+  const std::vector<int> axes = {0};
+  return SynthesisHierarchy::Build(m, axes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+TEST(Baselines, DefaultAllReduceIsOneRootStep) {
+  const auto p = DefaultAllReduceProgram();
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].op, core::Collective::kAllReduce);
+  EXPECT_EQ(p[0].slice_level, 0);
+  const auto sh = TwoLevelHierarchy();
+  std::string err;
+  EXPECT_TRUE(
+      core::CheckLoweredOnFullSystem(sh, core::LowerProgram(sh, p), &err))
+      << err;
+}
+
+TEST(Baselines, LocalSliceLevelFindsStructure) {
+  EXPECT_TRUE(LocalSliceLevel(TwoLevelHierarchy()).has_value());
+  EXPECT_FALSE(LocalSliceLevel(FlatHierarchy()).has_value());
+}
+
+TEST(Baselines, ReduceAllReduceBroadcastValid) {
+  const auto sh = TwoLevelHierarchy();
+  const auto p = ReduceAllReduceBroadcast(sh);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->size(), 3u);
+  EXPECT_EQ((*p)[0].op, core::Collective::kReduce);
+  EXPECT_EQ((*p)[1].op, core::Collective::kAllReduce);
+  EXPECT_EQ((*p)[2].op, core::Collective::kBroadcast);
+  std::string err;
+  EXPECT_TRUE(
+      core::CheckLoweredOnFullSystem(sh, core::LowerProgram(sh, *p), &err))
+      << err;
+}
+
+TEST(Baselines, BlueConnectValid) {
+  const auto sh = TwoLevelHierarchy();
+  const auto p = ReduceScatterAllReduceAllGather(sh);
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->size(), 3u);
+  EXPECT_EQ((*p)[0].op, core::Collective::kReduceScatter);
+  std::string err;
+  EXPECT_TRUE(
+      core::CheckLoweredOnFullSystem(sh, core::LowerProgram(sh, *p), &err))
+      << err;
+}
+
+TEST(Baselines, FlatHierarchyHasNoHierarchicalBaselines) {
+  const auto sh = FlatHierarchy();
+  EXPECT_FALSE(ReduceAllReduceBroadcast(sh).has_value());
+  EXPECT_FALSE(ReduceScatterAllReduceAllGather(sh).has_value());
+}
+
+TEST(Baselines, ThreeLevelHierarchyUsesDeepestSplit) {
+  // Reduction axis split 2 x 2 x 2: the local slice is the deepest level
+  // that still groups more than one device.
+  const ParallelismMatrix m({{2, 2, 2}, {1, 1, 1}});
+  const std::vector<int> axes = {0};
+  const auto sh = SynthesisHierarchy::Build(
+      m, axes, SynthesisHierarchyKind::kReductionAxes);
+  const auto slice = LocalSliceLevel(sh);
+  ASSERT_TRUE(slice.has_value());
+  const auto p = ReduceAllReduceBroadcast(sh);
+  ASSERT_TRUE(p.has_value());
+  std::string err;
+  EXPECT_TRUE(
+      core::CheckLoweredOnFullSystem(sh, core::LowerProgram(sh, *p), &err))
+      << err;
+}
+
+}  // namespace
+}  // namespace p2::engine

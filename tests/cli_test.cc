@@ -1,0 +1,121 @@
+#include "engine/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace p2::engine {
+namespace {
+
+std::optional<CliOptions> Parse(std::initializer_list<const char*> args,
+                                std::string* error) {
+  std::vector<std::string> v;
+  for (const char* a : args) v.emplace_back(a);
+  return ParseCliOptions(v, error);
+}
+
+TEST(Cli, ParsesFullCommandLine) {
+  std::string error;
+  const auto opts = Parse({"--system=v100", "--nodes=4", "--axes=8,2,2",
+                           "--reduce=0,2", "--algo=tree", "--payload-mb=512",
+                           "--top-k=5", "--fuse"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->system, "v100");
+  EXPECT_EQ(opts->nodes, 4);
+  EXPECT_EQ(opts->axes, (std::vector<std::int64_t>{8, 2, 2}));
+  EXPECT_EQ(opts->reduction_axes, (std::vector<int>{0, 2}));
+  EXPECT_EQ(opts->algo, core::NcclAlgo::kTree);
+  EXPECT_DOUBLE_EQ(opts->payload_mb, 512.0);
+  EXPECT_EQ(opts->top_k, 5);
+  EXPECT_TRUE(opts->fuse);
+}
+
+TEST(Cli, DefaultsAreSane) {
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->system, "a100");
+  EXPECT_EQ(opts->nodes, 2);
+  EXPECT_EQ(opts->algo, core::NcclAlgo::kRing);
+  EXPECT_EQ(opts->top_k, 0);
+  EXPECT_FALSE(opts->fuse);
+}
+
+TEST(Cli, HelpProducesUsage) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--help"}, &error).has_value());
+  EXPECT_NE(error.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingAxes) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--reduce=0"}, &error).has_value());
+  EXPECT_NE(error.find("--axes"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingReduce) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--axes=8,4"}, &error).has_value());
+  EXPECT_NE(error.find("--reduce"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadValues) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--system=h100"}, &error)
+                   .has_value());
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--algo=mesh"}, &error)
+                   .has_value());
+  EXPECT_FALSE(Parse({"--axes=8,x", "--reduce=0"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=5"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--nodes=0"}, &error)
+                   .has_value());
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "bogus"}, &error)
+                   .has_value());
+  EXPECT_FALSE(Parse({"--axes=-8,4", "--reduce=0"}, &error).has_value());
+}
+
+TEST(Cli, ClusterFromOptions) {
+  std::string error;
+  const auto a100 = Parse({"--axes=8,4", "--reduce=0", "--nodes=2"}, &error);
+  ASSERT_TRUE(a100.has_value());
+  EXPECT_EQ(ClusterFromOptions(*a100).num_devices(), 32);
+  const auto v100 = Parse({"--system=v100", "--nodes=4", "--axes=8,4",
+                           "--reduce=0"},
+                          &error);
+  ASSERT_TRUE(v100.has_value());
+  EXPECT_EQ(ClusterFromOptions(*v100).num_devices(), 32);
+}
+
+TEST(Cli, RunReportsAxisMismatch) {
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0", "--nodes=4"}, &error);
+  ASSERT_TRUE(opts.has_value());
+  std::string output;
+  EXPECT_EQ(RunCli(*opts, &output), 1);
+  EXPECT_NE(output.find("error"), std::string::npos);
+}
+
+TEST(Cli, RunProducesRankedTable) {
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0", "--nodes=2",
+                           "--payload-mb=100", "--top-k=5"},
+                          &error);
+  ASSERT_TRUE(opts.has_value());
+  std::string output;
+  EXPECT_EQ(RunCli(*opts, &output), 0);
+  EXPECT_NE(output.find("Placement"), std::string::npos);
+  EXPECT_NE(output.find("[[1 8] [2 2]]"), std::string::npos);
+  EXPECT_NE(output.find("Speedup"), std::string::npos);
+}
+
+TEST(Cli, FuseAnnotatesFusiblePrograms) {
+  std::string error;
+  const auto opts = Parse({"--axes=4,4", "--reduce=0", "--nodes=2",
+                           "--system=v100", "--payload-mb=100", "--fuse"},
+                          &error);
+  ASSERT_TRUE(opts.has_value());
+  std::string output;
+  EXPECT_EQ(RunCli(*opts, &output), 0);
+}
+
+}  // namespace
+}  // namespace p2::engine

@@ -1,0 +1,60 @@
+#include "topology/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::topology {
+namespace {
+
+TEST(Cluster, A100Preset) {
+  const Cluster c = MakeA100Cluster(4);
+  EXPECT_EQ(c.num_devices(), 64);
+  EXPECT_EQ(c.node.gpus_per_node, 16);
+  EXPECT_EQ(c.node.transport, IntraNodeTransport::kNvSwitch);
+  EXPECT_EQ(c.node.pcie_domains, 0);
+  EXPECT_GT(c.node.local_bandwidth, c.node.nic_bandwidth);
+  // Paper hierarchy for 4 A100 nodes: [4 16].
+  EXPECT_EQ(c.hierarchy().ToShortString(), "[4 16]");
+}
+
+TEST(Cluster, V100Preset) {
+  const Cluster c = MakeV100Cluster(2);
+  EXPECT_EQ(c.num_devices(), 16);
+  EXPECT_EQ(c.node.transport, IntraNodeTransport::kNvLinkRing);
+  EXPECT_EQ(c.node.pcie_domains, 2);
+  EXPECT_EQ(c.hierarchy().ToShortString(), "[2 8]");
+}
+
+TEST(Cluster, NodeAndRank) {
+  const Cluster c = MakeV100Cluster(4);
+  EXPECT_EQ(c.NodeOf(0), 0);
+  EXPECT_EQ(c.NodeOf(7), 0);
+  EXPECT_EQ(c.NodeOf(8), 1);
+  EXPECT_EQ(c.NodeOf(31), 3);
+  EXPECT_EQ(c.LocalRank(13), 5);
+}
+
+TEST(Cluster, PcieDomains) {
+  const Cluster c = MakeV100Cluster(2);
+  EXPECT_EQ(c.node.PcieDomainOf(0), 0);
+  EXPECT_EQ(c.node.PcieDomainOf(3), 0);
+  EXPECT_EQ(c.node.PcieDomainOf(4), 1);
+  EXPECT_EQ(c.node.PcieDomainOf(7), 1);
+  const Cluster a = MakeA100Cluster(2);
+  EXPECT_EQ(a.node.PcieDomainOf(3), -1);
+}
+
+TEST(Cluster, PcieDomainRejectsBadRank) {
+  const Cluster c = MakeV100Cluster(2);
+  EXPECT_THROW(c.node.PcieDomainOf(8), std::out_of_range);
+}
+
+TEST(Cluster, ToStringMentionsShape) {
+  const Cluster c = MakeA100Cluster(2);
+  EXPECT_NE(c.ToString().find("2 nodes"), std::string::npos);
+  EXPECT_NE(c.ToString().find("A100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2::topology

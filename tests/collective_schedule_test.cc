@@ -1,0 +1,145 @@
+#include "runtime/collective_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::runtime {
+namespace {
+
+using core::Collective;
+using core::NcclAlgo;
+using topology::MakeA100Cluster;
+using topology::MakeV100Cluster;
+
+double TotalBytes(const TaskSequence& seq) {
+  double total = 0.0;
+  for (const auto& round : seq.rounds) {
+    for (const auto& flow : round.flows) total += flow.bytes;
+  }
+  return total;
+}
+
+TEST(CompileCollective, RingAllReduceStructure) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0, 1, 2, 3};
+  const auto seq = CompileCollective(Collective::kAllReduce, NcclAlgo::kRing,
+                                     group, 4e9, 4e9, c, net);
+  // 2(n-1) rounds of n flows, each S/n bytes.
+  ASSERT_EQ(seq.rounds.size(), 6u);
+  for (const auto& round : seq.rounds) {
+    ASSERT_EQ(round.flows.size(), 4u);
+    for (const auto& f : round.flows) EXPECT_DOUBLE_EQ(f.bytes, 1e9);
+  }
+  // Total traffic = n * 2(n-1)/n * S = 2(n-1) S.
+  EXPECT_DOUBLE_EQ(TotalBytes(seq), 2 * 3 * 4e9);
+}
+
+TEST(CompileCollective, RingReduceScatterAndAllGatherHalves) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0, 1, 2, 3};
+  const auto rs = CompileCollective(Collective::kReduceScatter,
+                                    NcclAlgo::kRing, group, 4e9, 1e9, c, net);
+  const auto ag = CompileCollective(Collective::kAllGather, NcclAlgo::kRing,
+                                    group, 1e9, 4e9, c, net);
+  EXPECT_EQ(rs.rounds.size(), 3u);
+  EXPECT_EQ(ag.rounds.size(), 3u);
+  // RS+AG together move exactly what one AllReduce moves.
+  EXPECT_DOUBLE_EQ(TotalBytes(rs) + TotalBytes(ag), 2 * 3 * 4e9);
+}
+
+TEST(CompileCollective, TreeAllReduceUsesBothDirections) {
+  const auto c = MakeA100Cluster(4);
+  const auto net = topology::Network::Build(c);
+  // One GPU per node: pure cross-node tree.
+  const std::vector<std::int64_t> group = {0, 16, 32, 48};
+  ScheduleOptions opts;
+  opts.pipeline_chunks = 4;
+  const auto seq = CompileCollective(Collective::kAllReduce, NcclAlgo::kTree,
+                                     group, 4e9, 4e9, c, net, opts);
+  ASSERT_EQ(seq.rounds.size(), 4u);
+  // 3 tree edges x 2 directions per round.
+  for (const auto& round : seq.rounds) {
+    EXPECT_EQ(round.flows.size(), 6u);
+  }
+  // Every edge carries S up + S down: total 2 * 3 * S.
+  EXPECT_DOUBLE_EQ(TotalBytes(seq), 2 * 3 * 4e9);
+}
+
+TEST(CompileCollective, TreeReduceOnlyGoesUp) {
+  const auto c = MakeA100Cluster(4);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0, 16, 32, 48};
+  const auto seq = CompileCollective(Collective::kReduce, NcclAlgo::kTree,
+                                     group, 4e9, 4e9, c, net);
+  EXPECT_DOUBLE_EQ(TotalBytes(seq), 3 * 4e9);
+}
+
+TEST(CompileCollective, ReduceScatterIgnoresTreeAlgo) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0, 1, 2, 3};
+  const auto ring = CompileCollective(Collective::kReduceScatter,
+                                      NcclAlgo::kRing, group, 4e9, 1e9, c, net);
+  const auto tree = CompileCollective(Collective::kReduceScatter,
+                                      NcclAlgo::kTree, group, 4e9, 1e9, c, net);
+  EXPECT_EQ(ring.rounds.size(), tree.rounds.size());
+  EXPECT_DOUBLE_EQ(TotalBytes(ring), TotalBytes(tree));
+}
+
+TEST(CompileCollective, BroadcastChainFromRoot) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0, 1, 2};
+  ScheduleOptions opts;
+  opts.pipeline_chunks = 2;
+  const auto seq = CompileCollective(Collective::kBroadcast, NcclAlgo::kRing,
+                                     group, 0.0, 6e9, c, net, opts);
+  // 2 chunks x 2 chain edges; each edge carries S total.
+  ASSERT_EQ(seq.rounds.size(), 2u);
+  EXPECT_EQ(seq.rounds[0].flows.size(), 2u);
+  EXPECT_DOUBLE_EQ(TotalBytes(seq), 2 * 6e9);
+}
+
+TEST(CompileCollective, V100FullNodeRingStaysOnNvLink) {
+  const auto c = MakeV100Cluster(1);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto seq = CompileCollective(Collective::kAllReduce, NcclAlgo::kRing,
+                                     group, 8e9, 8e9, c, net);
+  // Every flow is a single NVLink hop (members are ring-adjacent).
+  for (const auto& round : seq.rounds) {
+    for (const auto& f : round.flows) {
+      ASSERT_EQ(f.links.size(), 1u);
+      EXPECT_DOUBLE_EQ(net.links()[static_cast<std::size_t>(f.links[0])].bandwidth,
+                       c.node.local_bandwidth * 1e9);
+    }
+  }
+}
+
+TEST(CompileCollective, V100SubgroupFallsBackToPcie) {
+  const auto c = MakeV100Cluster(1);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0, 2};  // non-adjacent
+  const auto seq = CompileCollective(Collective::kAllReduce, NcclAlgo::kRing,
+                                     group, 8e9, 8e9, c, net);
+  for (const auto& round : seq.rounds) {
+    for (const auto& f : round.flows) {
+      EXPECT_GT(f.links.size(), 1u);
+    }
+  }
+}
+
+TEST(CompileCollective, RejectsTrivialGroup) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = topology::Network::Build(c);
+  const std::vector<std::int64_t> group = {0};
+  EXPECT_THROW(CompileCollective(Collective::kAllReduce, NcclAlgo::kRing,
+                                 group, 1e9, 1e9, c, net),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2::runtime

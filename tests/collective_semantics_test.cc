@@ -1,0 +1,264 @@
+// Tests the Hoare-triple semantics of Figure 8, including the paper's
+// worked examples and the two semantically invalid programs of Figure 4.
+#include "core/collective_semantics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/device_state.h"
+
+namespace p2::core {
+namespace {
+
+std::vector<std::int64_t> G(std::initializer_list<std::int64_t> ds) {
+  return ds;
+}
+
+TEST(AllReduce, PairFromInitial) {
+  auto ctx = MakeInitialContext(4);
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1}));
+  ASSERT_TRUE(r.ok()) << ToString(r.error);
+  // Both devices now hold columns {0,1} in every row.
+  for (int d : {0, 1}) {
+    for (int row = 0; row < 4; ++row) {
+      EXPECT_TRUE(ctx[static_cast<std::size_t>(d)].Get(row, 0));
+      EXPECT_TRUE(ctx[static_cast<std::size_t>(d)].Get(row, 1));
+      EXPECT_FALSE(ctx[static_cast<std::size_t>(d)].Get(row, 2));
+    }
+  }
+  // Devices 2,3 untouched.
+  EXPECT_EQ(ctx[2], DeviceState::Initial(4, 2));
+}
+
+TEST(AllReduce, RejectsDoubleReduction) {
+  // Fig 4b flavor: after reducing {0,1}, reducing {0,1} again reduces the
+  // same data twice.
+  auto ctx = MakeInitialContext(4);
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1})).ok());
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kChunksOverlap);
+}
+
+TEST(AllReduce, RejectsPartialOverlap) {
+  // {0,1} reduced, then {1,2}: device 1 and 2 share no columns... they are
+  // disjoint, but their row sets must also match; they do (all rows), and
+  // chunks are disjoint, so {1,2} is fine. The invalid case is {0,1} again
+  // or {0,1,2} where 0 and 1 overlap.
+  auto ctx = MakeInitialContext(4);
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1})).ok());
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1, 2}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kChunksOverlap);
+}
+
+TEST(AllReduce, RejectsMismatchedRows) {
+  auto ctx = MakeInitialContext(4);
+  // ReduceScatter {0,1} leaves devices 0 and 1 with different rows.
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({0, 1})).ok());
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kRowSetsDiffer);
+}
+
+TEST(AllReduce, RejectsSingleton) {
+  auto ctx = MakeInitialContext(4);
+  const auto r = ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kGroupTooSmall);
+}
+
+TEST(AllReduce, RejectsEmptyStates) {
+  auto ctx = MakeInitialContext(4);
+  // Reduce clears non-roots; AllReduce over two cleared devices is a no-op.
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduce, ctx, G({0, 1})).ok());
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduce, ctx, G({2, 3})).ok());
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({1, 3}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kEmptyRows);
+}
+
+TEST(ReduceScatter, SplitsRowsInOrder) {
+  auto ctx = MakeInitialContext(4);
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({0, 1}));
+  ASSERT_TRUE(r.ok());
+  // Device 0 keeps rows {0,1}, device 1 rows {2,3}; both with columns {0,1}.
+  EXPECT_EQ(ctx[0].NonEmptyRows(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ctx[1].NonEmptyRows(), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(ctx[0].Get(0, 0));
+  EXPECT_TRUE(ctx[0].Get(0, 1));
+  EXPECT_TRUE(ctx[1].Get(2, 0));
+  EXPECT_TRUE(ctx[1].Get(2, 1));
+}
+
+TEST(ReduceScatter, Fig4aInvalidSecondStep) {
+  // Fig 4a: ReduceScatter over {A0,A1} = {0,1}, then AllReduce over {0,1}
+  // would reduce the first and second half of the result together.
+  auto ctx = MakeInitialContext(4);
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({0, 1})).ok());
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ReduceScatter, RejectsIndivisibleRows) {
+  auto ctx = MakeInitialContext(4);
+  const auto r =
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({0, 1, 2}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kNotDivisible);
+}
+
+TEST(AllGather, GathersScatteredRows) {
+  auto ctx = MakeInitialContext(4);
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({0, 1})).ok());
+  const auto r = ApplyCollectiveToGroup(Collective::kAllGather, ctx, G({0, 1}));
+  ASSERT_TRUE(r.ok());
+  for (int d : {0, 1}) {
+    EXPECT_EQ(ctx[static_cast<std::size_t>(d)].NumNonEmptyRows(), 4);
+    EXPECT_TRUE(ctx[static_cast<std::size_t>(d)].Get(0, 0));
+    EXPECT_TRUE(ctx[static_cast<std::size_t>(d)].Get(0, 1));
+  }
+  EXPECT_EQ(ctx[0], ctx[1]);
+}
+
+TEST(AllGather, RejectsOverlappingRowSets) {
+  auto ctx = MakeInitialContext(4);
+  // Initially every device has all rows; row sets overlap completely.
+  const auto r = ApplyCollectiveToGroup(Collective::kAllGather, ctx, G({0, 1}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kRowSetsOverlap);
+}
+
+TEST(AllGather, RejectsDifferentRowCounts) {
+  auto ctx = MakeInitialContext(8);
+  // Scatter {0,1} over 2 (4 rows each) and {2,3,4,5} over 4 (2 rows each).
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({0, 1})).ok());
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({2, 3, 4, 5}))
+          .ok());
+  const auto r = ApplyCollectiveToGroup(Collective::kAllGather, ctx, G({0, 2}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kRowCountsDiffer);
+}
+
+TEST(Reduce, PutsResultOnRootAndClearsOthers) {
+  auto ctx = MakeInitialContext(4);
+  const auto r = ApplyCollectiveToGroup(Collective::kReduce, ctx, G({1, 2}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ctx[1].NumNonEmptyRows(), 4);
+  EXPECT_TRUE(ctx[1].Get(0, 1));
+  EXPECT_TRUE(ctx[1].Get(0, 2));
+  EXPECT_TRUE(ctx[2].IsEmpty());
+}
+
+TEST(Broadcast, OverridesFromRoot) {
+  auto ctx = MakeInitialContext(4);
+  ASSERT_TRUE(ApplyCollectiveToGroup(Collective::kReduce, ctx, G({0, 1})).ok());
+  const auto r = ApplyCollectiveToGroup(Collective::kBroadcast, ctx, G({0, 1}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ctx[0], ctx[1]);
+  EXPECT_TRUE(ctx[1].Get(0, 0));
+  EXPECT_TRUE(ctx[1].Get(0, 1));
+}
+
+TEST(Broadcast, RequiresSubset) {
+  auto ctx = MakeInitialContext(4);
+  // Device 1 holds its own column, which is not a subset of device 0's.
+  const auto r = ApplyCollectiveToGroup(Collective::kBroadcast, ctx, G({0, 1}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kBroadcastNotSubset);
+}
+
+TEST(Broadcast, RequiresInformationGain) {
+  auto ctx = MakeInitialContext(4);
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kAllReduce, ctx, G({0, 1})).ok());
+  // Both devices already share the root's state: no gain.
+  const auto r = ApplyCollectiveToGroup(Collective::kBroadcast, ctx, G({0, 1}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error, SemanticsError::kBroadcastNoGain);
+}
+
+TEST(Groups, AllMustSucceedAtomically) {
+  auto ctx = MakeInitialContext(4);
+  // Make {2,3} un-reducible by scattering them first.
+  ASSERT_TRUE(
+      ApplyCollectiveToGroup(Collective::kReduceScatter, ctx, G({2, 3})).ok());
+  const StateContext before = ctx;
+  const std::vector<std::vector<std::int64_t>> groups = {{0, 1}, {2, 3}};
+  const auto r = ApplyCollectiveToGroups(Collective::kAllReduce, ctx, groups);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(ctx, before);  // no partial application
+}
+
+TEST(Groups, SimultaneousDisjointGroups) {
+  auto ctx = MakeInitialContext(4);
+  const std::vector<std::vector<std::int64_t>> groups = {{0, 1}, {2, 3}};
+  const auto r = ApplyCollectiveToGroups(Collective::kAllReduce, ctx, groups);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ctx[0].Get(0, 1));
+  EXPECT_TRUE(ctx[2].Get(0, 3));
+  EXPECT_FALSE(ctx[0].Get(0, 2));
+}
+
+// End-to-end contexts of the two canonical programs (paper Fig. 3b / 3c) on
+// a 2x2 synthesis hierarchy: devices {0,1} local pairs, {0,2},{1,3} remote.
+TEST(Programs, AllReduceThenAllReduceReachesFullReduction) {
+  auto ctx = MakeInitialContext(4);
+  const std::vector<std::vector<std::int64_t>> local = {{0, 1}, {2, 3}};
+  const std::vector<std::vector<std::int64_t>> remote = {{0, 2}, {1, 3}};
+  ASSERT_TRUE(ApplyCollectiveToGroups(Collective::kAllReduce, ctx, local).ok());
+  ASSERT_TRUE(
+      ApplyCollectiveToGroups(Collective::kAllReduce, ctx, remote).ok());
+  const std::vector<std::vector<std::int64_t>> all = {{0, 1, 2, 3}};
+  EXPECT_EQ(ctx, MakeGoalContext(4, all));
+}
+
+TEST(Programs, ReduceAllReduceBroadcast) {
+  auto ctx = MakeInitialContext(4);
+  const std::vector<std::vector<std::int64_t>> local = {{0, 1}, {2, 3}};
+  const std::vector<std::vector<std::int64_t>> masters = {{0, 2}};
+  ASSERT_TRUE(ApplyCollectiveToGroups(Collective::kReduce, ctx, local).ok());
+  ASSERT_TRUE(
+      ApplyCollectiveToGroups(Collective::kAllReduce, ctx, masters).ok());
+  ASSERT_TRUE(ApplyCollectiveToGroups(Collective::kBroadcast, ctx, local).ok());
+  const std::vector<std::vector<std::int64_t>> all = {{0, 1, 2, 3}};
+  EXPECT_EQ(ctx, MakeGoalContext(4, all));
+}
+
+TEST(Programs, ReduceScatterAllReduceAllGather) {
+  auto ctx = MakeInitialContext(4);
+  const std::vector<std::vector<std::int64_t>> local = {{0, 1}, {2, 3}};
+  const std::vector<std::vector<std::int64_t>> remote = {{0, 2}, {1, 3}};
+  ASSERT_TRUE(
+      ApplyCollectiveToGroups(Collective::kReduceScatter, ctx, local).ok());
+  ASSERT_TRUE(
+      ApplyCollectiveToGroups(Collective::kAllReduce, ctx, remote).ok());
+  ASSERT_TRUE(
+      ApplyCollectiveToGroups(Collective::kAllGather, ctx, local).ok());
+  const std::vector<std::vector<std::int64_t>> all = {{0, 1, 2, 3}};
+  EXPECT_EQ(ctx, MakeGoalContext(4, all));
+}
+
+TEST(SemanticsError, Strings) {
+  EXPECT_STREQ(ToString(SemanticsError::kNone), "ok");
+  EXPECT_NE(std::string(ToString(SemanticsError::kChunksOverlap)).find("twice"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,147 @@
+// Parameterized property sweeps of the analytic cost model across clusters,
+// collectives and algorithms, plus the classic latency/bandwidth crossover:
+// with tiny payloads the tree's O(log n) rounds beat the ring's O(n), with
+// huge payloads the ring's better bandwidth efficiency wins — the reason the
+// paper evaluates with 2^29 x nodes floats (to stay bandwidth-bound).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cost/cost_model.h"
+#include "engine/baselines.h"
+#include "runtime/executor.h"
+#include "topology/presets.h"
+
+namespace p2::cost {
+namespace {
+
+using core::Collective;
+using core::NcclAlgo;
+
+struct SweepCase {
+  std::string cluster;  // "a100-2", "a100-4", "v100-2", "v100-4"
+  Collective op;
+  NcclAlgo algo;
+};
+
+topology::Cluster MakeCluster(const std::string& name) {
+  if (name == "a100-2") return topology::MakeA100Cluster(2);
+  if (name == "a100-4") return topology::MakeA100Cluster(4);
+  if (name == "v100-2") return topology::MakeV100Cluster(2);
+  return topology::MakeV100Cluster(4);
+}
+
+core::LoweredStep CrossNodeStep(const topology::Cluster& cluster,
+                                Collective op) {
+  // Pairs (i, i + gpus_per_node): one partner per node boundary.
+  core::LoweredStep step;
+  step.op = op;
+  const int g = cluster.node.gpus_per_node;
+  for (int i = 0; i < g; ++i) {
+    step.groups.push_back({i, i + g});
+  }
+  step.in_fraction = 1.0;
+  step.out_fraction = 1.0;
+  return step;
+}
+
+std::string SweepName(const testing::TestParamInfo<SweepCase>& info) {
+  std::ostringstream os;
+  os << info.param.cluster << '_' << core::ShortName(info.param.op) << '_'
+     << core::ToString(info.param.algo);
+  std::string s = os.str();
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+class CostModelSweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(CostModelSweep, PositiveAndMonotoneInPayload) {
+  const auto& param = GetParam();
+  const auto cluster = MakeCluster(param.cluster);
+  const CostModel model(cluster);
+  const auto step = CrossNodeStep(cluster, param.op);
+  double prev = 0.0;
+  for (double payload : {1e6, 1e8, 1e9, 8e9}) {
+    const double t = model.PredictStep(step, payload, param.algo);
+    EXPECT_GT(t, 0.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(CostModelSweep, SubstrateAgreesWithinFactorTwo) {
+  // The analytic model and the substrate share the topology; for a single
+  // homogeneous step they must agree within a factor of two (the paper's
+  // simulator is "very close" on A100 and cruder on V100).
+  const auto& param = GetParam();
+  const auto cluster = MakeCluster(param.cluster);
+  const CostModel model(cluster);
+  const runtime::Executor exec(cluster);
+  const auto step = CrossNodeStep(cluster, param.op);
+  const double payload = 4e9;
+  const double predicted = model.PredictStep(step, payload, param.algo);
+  const double measured = exec.MeasureStep(step, payload, param.algo);
+  EXPECT_GT(measured, predicted * 0.5);
+  EXPECT_LT(measured, predicted * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CostModelSweep,
+    testing::Values(
+        SweepCase{"a100-2", Collective::kAllReduce, NcclAlgo::kRing},
+        SweepCase{"a100-2", Collective::kAllReduce, NcclAlgo::kTree},
+        SweepCase{"a100-2", Collective::kReduceScatter, NcclAlgo::kRing},
+        SweepCase{"a100-2", Collective::kAllGather, NcclAlgo::kRing},
+        SweepCase{"a100-2", Collective::kReduce, NcclAlgo::kRing},
+        SweepCase{"a100-2", Collective::kReduce, NcclAlgo::kTree},
+        SweepCase{"a100-2", Collective::kBroadcast, NcclAlgo::kRing},
+        SweepCase{"a100-2", Collective::kBroadcast, NcclAlgo::kTree},
+        SweepCase{"a100-4", Collective::kAllReduce, NcclAlgo::kRing},
+        SweepCase{"a100-4", Collective::kAllReduce, NcclAlgo::kTree},
+        SweepCase{"v100-2", Collective::kAllReduce, NcclAlgo::kRing},
+        SweepCase{"v100-2", Collective::kAllReduce, NcclAlgo::kTree},
+        SweepCase{"v100-4", Collective::kAllReduce, NcclAlgo::kRing},
+        SweepCase{"v100-4", Collective::kReduceScatter, NcclAlgo::kRing},
+        SweepCase{"v100-4", Collective::kBroadcast, NcclAlgo::kTree}),
+    SweepName);
+
+TEST(CostModelCrossover, TreeWinsTinyMessagesRingWinsHugeOnes) {
+  // Intra-node AllReduce over all 16 GPUs of one A100 node.
+  const auto cluster = topology::MakeA100Cluster(2);
+  const CostModel model(cluster);
+  core::LoweredStep step;
+  step.op = Collective::kAllReduce;
+  step.groups.push_back({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                         15});
+  step.in_fraction = step.out_fraction = 1.0;
+
+  const double tiny = 1e3;  // 1 KB: latency-bound
+  EXPECT_LT(model.PredictStep(step, tiny, NcclAlgo::kTree),
+            model.PredictStep(step, tiny, NcclAlgo::kRing));
+
+  const double huge = 8e9;  // 8 GB: bandwidth-bound
+  EXPECT_LT(model.PredictStep(step, huge, NcclAlgo::kRing),
+            model.PredictStep(step, huge, NcclAlgo::kTree));
+}
+
+TEST(CostModelCrossover, LatencyTermScalesWithRounds) {
+  const auto cluster = topology::MakeA100Cluster(2);
+  const CostModel model(cluster);
+  // Two group sizes at negligible payload: the bigger ring pays ~2(n-1)
+  // round latencies.
+  core::LoweredStep small, large;
+  small.op = large.op = Collective::kAllReduce;
+  small.groups.push_back({0, 1});
+  large.groups.push_back({0, 1, 2, 3, 4, 5, 6, 7});
+  small.in_fraction = small.out_fraction = 1.0;
+  large.in_fraction = large.out_fraction = 1.0;
+  const double t_small = model.PredictStep(small, 1.0, NcclAlgo::kRing);
+  const double t_large = model.PredictStep(large, 1.0, NcclAlgo::kRing);
+  EXPECT_NEAR(t_large / t_small, 14.0 / 2.0, 1.0);  // 2(n-1) ratio
+}
+
+}  // namespace
+}  // namespace p2::cost

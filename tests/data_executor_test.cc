@@ -1,0 +1,102 @@
+#include "runtime/data_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+#include "engine/baselines.h"
+
+namespace p2::runtime {
+namespace {
+
+using core::ParallelismMatrix;
+using core::SynthesisHierarchy;
+using core::SynthesisHierarchyKind;
+
+SynthesisHierarchy Fig2dHierarchy() {
+  const ParallelismMatrix m({{1, 1, 2, 2}, {1, 2, 1, 2}});
+  const std::vector<int> axes = {1};
+  return SynthesisHierarchy::Build(m, axes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+TEST(DataExecutor, DefaultAllReduceComputesGroupSums) {
+  const auto sh = Fig2dHierarchy();
+  const auto lowered =
+      core::LowerProgram(sh, engine::DefaultAllReduceProgram());
+  std::string err;
+  EXPECT_TRUE(DataExecutor::ExecuteAndVerify(sh, lowered, 4, &err)) << err;
+}
+
+TEST(DataExecutor, CanonicalProgramsComputeGroupSums) {
+  const auto sh = Fig2dHierarchy();
+  const auto rab = engine::ReduceAllReduceBroadcast(sh);
+  const auto rsag = engine::ReduceScatterAllReduceAllGather(sh);
+  ASSERT_TRUE(rab.has_value());
+  ASSERT_TRUE(rsag.has_value());
+  for (const auto& p : {*rab, *rsag}) {
+    const auto lowered = core::LowerProgram(sh, p);
+    std::string err;
+    EXPECT_TRUE(DataExecutor::ExecuteAndVerify(sh, lowered, 8, &err))
+        << core::ToString(p) << ": " << err;
+  }
+}
+
+TEST(DataExecutor, EverySynthesizedProgramComputesTheRightResult) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = core::SynthesizePrograms(sh);
+  ASSERT_GT(result.programs.size(), 10u);
+  for (const auto& p : result.programs) {
+    const auto lowered = core::LowerProgram(sh, p);
+    std::string err;
+    EXPECT_TRUE(DataExecutor::ExecuteAndVerify(sh, lowered, 2, &err))
+        << core::ToString(p) << ": " << err;
+  }
+}
+
+TEST(DataExecutor, DetectsCorruptedPrograms) {
+  const auto sh = Fig2dHierarchy();
+  auto lowered = core::LowerProgram(sh, engine::DefaultAllReduceProgram());
+  // Merge two groups that must not reduce together.
+  auto& groups = lowered.steps[0].groups;
+  ASSERT_GE(groups.size(), 2u);
+  for (std::int64_t d : groups[1]) groups[0].push_back(d);
+  groups.erase(groups.begin() + 1);
+  std::string err;
+  EXPECT_FALSE(DataExecutor::ExecuteAndVerify(sh, lowered, 2, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(DataExecutor, DetectsIncompletePrograms) {
+  const auto sh = Fig2dHierarchy();
+  const auto rab = engine::ReduceAllReduceBroadcast(sh);
+  ASSERT_TRUE(rab.has_value());
+  auto lowered = core::LowerProgram(sh, *rab);
+  lowered.steps.pop_back();  // drop the Broadcast
+  std::string err;
+  EXPECT_FALSE(DataExecutor::ExecuteAndVerify(sh, lowered, 2, &err));
+}
+
+TEST(DataExecutor, InitialBuffersAreDistinctPerDevice) {
+  const auto a = DataExecutor::InitialBuffer(0, 4, 4);
+  const auto b = DataExecutor::InitialBuffer(1, 4, 4);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_NE(a, b);
+}
+
+TEST(DataExecutor, MultiAxisReductionVerifies) {
+  const ParallelismMatrix m({{2, 1}, {1, 2}, {1, 4}});
+  const std::vector<int> axes = {0, 2};
+  const auto sh =
+      SynthesisHierarchy::Build(m, axes, SynthesisHierarchyKind::kReductionAxes);
+  const auto result = core::SynthesizePrograms(sh);
+  ASSERT_FALSE(result.programs.empty());
+  for (const auto& p : result.programs) {
+    const auto lowered = core::LowerProgram(sh, p);
+    std::string err;
+    EXPECT_TRUE(DataExecutor::ExecuteAndVerify(sh, lowered, 2, &err))
+        << core::ToString(p) << ": " << err;
+  }
+}
+
+}  // namespace
+}  // namespace p2::runtime

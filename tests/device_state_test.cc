@@ -1,0 +1,172 @@
+#include "core/device_state.h"
+
+#include <gtest/gtest.h>
+
+namespace p2::core {
+namespace {
+
+TEST(DeviceState, InitialHoldsOwnColumn) {
+  const auto s = DeviceState::Initial(4, 2);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(s.Get(r, c), c == 2) << r << "," << c;
+    }
+  }
+  EXPECT_EQ(s.NumNonEmptyRows(), 4);
+}
+
+TEST(DeviceState, SetAndGet) {
+  DeviceState s(3);
+  EXPECT_FALSE(s.Get(1, 2));
+  s.Set(1, 2, true);
+  EXPECT_TRUE(s.Get(1, 2));
+  s.Set(1, 2, false);
+  EXPECT_FALSE(s.Get(1, 2));
+}
+
+TEST(DeviceState, LargeK) {
+  // k > 64 exercises multi-word rows.
+  const int k = 130;
+  DeviceState s(k);
+  s.Set(0, 0, true);
+  s.Set(0, 64, true);
+  s.Set(0, 129, true);
+  s.Set(129, 65, true);
+  EXPECT_TRUE(s.Get(0, 64));
+  EXPECT_TRUE(s.Get(0, 129));
+  EXPECT_TRUE(s.Get(129, 65));
+  EXPECT_FALSE(s.Get(1, 0));
+  EXPECT_EQ(s.NumNonEmptyRows(), 2);
+}
+
+TEST(DeviceState, NonEmptyRows) {
+  DeviceState s(4);
+  s.Set(1, 0, true);
+  s.Set(3, 2, true);
+  EXPECT_EQ(s.NonEmptyRows(), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(s.IsEmpty());
+  s.Clear();
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+TEST(DeviceState, SameNonEmptyRows) {
+  DeviceState a(4), b(4);
+  a.Set(0, 1, true);
+  b.Set(0, 2, true);
+  EXPECT_TRUE(a.SameNonEmptyRows(b));
+  b.Set(2, 0, true);
+  EXPECT_FALSE(a.SameNonEmptyRows(b));
+}
+
+TEST(DeviceState, NonEmptyRowSetsDisjoint) {
+  DeviceState a(4), b(4);
+  a.Set(0, 1, true);
+  b.Set(1, 1, true);
+  EXPECT_TRUE(a.NonEmptyRowSetsDisjoint(b));
+  b.Set(0, 3, true);
+  EXPECT_FALSE(a.NonEmptyRowSetsDisjoint(b));
+}
+
+TEST(DeviceState, ChunksDisjoint) {
+  DeviceState a(4), b(4);
+  a.Set(0, 0, true);
+  b.Set(0, 1, true);
+  EXPECT_TRUE(a.ChunksDisjoint(b));
+  b.Set(0, 0, true);
+  EXPECT_FALSE(a.ChunksDisjoint(b));
+}
+
+TEST(DeviceState, SubsetComparisons) {
+  DeviceState a(3), b(3);
+  a.Set(0, 0, true);
+  b.Set(0, 0, true);
+  b.Set(1, 1, true);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsStrictSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsStrictSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(DeviceState, Union) {
+  DeviceState a(3), b(3);
+  a.Set(0, 0, true);
+  b.Set(2, 1, true);
+  const auto u = a.Union(b);
+  EXPECT_TRUE(u.Get(0, 0));
+  EXPECT_TRUE(u.Get(2, 1));
+  EXPECT_EQ(u.NumNonEmptyRows(), 2);
+}
+
+TEST(DeviceState, RestrictedToRows) {
+  DeviceState s(4);
+  s.Set(0, 1, true);
+  s.Set(1, 2, true);
+  s.Set(3, 3, true);
+  const std::vector<int> keep = {1, 3};
+  const auto r = s.RestrictedToRows(keep);
+  EXPECT_FALSE(r.Get(0, 1));
+  EXPECT_TRUE(r.Get(1, 2));
+  EXPECT_TRUE(r.Get(3, 3));
+}
+
+TEST(DeviceState, HashAndEquality) {
+  const auto a = DeviceState::Initial(5, 1);
+  const auto b = DeviceState::Initial(5, 1);
+  const auto c = DeviceState::Initial(5, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(DeviceState, ToString) {
+  DeviceState s(2);
+  s.Set(0, 1, true);
+  EXPECT_EQ(s.ToString(), "01\n00");
+}
+
+TEST(DeviceState, Errors) {
+  EXPECT_THROW(DeviceState(0), std::invalid_argument);
+  DeviceState s(2);
+  EXPECT_THROW(s.Get(2, 0), std::out_of_range);
+  EXPECT_THROW(s.Set(0, 2, true), std::out_of_range);
+  EXPECT_THROW(DeviceState::Initial(2, 2), std::out_of_range);
+}
+
+TEST(StateContext, InitialContext) {
+  const auto ctx = MakeInitialContext(3);
+  ASSERT_EQ(ctx.size(), 3u);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(ctx[static_cast<std::size_t>(d)], DeviceState::Initial(3, d));
+  }
+}
+
+TEST(StateContext, GoalContext) {
+  const std::vector<std::vector<std::int64_t>> groups = {{0, 1}, {2, 3}};
+  const auto ctx = MakeGoalContext(4, groups);
+  // Device 0's goal: columns {0,1} set in every row.
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_TRUE(ctx[0].Get(r, 0));
+    EXPECT_TRUE(ctx[0].Get(r, 1));
+    EXPECT_FALSE(ctx[0].Get(r, 2));
+  }
+  EXPECT_EQ(ctx[0], ctx[1]);
+  EXPECT_NE(ctx[0], ctx[2]);
+}
+
+TEST(StateContext, GoalContextRequiresPartition) {
+  const std::vector<std::vector<std::int64_t>> overlap = {{0, 1}, {1, 2}};
+  EXPECT_THROW(MakeGoalContext(3, overlap), std::invalid_argument);
+  const std::vector<std::vector<std::int64_t>> incomplete = {{0, 1}};
+  EXPECT_THROW(MakeGoalContext(3, incomplete), std::invalid_argument);
+}
+
+TEST(StateContext, HashDistinguishes) {
+  const auto a = MakeInitialContext(4);
+  const std::vector<std::vector<std::int64_t>> groups = {{0, 1, 2, 3}};
+  const auto b = MakeGoalContext(4, groups);
+  EXPECT_NE(HashContext(a), HashContext(b));
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,92 @@
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+#include "engine/baselines.h"
+#include "topology/presets.h"
+
+namespace p2::runtime {
+namespace {
+
+using core::NcclAlgo;
+using core::ParallelismMatrix;
+using core::SynthesisHierarchy;
+using core::SynthesisHierarchyKind;
+
+core::LoweredProgram LowerOn(const ParallelismMatrix& m,
+                             const std::vector<int>& axes,
+                             const core::Program& program) {
+  const auto sh = SynthesisHierarchy::Build(
+      m, axes, SynthesisHierarchyKind::kReductionAxes);
+  return core::LowerProgram(sh, program);
+}
+
+TEST(Executor, IntraNodeAllReduceIsFast) {
+  const Executor exec(topology::MakeA100Cluster(4));
+  // [[1 4] [4 4]] reduce axis 0: groups of 4 inside nodes.
+  const auto lowered =
+      LowerOn(ParallelismMatrix({{1, 4}, {4, 4}}), {0},
+              engine::DefaultAllReduceProgram());
+  const double t = exec.MeasureProgram(lowered, 8e9, NcclAlgo::kRing);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 0.2);
+}
+
+TEST(Executor, CrossNodeAllReduceIsOrdersOfMagnitudeSlower) {
+  const Executor exec(topology::MakeA100Cluster(4));
+  const auto local = LowerOn(ParallelismMatrix({{1, 4}, {4, 4}}), {0},
+                             engine::DefaultAllReduceProgram());
+  const auto cross = LowerOn(ParallelismMatrix({{4, 1}, {1, 16}}), {0},
+                             engine::DefaultAllReduceProgram());
+  const double t_local = exec.MeasureProgram(local, 8e9, NcclAlgo::kRing);
+  const double t_cross = exec.MeasureProgram(cross, 8e9, NcclAlgo::kRing);
+  // The paper's Result 1: up to 448x. Ours is the same order of magnitude.
+  EXPECT_GT(t_cross / t_local, 100.0);
+}
+
+TEST(Executor, TimeScalesLinearlyWithPayload) {
+  const Executor exec(topology::MakeA100Cluster(2));
+  const auto lowered = LowerOn(ParallelismMatrix({{2, 1}, {1, 16}}), {0},
+                               engine::DefaultAllReduceProgram());
+  const double t1 = exec.MeasureProgram(lowered, 1e9, NcclAlgo::kRing);
+  const double t4 = exec.MeasureProgram(lowered, 4e9, NcclAlgo::kRing);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.1);
+}
+
+TEST(Executor, TreeSlowerThanRingForFullyCrossNodeGroups) {
+  // Paper Table 3, B3: fully cross-node reduction is faster with Ring.
+  const Executor exec(topology::MakeA100Cluster(4));
+  const auto lowered = LowerOn(ParallelismMatrix({{4, 1}, {1, 16}}), {0},
+                               engine::DefaultAllReduceProgram());
+  const double ring = exec.MeasureProgram(lowered, 8e9, NcclAlgo::kRing);
+  const double tree = exec.MeasureProgram(lowered, 8e9, NcclAlgo::kTree);
+  EXPECT_GT(tree, ring * 1.2);
+}
+
+TEST(Executor, StepsAreSequential) {
+  const Executor exec(topology::MakeA100Cluster(2));
+  const ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const auto sh = SynthesisHierarchy::Build(
+      m, axes, SynthesisHierarchyKind::kReductionAxes);
+  const auto rab = engine::ReduceAllReduceBroadcast(sh);
+  ASSERT_TRUE(rab.has_value());
+  const auto lowered = core::LowerProgram(sh, *rab);
+  double sum = 0.0;
+  for (const auto& step : lowered.steps) {
+    sum += exec.MeasureStep(step, 8e9, NcclAlgo::kRing);
+  }
+  EXPECT_NEAR(exec.MeasureProgram(lowered, 8e9, NcclAlgo::kRing), sum, 1e-9);
+}
+
+TEST(Executor, DeterministicMeasurements) {
+  const Executor exec(topology::MakeV100Cluster(2));
+  const auto lowered = LowerOn(ParallelismMatrix({{2, 4}, {1, 2}}), {0},
+                               engine::DefaultAllReduceProgram());
+  EXPECT_DOUBLE_EQ(exec.MeasureProgram(lowered, 8e9, NcclAlgo::kRing),
+                   exec.MeasureProgram(lowered, 8e9, NcclAlgo::kRing));
+}
+
+}  // namespace
+}  // namespace p2::runtime

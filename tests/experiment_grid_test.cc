@@ -1,0 +1,64 @@
+#include "engine/experiment_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::engine {
+namespace {
+
+TEST(ExperimentGrid, SingleAxis) {
+  const auto configs = SingleAxisConfigs(64);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].axes, (std::vector<std::int64_t>{64}));
+  EXPECT_EQ(configs[0].reduction_axes, (std::vector<int>{0}));
+}
+
+TEST(ExperimentGrid, TwoAxisCoversPaperDecompositions) {
+  // For 64 devices the paper uses [2 32], [4 16], [8 8], [16 4], [32 2],
+  // each with reduction on axis 0 and axis 1.
+  const auto configs = TwoAxisConfigs(64);
+  EXPECT_EQ(configs.size(), 10u);
+  bool found_2_32_r1 = false;
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.axes.size(), 2u);
+    EXPECT_EQ(c.axes[0] * c.axes[1], 64);
+    if (c.axes == std::vector<std::int64_t>{2, 32} &&
+        c.reduction_axes == std::vector<int>{1}) {
+      found_2_32_r1 = true;
+    }
+  }
+  EXPECT_TRUE(found_2_32_r1);
+}
+
+TEST(ExperimentGrid, ThreeAxisMatchesPaperShape) {
+  // Paper: [16 2 2], [8 2 4], [4 2 8], [2 2 16] for 64 devices, reduce {0,2}.
+  const auto configs = ThreeAxisConfigs(64);
+  ASSERT_EQ(configs.size(), 4u);
+  for (const auto& c : configs) {
+    EXPECT_EQ(c.axes.size(), 3u);
+    EXPECT_EQ(c.axes[1], 2);
+    EXPECT_EQ(c.axes[0] * 2 * c.axes[2], 64);
+    EXPECT_EQ(c.reduction_axes, (std::vector<int>{0, 2}));
+  }
+}
+
+TEST(ExperimentGrid, FullGridForV100TwoNodes) {
+  const auto cluster = topology::MakeV100Cluster(2);
+  const auto grid = FullGrid(cluster);
+  // 16 devices: 1 single + 2*3 two-axis + 2 three-axis ([4 2 2], [2 2 4]).
+  EXPECT_EQ(grid.size(), 1u + 6u + 2u);
+  for (const auto& c : grid) {
+    std::int64_t prod = 1;
+    for (auto a : c.axes) prod *= a;
+    EXPECT_EQ(prod, 16);
+  }
+}
+
+TEST(ExperimentGrid, ConfigToString) {
+  const ExperimentConfig c{{8, 2, 4}, {0, 2}};
+  EXPECT_EQ(c.ToString(), "[8 2 4] reduce 0 2");
+}
+
+}  // namespace
+}  // namespace p2::engine

@@ -1,0 +1,170 @@
+#include "runtime/flow_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::runtime {
+namespace {
+
+using topology::MakeA100Cluster;
+using topology::Network;
+using topology::NetworkFidelity;
+
+Flow FlowBetween(const Network& net, int src, int dst, double bytes) {
+  Flow f;
+  f.links = net.PathLinks(src, dst);
+  f.bytes = bytes;
+  for (int l : f.links) {
+    f.latency += net.links()[static_cast<std::size_t>(l)].latency;
+  }
+  return f;
+}
+
+TEST(FlowSimulator, SingleFlowBandwidthBound) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  FlowSimulator sim(net);
+  // 270 GB over a 270 GB/s path: exactly 1 second + latency.
+  TaskSequence seq;
+  seq.rounds.push_back(Round{{FlowBetween(net, 0, 1, 270e9)}});
+  const double t = sim.Run({seq});
+  EXPECT_NEAR(t, 1.0, 1e-3);
+}
+
+TEST(FlowSimulator, TwoFlowsShareALink) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  FlowSimulator sim(net);
+  // Both flows leave GPU 0: they share its single uplink, so each gets half.
+  TaskSequence seq;
+  seq.rounds.push_back(Round{{FlowBetween(net, 0, 1, 270e9),
+                              FlowBetween(net, 0, 2, 270e9)}});
+  const double t = sim.Run({seq});
+  EXPECT_NEAR(t, 2.0, 1e-3);
+}
+
+TEST(FlowSimulator, DisjointFlowsRunInParallel) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  FlowSimulator sim(net);
+  TaskSequence seq;
+  seq.rounds.push_back(Round{{FlowBetween(net, 0, 1, 270e9),
+                              FlowBetween(net, 2, 3, 270e9)}});
+  const double t = sim.Run({seq});
+  EXPECT_NEAR(t, 1.0, 1e-3);
+}
+
+TEST(FlowSimulator, RoundsAreSequential) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  FlowSimulator sim(net);
+  TaskSequence seq;
+  seq.rounds.push_back(Round{{FlowBetween(net, 0, 1, 270e9)}});
+  seq.rounds.push_back(Round{{FlowBetween(net, 0, 1, 270e9)}});
+  const double t = sim.Run({seq});
+  EXPECT_NEAR(t, 2.0, 1e-3);
+}
+
+TEST(FlowSimulator, IndependentTasksOverlap) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  FlowSimulator sim(net);
+  TaskSequence a, b;
+  a.rounds.push_back(Round{{FlowBetween(net, 0, 1, 270e9)}});
+  b.rounds.push_back(Round{{FlowBetween(net, 2, 3, 270e9)}});
+  const double t = sim.Run({a, b});
+  EXPECT_NEAR(t, 1.0, 1e-3);
+}
+
+TEST(FlowSimulator, MaxMinSharingIsFairAcrossBottleneck) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  FlowSimulator sim(net);
+  // One cross-node flow (bottleneck NIC 7.5 GB/s) and one local flow from a
+  // different GPU: the local flow must not be slowed by the NIC flow.
+  TaskSequence cross, local;
+  cross.rounds.push_back(Round{{FlowBetween(net, 0, 16, 7.5e9)}});
+  local.rounds.push_back(Round{{FlowBetween(net, 1, 2, 270e9)}});
+  const double t = sim.Run({cross, local});
+  EXPECT_NEAR(t, 1.0, 1e-2);  // both take ~1s concurrently
+}
+
+TEST(FlowSimulator, LatencyPaidPerRound) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  FlowSimulator sim(net);
+  // Tiny flows: time is dominated by per-round latency (2 local hops).
+  TaskSequence seq;
+  const int rounds = 100;
+  for (int r = 0; r < rounds; ++r) {
+    seq.rounds.push_back(Round{{FlowBetween(net, 0, 1, 1.0)}});
+  }
+  const double t = sim.Run({seq});
+  const double per_round = 2 * c.node.local_latency;
+  EXPECT_GE(t, rounds * per_round * 0.9);
+}
+
+TEST(FlowSimulator, EmptyRoundsComplete) {
+  const auto net = Network::Build(MakeA100Cluster(2));
+  FlowSimulator sim(net);
+  TaskSequence seq;
+  seq.rounds.push_back(Round{});
+  seq.rounds.push_back(Round{});
+  EXPECT_DOUBLE_EQ(sim.Run({seq}), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Run({}), 0.0);
+}
+
+TEST(FlowSimulator, CongestionSlowsManyFlowNics) {
+  const auto c = MakeA100Cluster(2);
+  const auto nominal = Network::Build(c, NetworkFidelity::kNominal);
+  const auto measured = Network::Build(c, NetworkFidelity::kMeasured);
+  auto run = [&](const Network& net) {
+    FlowSimulator sim(net);
+    // 8 concurrent cross-node flows through one NIC.
+    TaskSequence seq;
+    Round round;
+    for (int i = 0; i < 8; ++i) {
+      round.flows.push_back(FlowBetween(net, i, 16 + i, 1e9));
+    }
+    seq.rounds.push_back(std::move(round));
+    return sim.Run({seq});
+  };
+  // Measured network: NIC capacity degrades with flow count (and fabric
+  // factor <= 1), so the same workload takes strictly longer.
+  EXPECT_GT(run(measured), run(nominal) * 1.05);
+}
+
+TEST(FlowSimulator, StatsAreReported) {
+  const auto net = Network::Build(MakeA100Cluster(2));
+  FlowSimulator sim(net);
+  TaskSequence seq;
+  seq.rounds.push_back(Round{{FlowBetween(net, 0, 1, 1e9)}});
+  FlowSimStats stats;
+  sim.Run({seq}, &stats);
+  EXPECT_EQ(stats.flows_completed, 1);
+  EXPECT_GE(stats.rate_recomputations, 1);
+}
+
+TEST(FlowSimulator, DeterministicAcrossRuns) {
+  const auto c = MakeA100Cluster(4);
+  const auto net = Network::Build(c, NetworkFidelity::kMeasured);
+  FlowSimulator sim(net);
+  std::vector<TaskSequence> tasks;
+  for (int g = 0; g < 4; ++g) {
+    TaskSequence seq;
+    for (int r = 0; r < 3; ++r) {
+      Round round;
+      for (int i = 0; i < 4; ++i) {
+        round.flows.push_back(
+            FlowBetween(net, g * 4 + i, (g * 4 + i + 16) % 64, 1e8));
+      }
+      seq.rounds.push_back(std::move(round));
+    }
+    tasks.push_back(std::move(seq));
+  }
+  EXPECT_DOUBLE_EQ(sim.Run(tasks), sim.Run(tasks));
+}
+
+}  // namespace
+}  // namespace p2::runtime

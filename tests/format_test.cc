@@ -1,0 +1,46 @@
+#include "common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+TEST(BracketJoin, Int64) {
+  const std::vector<std::int64_t> xs = {1, 2, 2, 4};
+  EXPECT_EQ(BracketJoin(std::span<const std::int64_t>(xs)), "[1 2 2 4]");
+}
+
+TEST(BracketJoin, Empty) {
+  EXPECT_EQ(BracketJoin(std::span<const std::int64_t>{}), "[]");
+}
+
+TEST(NestedBracketJoin, Matrix) {
+  const std::vector<std::vector<std::int64_t>> rows = {{1, 2}, {4, 8}};
+  EXPECT_EQ(NestedBracketJoin(rows), "[[1 2] [4 8]]");
+}
+
+TEST(FormatSeconds, Ranges) {
+  EXPECT_EQ(FormatSeconds(89.70), "89.70");
+  EXPECT_EQ(FormatSeconds(0.17), "0.17");
+  EXPECT_EQ(FormatSeconds(0.003), "0.0030");
+  EXPECT_EQ(FormatSeconds(123.4), "123.4");
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string r = t.Render();
+  EXPECT_NE(r.find("name"), std::string::npos);
+  EXPECT_NE(r.find("alpha"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(r.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2

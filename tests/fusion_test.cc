@@ -1,0 +1,127 @@
+#include "core/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "core/lowering.h"
+#include "core/synthesizer.h"
+#include "runtime/data_executor.h"
+
+namespace p2::core {
+namespace {
+
+SynthesisHierarchy Fig2dHierarchy() {
+  const ParallelismMatrix m({{1, 1, 2, 2}, {1, 2, 1, 2}});
+  const std::vector<int> axes = {1};
+  return SynthesisHierarchy::Build(m, axes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+TEST(Fusion, TwoAllReducesCollapseToOne) {
+  // The paper's XLA observation: AllReduce(local) ; AllReduce(across) is one
+  // AllReduce over the full groups.
+  const auto sh = Fig2dHierarchy();
+  const Program two_step = {
+      Instruction{2, Form::InsideGroup(), Collective::kAllReduce},
+      Instruction{2, Form::Parallel(0), Collective::kAllReduce}};
+  const auto fused = FuseProgram(sh, two_step);
+  EXPECT_EQ(fused.steps_removed, 1);
+  ASSERT_EQ(fused.program.size(), 1u);
+  EXPECT_EQ(fused.program[0].op, Collective::kAllReduce);
+}
+
+TEST(Fusion, FusedProgramStillValid) {
+  const auto sh = Fig2dHierarchy();
+  const Program two_step = {
+      Instruction{2, Form::InsideGroup(), Collective::kAllReduce},
+      Instruction{2, Form::Parallel(0), Collective::kAllReduce}};
+  const auto fused = FuseProgram(sh, two_step);
+  const auto lowered = LowerProgram(sh, fused.program);
+  std::string err;
+  EXPECT_TRUE(CheckLoweredOnFullSystem(sh, lowered, &err)) << err;
+  EXPECT_TRUE(runtime::DataExecutor::ExecuteAndVerify(sh, lowered, 2, &err))
+      << err;
+}
+
+TEST(Fusion, ReduceScatterAllGatherCollapsesToAllReduce) {
+  const auto sh = Fig2dHierarchy();
+  const Program rs_ag = {
+      Instruction{2, Form::InsideGroup(), Collective::kReduceScatter},
+      Instruction{2, Form::InsideGroup(), Collective::kAllGather}};
+  const auto fused = FuseProgram(sh, rs_ag);
+  // RS(g);AG(g) produces exactly AR(g)'s context.
+  EXPECT_EQ(fused.steps_removed, 1);
+  ASSERT_EQ(fused.program.size(), 1u);
+  EXPECT_EQ(fused.program[0].op, Collective::kAllReduce);
+}
+
+TEST(Fusion, HeterogeneousProgramsSurvive) {
+  // BlueConnect cannot be fused: no single collective reproduces any of its
+  // adjacent pairs.
+  const auto sh = Fig2dHierarchy();
+  const Program blueconnect = {
+      Instruction{2, Form::InsideGroup(), Collective::kReduceScatter},
+      Instruction{2, Form::Parallel(0), Collective::kAllReduce},
+      Instruction{2, Form::InsideGroup(), Collective::kAllGather}};
+  const auto fused = FuseProgram(sh, blueconnect);
+  EXPECT_EQ(fused.steps_removed, 0);
+  EXPECT_EQ(fused.program, blueconnect);
+}
+
+TEST(Fusion, SingleStepProgramsUntouched) {
+  const auto sh = Fig2dHierarchy();
+  const Program ar = {Instruction{0, Form::InsideGroup(),
+                                  Collective::kAllReduce}};
+  const auto fused = FuseProgram(sh, ar);
+  EXPECT_EQ(fused.steps_removed, 0);
+  EXPECT_EQ(fused.program, ar);
+}
+
+TEST(Fusion, CascadesAcrossThreeSteps) {
+  // Three nested AllReduces over a 2x2x2 reduction axis collapse fully.
+  const ParallelismMatrix m({{2, 2, 2}, {1, 1, 1}});
+  const std::vector<int> axes = {0};
+  const auto sh =
+      SynthesisHierarchy::Build(m, axes, SynthesisHierarchyKind::kReductionAxes);
+  // Find the 3-step all-AllReduce program via the synthesizer.
+  const auto result = SynthesizePrograms(sh);
+  Program three_ar;
+  for (const auto& p : result.programs) {
+    if (p.size() == 3 && p[0].op == Collective::kAllReduce &&
+        p[1].op == Collective::kAllReduce &&
+        p[2].op == Collective::kAllReduce) {
+      three_ar = p;
+      break;
+    }
+  }
+  ASSERT_FALSE(three_ar.empty());
+  const auto fused = FuseProgram(sh, three_ar);
+  EXPECT_EQ(fused.steps_removed, 2);
+  EXPECT_EQ(fused.program.size(), 1u);
+}
+
+TEST(Fusion, AllSynthesizedProgramsRemainCorrectAfterFusion) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  int total_removed = 0;
+  for (const auto& p : result.programs) {
+    const auto fused = FuseProgram(sh, p);
+    total_removed += fused.steps_removed;
+    const auto lowered = LowerProgram(sh, fused.program);
+    std::string err;
+    ASSERT_TRUE(CheckLoweredOnFullSystem(sh, lowered, &err))
+        << ToString(p) << " fused to " << ToString(fused.program) << ": "
+        << err;
+  }
+  EXPECT_GT(total_removed, 0);  // at least the AR;AR chains fuse
+}
+
+TEST(Fusion, RejectsInvalidPrograms) {
+  const auto sh = Fig2dHierarchy();
+  const Program bad = {
+      Instruction{2, Form::InsideGroup(), Collective::kReduceScatter},
+      Instruction{2, Form::InsideGroup(), Collective::kAllReduce}};
+  EXPECT_THROW(FuseProgram(sh, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,127 @@
+// Byte-exact reproduction of Table 2: hierarchical communication patterns
+// for the system [(rack,1),(server,2),(cpu,2),(gpu,4)] where device ids map
+// A0..A3 = 0..3, B0..B3 = 4..7, C0..C3 = 8..11, D0..D3 = 12..15.
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace p2::core {
+namespace {
+
+using Groups = std::vector<std::vector<std::int64_t>>;
+
+const std::vector<std::int64_t> kHierarchy = {1, 2, 2, 4};
+constexpr int kRack = 0;
+constexpr int kServer = 1;
+constexpr int kCpu = 2;
+
+TEST(Table2, CpuInsideGroup) {
+  const auto g = DeriveGroups(kHierarchy, kCpu, Form::InsideGroup());
+  const Groups want = {{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11},
+                       {12, 13, 14, 15}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(Table2, CpuParallelServer) {
+  const auto g = DeriveGroups(kHierarchy, kCpu, Form::Parallel(kServer));
+  const Groups want = {{0, 4}, {1, 5}, {2, 6},   {3, 7},
+                       {8, 12}, {9, 13}, {10, 14}, {11, 15}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(Table2, CpuParallelRack) {
+  const auto g = DeriveGroups(kHierarchy, kCpu, Form::Parallel(kRack));
+  const Groups want = {{0, 4, 8, 12}, {1, 5, 9, 13}, {2, 6, 10, 14},
+                       {3, 7, 11, 15}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(Table2, CpuMasterRack) {
+  const auto g = DeriveGroups(kHierarchy, kCpu, Form::Master(kRack));
+  const Groups want = {{0, 4, 8, 12}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(Table2, ServerInsideGroup) {
+  const auto g = DeriveGroups(kHierarchy, kServer, Form::InsideGroup());
+  const Groups want = {{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13, 14, 15}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(Table2, ServerParallelRack) {
+  const auto g = DeriveGroups(kHierarchy, kServer, Form::Parallel(kRack));
+  const Groups want = {{0, 8}, {1, 9}, {2, 10}, {3, 11},
+                       {4, 12}, {5, 13}, {6, 14}, {7, 15}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(Table2, RackInsideGroup) {
+  const auto g = DeriveGroups(kHierarchy, kRack, Form::InsideGroup());
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].size(), 16u);
+  for (std::int64_t d = 0; d < 16; ++d) EXPECT_EQ(g[0][d], d);
+}
+
+TEST(DeriveGroups, MasterServer) {
+  // Master(server) from slice cpu: one group per server.
+  const auto g = DeriveGroups(kHierarchy, kCpu, Form::Master(kServer));
+  const Groups want = {{0, 4}, {8, 12}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(DeriveGroups, InnermostSliceSingletons) {
+  // Slice at the GPU level: subtree size 1, singleton groups (not filtered).
+  const auto g = DeriveGroups(kHierarchy, 3, Form::InsideGroup());
+  ASSERT_EQ(g.size(), 16u);
+  EXPECT_EQ(g[0], (std::vector<std::int64_t>{0}));
+}
+
+TEST(DeriveGroups, GpuParallelCpu) {
+  // Slice gpu, Parallel(cpu): all 4 GPUs under each CPU.
+  const auto g = DeriveGroups(kHierarchy, 3, Form::Parallel(kCpu));
+  ASSERT_EQ(g.size(), 4u);
+  EXPECT_EQ(g[0], (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(DeriveGroups, CardinalityOneLevelsAreTransparent) {
+  // Hierarchy with interleaved 1s behaves like the squeezed hierarchy.
+  const std::vector<std::int64_t> padded = {1, 1, 2, 1, 2};
+  const auto g = DeriveGroups(padded, 2, Form::InsideGroup());
+  const Groups want = {{0, 1}, {2, 3}};
+  EXPECT_EQ(g, want);
+}
+
+TEST(DeriveGroups, Errors) {
+  EXPECT_THROW(DeriveGroups(kHierarchy, 4, Form::InsideGroup()),
+               std::invalid_argument);
+  EXPECT_THROW(DeriveGroups(kHierarchy, -1, Form::InsideGroup()),
+               std::invalid_argument);
+  // Ancestor must be a strict ancestor of the slice.
+  EXPECT_THROW(DeriveGroups(kHierarchy, 1, Form::Parallel(1)),
+               std::invalid_argument);
+  EXPECT_THROW(DeriveGroups(kHierarchy, 1, Form::Parallel(2)),
+               std::invalid_argument);
+  const std::vector<std::int64_t> bad = {2, 0};
+  EXPECT_THROW(DeriveGroups(bad, 0, Form::InsideGroup()),
+               std::invalid_argument);
+}
+
+TEST(DeriveGroups, GroupsPartitionParticipants) {
+  // Parallel groups are pairwise disjoint and cover each ancestor subtree.
+  for (int slice = 1; slice < 4; ++slice) {
+    for (int anc = 0; anc < slice; ++anc) {
+      const auto gs = DeriveGroups(kHierarchy, slice, Form::Parallel(anc));
+      std::vector<int> seen(16, 0);
+      for (const auto& g : gs) {
+        for (std::int64_t d : g) seen[static_cast<std::size_t>(d)]++;
+      }
+      for (int d = 0; d < 16; ++d) {
+        EXPECT_EQ(seen[static_cast<std::size_t>(d)], 1)
+            << "slice=" << slice << " anc=" << anc << " d=" << d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,107 @@
+// Tests the simulator-guided evaluation workflow (paper Section 5's point):
+// predict everything, measure only the top-k candidates.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "runtime/executor.h"
+#include "topology/presets.h"
+
+namespace p2::engine {
+namespace {
+
+Engine MakeEngine() {
+  EngineOptions opts;
+  opts.payload_bytes = 1e9;
+  return Engine(topology::MakeA100Cluster(2), opts);
+}
+
+TEST(GuidedEvaluation, MeasuresOnlyTopKPlusBaseline) {
+  const auto eng = MakeEngine();
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const int k = 5;
+  const auto eval = eng.EvaluatePlacementGuided(m, axes, k);
+  int measured = 0;
+  for (const auto& p : eval.programs) {
+    if (p.measured) ++measured;
+    EXPECT_GT(p.predicted_seconds, 0.0);  // everything predicted
+  }
+  EXPECT_GE(measured, k);      // top-k measured
+  EXPECT_LE(measured, k + 1);  // plus possibly the baseline
+  EXPECT_TRUE(eval.programs.front().measured);  // baseline always measured
+  EXPECT_GT(static_cast<int>(eval.programs.size()), measured);
+}
+
+TEST(GuidedEvaluation, FindsTheSameWinnerAsFullEvaluation) {
+  // Table 5's conclusion: top-k accuracy is high enough that measuring only
+  // the predicted top-10 recovers the true optimum.
+  const auto eng = MakeEngine();
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const auto full = eng.EvaluatePlacement(m, axes);
+  const auto guided = eng.EvaluatePlacementGuided(m, axes, 10);
+  const auto& full_best =
+      full.programs[static_cast<std::size_t>(full.BestMeasuredIndex())];
+  const auto& guided_best =
+      guided.programs[static_cast<std::size_t>(guided.BestMeasuredIndex())];
+  EXPECT_NEAR(guided_best.measured_seconds, full_best.measured_seconds,
+              full_best.measured_seconds * 0.02);
+}
+
+TEST(GuidedEvaluation, BestMeasuredIndexIgnoresUnmeasured) {
+  const auto eng = MakeEngine();
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const auto eval = eng.EvaluatePlacementGuided(m, axes, 3);
+  const int best = eval.BestMeasuredIndex();
+  EXPECT_TRUE(eval.programs[static_cast<std::size_t>(best)].measured);
+}
+
+TEST(GuidedEvaluation, KZeroMeasuresOnlyBaseline) {
+  const auto eng = MakeEngine();
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const auto eval = eng.EvaluatePlacementGuided(m, axes, 0);
+  int measured = 0;
+  for (const auto& p : eval.programs) {
+    if (p.measured) ++measured;
+  }
+  EXPECT_EQ(measured, 1);
+  EXPECT_EQ(eval.BestMeasuredIndex(), 0);
+}
+
+TEST(ExecutorTrace, TracesEveryStep) {
+  const runtime::Executor exec(topology::MakeA100Cluster(2));
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const auto sh = core::SynthesisHierarchy::Build(
+      m, axes, core::SynthesisHierarchyKind::kReductionAxes);
+  // Hierarchy levels are [root 2 4]: local groups slice at level 1.
+  const core::Program program = {
+      core::Instruction{1, core::Form::InsideGroup(),
+                        core::Collective::kReduceScatter},
+      core::Instruction{1, core::Form::Parallel(0),
+                        core::Collective::kAllReduce},
+      core::Instruction{1, core::Form::InsideGroup(),
+                        core::Collective::kAllGather}};
+  const auto lowered = core::LowerProgram(sh, program);
+  std::vector<runtime::StepTrace> trace;
+  const double total =
+      exec.MeasureProgram(lowered, 1e9, core::NcclAlgo::kRing, &trace);
+  ASSERT_EQ(trace.size(), 3u);
+  double sum = 0.0;
+  for (const auto& t : trace) {
+    EXPECT_GT(t.seconds, 0.0);
+    EXPECT_GT(t.num_groups, 0);
+    EXPECT_GT(t.flows_completed, 0);
+    sum += t.seconds;
+  }
+  EXPECT_NEAR(sum, total, 1e-12);
+  EXPECT_EQ(trace[0].op, core::Collective::kReduceScatter);
+  EXPECT_EQ(trace[1].op, core::Collective::kAllReduce);
+  // The cross-node AllReduce dominates.
+  EXPECT_GT(trace[1].seconds, trace[0].seconds);
+}
+
+}  // namespace
+}  // namespace p2::engine

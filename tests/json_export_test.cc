@@ -1,0 +1,62 @@
+#include "engine/json_export.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::engine {
+namespace {
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonExport, PlacementEvaluationRoundTripsKeyFields) {
+  EngineOptions opts;
+  opts.payload_bytes = 1e8;
+  const Engine eng(topology::MakeA100Cluster(2), opts);
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const auto eval = eng.EvaluatePlacement(m, axes);
+  const std::string json = ToJson(eval);
+  EXPECT_NE(json.find("\"matrix\":\"[[2 4] [1 4]]\""), std::string::npos);
+  EXPECT_NE(json.find("\"programs\":["), std::string::npos);
+  EXPECT_NE(json.find("\"default_allreduce\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"measured\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"shape\":\"AR\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(JsonExport, ExperimentResultIncludesConfig) {
+  EngineOptions opts;
+  opts.payload_bytes = 1e8;
+  opts.algo = core::NcclAlgo::kTree;
+  const Engine eng(topology::MakeA100Cluster(2), opts);
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<int> raxes = {0};
+  const auto result = eng.RunExperiment(axes, raxes);
+  const std::string json = ToJson(result);
+  EXPECT_NE(json.find("\"axes\":[8,4]"), std::string::npos);
+  EXPECT_NE(json.find("\"reduction_axes\":[0]"), std::string::npos);
+  EXPECT_NE(json.find("\"algo\":\"Tree\""), std::string::npos);
+  EXPECT_NE(json.find("\"placements\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2::engine

@@ -1,0 +1,144 @@
+#include "core/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/synthesizer.h"
+
+namespace p2::core {
+namespace {
+
+// Running example, Fig 2d placement, reduction along parameter sharding.
+SynthesisHierarchy Fig2dHierarchy() {
+  const ParallelismMatrix m({{1, 1, 2, 2}, {1, 2, 1, 2}});
+  const std::vector<int> axes = {1};
+  return SynthesisHierarchy::Build(m, axes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+// Fig 3b: AllReduce over local pairs, then AllReduce across servers.
+// Synthesis hierarchy levels are [1(root) 1 2 1 2]; local pairs come from
+// slice level 2's subtree, remote pairs from Parallel(root).
+Program Fig3bProgram() {
+  return {Instruction{2, Form::InsideGroup(), Collective::kAllReduce},
+          Instruction{2, Form::Parallel(0), Collective::kAllReduce}};
+}
+
+// Fig 3c / Fig 10i: Reduce to local roots, AllReduce between roots,
+// Broadcast back.
+Program Fig3cProgram() {
+  return {Instruction{2, Form::InsideGroup(), Collective::kReduce},
+          Instruction{2, Form::Master(0), Collective::kAllReduce},
+          Instruction{2, Form::InsideGroup(), Collective::kBroadcast}};
+}
+
+// Fig 10ii (BlueConnect): ReduceScatter locally, AllReduce across, AllGather.
+Program BlueConnectProgram() {
+  return {Instruction{2, Form::InsideGroup(), Collective::kReduceScatter},
+          Instruction{2, Form::Parallel(0), Collective::kAllReduce},
+          Instruction{2, Form::InsideGroup(), Collective::kAllGather}};
+}
+
+TEST(LowerProgram, Fig3bGroupsMatchPaper) {
+  const auto sh = Fig2dHierarchy();
+  const auto lowered = LowerProgram(sh, Fig3bProgram());
+  ASSERT_EQ(lowered.steps.size(), 2u);
+  // Step 1: AllReduce over local GPU pairs — 8 groups of 2 covering all 16.
+  EXPECT_EQ(lowered.steps[0].op, Collective::kAllReduce);
+  EXPECT_EQ(lowered.steps[0].groups.size(), 8u);
+  std::set<std::vector<std::int64_t>> step0(lowered.steps[0].groups.begin(),
+                                            lowered.steps[0].groups.end());
+  // A0,A1 = devices 0,1 reduce together (Fig 3b).
+  EXPECT_TRUE(step0.count({0, 1}));
+  EXPECT_TRUE(step0.count({2, 3}));
+  EXPECT_TRUE(step0.count({4, 5}));
+  // Step 2: AllReduce across servers: {A0, C0} = {0, 8} etc.
+  EXPECT_EQ(lowered.steps[1].groups.size(), 8u);
+  std::set<std::vector<std::int64_t>> step1(lowered.steps[1].groups.begin(),
+                                            lowered.steps[1].groups.end());
+  EXPECT_TRUE(step1.count({0, 8}));
+  EXPECT_TRUE(step1.count({1, 9}));
+}
+
+TEST(LowerProgram, FractionsTrackDataVolume) {
+  const auto sh = Fig2dHierarchy();
+  const auto lowered = LowerProgram(sh, BlueConnectProgram());
+  ASSERT_EQ(lowered.steps.size(), 3u);
+  // RS starts with the full payload and halves it.
+  EXPECT_DOUBLE_EQ(lowered.steps[0].in_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(lowered.steps[0].out_fraction, 0.5);
+  // Cross AllReduce moves the scattered half.
+  EXPECT_DOUBLE_EQ(lowered.steps[1].in_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(lowered.steps[1].out_fraction, 0.5);
+  // AllGather restores the full payload.
+  EXPECT_DOUBLE_EQ(lowered.steps[2].in_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(lowered.steps[2].out_fraction, 1.0);
+}
+
+TEST(LowerProgram, RejectsInvalidProgram) {
+  const auto sh = Fig2dHierarchy();
+  // Fig 4a: ReduceScatter then AllReduce over the same local groups.
+  const Program bad = {
+      Instruction{2, Form::InsideGroup(), Collective::kReduceScatter},
+      Instruction{2, Form::InsideGroup(), Collective::kAllReduce}};
+  EXPECT_THROW(LowerProgram(sh, bad), std::invalid_argument);
+}
+
+TEST(CheckLowered, CanonicalProgramsValidOnFullSystem) {
+  const auto sh = Fig2dHierarchy();
+  for (const Program& p :
+       {Fig3bProgram(), Fig3cProgram(), BlueConnectProgram()}) {
+    const auto lowered = LowerProgram(sh, p);
+    std::string err;
+    EXPECT_TRUE(CheckLoweredOnFullSystem(sh, lowered, &err))
+        << ToString(p) << ": " << err;
+  }
+}
+
+TEST(CheckLowered, SingleAllReduceValid) {
+  const auto sh = Fig2dHierarchy();
+  const Program p = {Instruction{0, Form::InsideGroup(), Collective::kAllReduce}};
+  const auto lowered = LowerProgram(sh, p);
+  ASSERT_EQ(lowered.steps.size(), 1u);
+  // 4 groups of 4 (one per data-parallel replica).
+  EXPECT_EQ(lowered.steps[0].groups.size(), 4u);
+  EXPECT_EQ(lowered.steps[0].groups[0].size(), 4u);
+  std::string err;
+  EXPECT_TRUE(CheckLoweredOnFullSystem(sh, lowered, &err)) << err;
+}
+
+TEST(CheckLowered, DetectsWrongGroups) {
+  const auto sh = Fig2dHierarchy();
+  auto lowered = LowerProgram(sh, Fig3bProgram());
+  // Corrupt a group: make two devices of different reduction groups reduce.
+  lowered.steps[1].groups[0] = {0, 9};
+  std::string err;
+  EXPECT_FALSE(CheckLoweredOnFullSystem(sh, lowered, &err));
+}
+
+TEST(CheckLowered, IncompleteProgramFailsGoal) {
+  const auto sh = Fig2dHierarchy();
+  const Program p = {Instruction{2, Form::InsideGroup(), Collective::kAllReduce}};
+  const auto lowered = LowerProgram(sh, p);
+  std::string err;
+  EXPECT_FALSE(CheckLoweredOnFullSystem(sh, lowered, &err));
+  EXPECT_EQ(err, "final context differs from goal");
+}
+
+TEST(LowerProgram, MultiAxisReduction) {
+  // Three axes, reduce over axes 0 and 2 (paper's three-axis experiments).
+  const ParallelismMatrix m({{2, 1}, {1, 2}, {1, 4}});
+  const std::vector<int> axes = {0, 2};
+  const auto sh =
+      SynthesisHierarchy::Build(m, axes, SynthesisHierarchyKind::kReductionAxes);
+  EXPECT_EQ(sh.num_synth_devices(), 8);
+  EXPECT_EQ(sh.num_replicas(), 2);
+  const Program p = {Instruction{0, Form::InsideGroup(), Collective::kAllReduce}};
+  const auto lowered = LowerProgram(sh, p);
+  std::string err;
+  EXPECT_TRUE(CheckLoweredOnFullSystem(sh, lowered, &err)) << err;
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,110 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace p2 {
+namespace {
+
+TEST(Product, Basic) {
+  const std::vector<std::int64_t> xs = {2, 3, 4};
+  EXPECT_EQ(Product(std::span<const std::int64_t>(xs)), 24);
+}
+
+TEST(Product, Empty) {
+  EXPECT_EQ(Product(std::span<const std::int64_t>{}), 1);
+}
+
+TEST(Product, IntOverload) {
+  const std::vector<int> xs = {5, 7};
+  EXPECT_EQ(Product(std::span<const int>(xs)), 35);
+}
+
+TEST(Product, ThrowsOnNegative) {
+  const std::vector<std::int64_t> xs = {2, -1};
+  EXPECT_THROW(Product(std::span<const std::int64_t>(xs)),
+               std::invalid_argument);
+}
+
+TEST(Product, ThrowsOnOverflow) {
+  const std::vector<std::int64_t> xs = {std::int64_t{1} << 62, 4};
+  EXPECT_THROW(Product(std::span<const std::int64_t>(xs)),
+               std::overflow_error);
+}
+
+TEST(OrderedFactorizations, FourIntoTwo) {
+  const auto fs = OrderedFactorizations(4, 2);
+  const std::vector<std::vector<std::int64_t>> want = {{1, 4}, {2, 2}, {4, 1}};
+  EXPECT_EQ(fs, want);
+}
+
+TEST(OrderedFactorizations, OnePart) {
+  const auto fs = OrderedFactorizations(12, 1);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0], (std::vector<std::int64_t>{12}));
+}
+
+TEST(OrderedFactorizations, OfOne) {
+  const auto fs = OrderedFactorizations(1, 3);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0], (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST(OrderedFactorizations, CountMatchesDivisorStructure) {
+  // 8 = 2^3 into 3 ordered parts: C(3+2,2) = 10 compositions of exponents.
+  EXPECT_EQ(OrderedFactorizations(8, 3).size(), 10u);
+}
+
+TEST(OrderedFactorizations, AllProductsCorrect) {
+  for (const auto& f : OrderedFactorizations(36, 3)) {
+    EXPECT_EQ(f[0] * f[1] * f[2], 36);
+  }
+}
+
+TEST(OrderedFactorizations, Throws) {
+  EXPECT_THROW(OrderedFactorizations(0, 2), std::invalid_argument);
+  EXPECT_THROW(OrderedFactorizations(4, 0), std::invalid_argument);
+}
+
+TEST(Divisors, Basic) {
+  EXPECT_EQ(Divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(Divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(Divisors(16), (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(MixedRadix, RoundTrip) {
+  const std::vector<std::int64_t> radices = {2, 3, 4};
+  for (std::int64_t i = 0; i < 24; ++i) {
+    const auto digits = IndexToDigits(i, radices);
+    EXPECT_EQ(DigitsToIndex(digits, radices), i);
+  }
+}
+
+TEST(MixedRadix, OutermostFirst) {
+  const std::vector<std::int64_t> radices = {2, 3};
+  const std::vector<std::int64_t> digits = {1, 2};
+  EXPECT_EQ(DigitsToIndex(digits, radices), 5);  // 1*3 + 2
+}
+
+TEST(MixedRadix, Errors) {
+  const std::vector<std::int64_t> radices = {2, 3};
+  const std::vector<std::int64_t> bad_digit = {2, 0};
+  EXPECT_THROW(DigitsToIndex(bad_digit, radices), std::out_of_range);
+  EXPECT_THROW(IndexToDigits(6, radices), std::out_of_range);
+  const std::vector<std::int64_t> short_digits = {1};
+  EXPECT_THROW(DigitsToIndex(short_digits, radices), std::invalid_argument);
+}
+
+TEST(CeilLog2, Values) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(64), 6);
+  EXPECT_THROW(CeilLog2(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2

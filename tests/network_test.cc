@@ -1,0 +1,160 @@
+#include "topology/network.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/presets.h"
+
+namespace p2::topology {
+namespace {
+
+TEST(Network, A100VertexAndLinkStructure) {
+  const auto net = Network::Build(MakeA100Cluster(2));
+  // 1 DC + per node: 16 GPUs + NIC + NVSwitch.
+  EXPECT_EQ(net.num_vertices(), 1 + 2 * 18);
+  EXPECT_EQ(net.num_devices(), 32);
+  // Per node: 16 gpu<->sw duplex + sw<->nic + nic<->dc = 18 duplex pairs.
+  EXPECT_EQ(net.links().size(), 2u * 2u * 18u);
+}
+
+TEST(Network, V100VertexAndLinkStructure) {
+  const auto net = Network::Build(MakeV100Cluster(2));
+  // 1 DC + per node: 8 GPUs + NIC + 2 PCIe switches.
+  EXPECT_EQ(net.num_vertices(), 1 + 2 * 11);
+  // Per node duplex pairs: 8 nvlink + 8 gpu<->pcie + 2 pcie<->nic + 1 nic<->dc.
+  EXPECT_EQ(net.links().size(), 2u * 2u * 19u);
+}
+
+TEST(Network, IntraNodeRouteUsesNvSwitch) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  const auto& path = net.PathLinks(0, 5);
+  ASSERT_EQ(path.size(), 2u);  // gpu -> switch -> gpu
+  for (int l : path) {
+    EXPECT_DOUBLE_EQ(net.links()[static_cast<std::size_t>(l)].bandwidth,
+                     c.node.local_bandwidth * 1e9);
+  }
+}
+
+TEST(Network, CrossNodeRouteCrossesNicAndDcn) {
+  const auto c = MakeA100Cluster(2);
+  const auto net = Network::Build(c);
+  const auto& path = net.PathLinks(3, 20);
+  // gpu -> sw -> nic -> dc -> nic -> sw -> gpu.
+  ASSERT_EQ(path.size(), 6u);
+  int nic_speed_links = 0;
+  for (int l : path) {
+    if (net.links()[static_cast<std::size_t>(l)].bandwidth ==
+        c.node.nic_bandwidth * 1e9) {
+      ++nic_speed_links;
+    }
+  }
+  EXPECT_EQ(nic_speed_links, 4);  // sw->nic, nic->dc, dc->nic, nic->sw
+}
+
+TEST(Network, V100AdjacentGpusUseNvLinkDirectly) {
+  const auto c = MakeV100Cluster(1);
+  const auto net = Network::Build(c);
+  EXPECT_EQ(net.PathLinks(0, 1).size(), 1u);
+  EXPECT_EQ(net.PathLinks(7, 0).size(), 1u);  // ring wrap-around
+  const int l = net.PathLinks(0, 1)[0];
+  EXPECT_DOUBLE_EQ(net.links()[static_cast<std::size_t>(l)].bandwidth,
+                   c.node.local_bandwidth * 1e9);
+}
+
+TEST(Network, V100NonAdjacentGpusFallBackToPcie) {
+  const auto c = MakeV100Cluster(1);
+  const auto net = Network::Build(c);
+  // GPU 0 -> GPU 2: NVLink would transit GPU 1, which is forbidden.
+  const auto& path = net.PathLinks(0, 2);
+  ASSERT_EQ(path.size(), 2u);  // gpu -> pcie switch -> gpu
+  for (int l : path) {
+    EXPECT_DOUBLE_EQ(net.links()[static_cast<std::size_t>(l)].bandwidth,
+                     c.node.pcie_bandwidth * 1e9);
+  }
+}
+
+TEST(Network, V100CrossDomainGoesThroughSharedNic) {
+  const auto c = MakeV100Cluster(1);
+  const auto net = Network::Build(c);
+  // GPU 1 (domain 0) -> GPU 5 (domain 1), non-adjacent on the ring.
+  const auto& path = net.PathLinks(1, 5);
+  ASSERT_EQ(path.size(), 4u);  // gpu -> pcie0 -> nic -> pcie1 -> gpu
+  int nic_speed_links = 0;
+  for (int l : path) {
+    if (net.links()[static_cast<std::size_t>(l)].bandwidth ==
+        c.node.nic_bandwidth * 1e9) {
+      ++nic_speed_links;
+    }
+  }
+  EXPECT_EQ(nic_speed_links, 2);
+}
+
+TEST(Network, NoTransitThroughGpus) {
+  const auto c = MakeV100Cluster(2);
+  const auto net = Network::Build(c);
+  std::set<int> gpu_vertices;
+  for (int d = 0; d < net.num_devices(); ++d) {
+    gpu_vertices.insert(net.DeviceVertex(d));
+  }
+  for (int s = 0; s < net.num_devices(); ++s) {
+    for (int t = 0; t < net.num_devices(); ++t) {
+      if (s == t) continue;
+      const auto& path = net.PathLinks(s, t);
+      ASSERT_FALSE(path.empty());
+      // Interior vertices must not be GPUs.
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const int v = net.links()[static_cast<std::size_t>(path[i])].dst;
+        EXPECT_FALSE(gpu_vertices.count(v) > 0)
+            << s << "->" << t << " transits GPU vertex " << v;
+      }
+      // Path is connected and ends at the right endpoints.
+      EXPECT_EQ(net.links()[static_cast<std::size_t>(path.front())].src,
+                net.DeviceVertex(s));
+      EXPECT_EQ(net.links()[static_cast<std::size_t>(path.back())].dst,
+                net.DeviceVertex(t));
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_EQ(net.links()[static_cast<std::size_t>(path[i])].dst,
+                  net.links()[static_cast<std::size_t>(path[i + 1])].src);
+      }
+    }
+  }
+}
+
+TEST(Network, MeasuredFidelityDegradesNics) {
+  const auto c = MakeA100Cluster(2);
+  const auto nominal = Network::Build(c, NetworkFidelity::kNominal);
+  const auto measured = Network::Build(c, NetworkFidelity::kMeasured);
+  ASSERT_EQ(nominal.links().size(), measured.links().size());
+  bool any_congested = false;
+  bool any_slower = false;
+  for (std::size_t l = 0; l < nominal.links().size(); ++l) {
+    EXPECT_DOUBLE_EQ(nominal.links()[l].congestion, 0.0);
+    EXPECT_LE(measured.links()[l].bandwidth, nominal.links()[l].bandwidth);
+    if (measured.links()[l].congestion > 0) any_congested = true;
+    if (measured.links()[l].bandwidth < nominal.links()[l].bandwidth) {
+      any_slower = true;
+    }
+  }
+  EXPECT_TRUE(any_congested);
+  EXPECT_TRUE(any_slower);
+}
+
+TEST(Network, MeasuredFidelityIsDeterministic) {
+  const auto c = MakeV100Cluster(4);
+  const auto a = Network::Build(c, NetworkFidelity::kMeasured);
+  const auto b = Network::Build(c, NetworkFidelity::kMeasured);
+  ASSERT_EQ(a.links().size(), b.links().size());
+  for (std::size_t l = 0; l < a.links().size(); ++l) {
+    EXPECT_DOUBLE_EQ(a.links()[l].bandwidth, b.links()[l].bandwidth);
+  }
+}
+
+TEST(Network, PathLinksRejectsSelf) {
+  const auto net = Network::Build(MakeA100Cluster(2));
+  EXPECT_THROW(net.PathLinks(0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2::topology

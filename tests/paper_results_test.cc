@@ -1,0 +1,155 @@
+// Integration tests that codify the paper's headline results as regression
+// checks (the acceptance criteria of DESIGN.md §8). These are the properties
+// the reproduction must preserve regardless of cost-model tuning.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/experiment_grid.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+namespace p2::engine {
+namespace {
+
+EngineOptions Opts(core::NcclAlgo algo = core::NcclAlgo::kRing) {
+  EngineOptions o;
+  o.algo = algo;
+  return o;
+}
+
+// Result 1: the performance of AllReduce differs by orders of magnitude
+// across parallelism matrices (paper: up to 448x).
+TEST(PaperResults, Result1PlacementImpact) {
+  const Engine eng(topology::MakeA100Cluster(4), Opts());
+  const std::vector<std::int64_t> axes = {4, 16};
+  double lo = 1e30, hi = 0.0;
+  for (const auto& m : eng.SynthesizePlacements(axes)) {
+    const std::vector<int> raxes = {0};
+    const double t =
+        eng.EvaluatePlacement(m, raxes).DefaultAllReduce().measured_seconds;
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(hi / lo, 100.0);
+  EXPECT_LT(hi / lo, 5000.0);  // and not absurdly beyond the paper's regime
+}
+
+// Result 3: if the reduction axis fits within one node, the single
+// AllReduce is the most performant reduction.
+TEST(PaperResults, Result3LocalAllReduceOptimal) {
+  const Engine eng(topology::MakeA100Cluster(2), Opts());
+  // F1: [[1 8] [2 2]] — reduction axis 0 entirely on the GPU level.
+  const core::ParallelismMatrix f1({{1, 8}, {2, 2}});
+  const std::vector<int> raxes = {0};
+  const auto eval = eng.EvaluatePlacement(f1, raxes);
+  EXPECT_EQ(eval.NumOutperforming(), 0);
+}
+
+// Result 4: synthesized programs mitigate (but do not erase) the impact of
+// a bad placement.
+TEST(PaperResults, Result4SynthesisMitigatesBadPlacements) {
+  const Engine eng(topology::MakeA100Cluster(4), Opts(core::NcclAlgo::kTree));
+  const core::ParallelismMatrix g1({{1, 4}, {4, 4}});
+  const core::ParallelismMatrix g2({{4, 1}, {1, 16}});
+  const std::vector<int> raxes = {0};
+  const auto e1 = eng.EvaluatePlacement(g1, raxes);
+  const auto e2 = eng.EvaluatePlacement(g2, raxes);
+  const double ar_gap = e2.DefaultAllReduce().measured_seconds /
+                        e1.DefaultAllReduce().measured_seconds;
+  const double best1 =
+      e1.programs[static_cast<std::size_t>(e1.BestMeasuredIndex())]
+          .measured_seconds;
+  const double best2 =
+      e2.programs[static_cast<std::size_t>(e2.BestMeasuredIndex())]
+          .measured_seconds;
+  const double best_gap = best2 / best1;
+  EXPECT_LT(best_gap, ar_gap);  // synthesis narrowed the gap
+  EXPECT_GT(best_gap, 10.0);    // ... but placement still dominates
+}
+
+// Result 5: for cross-node reductions, synthesized topology-aware programs
+// outperform AllReduce, with speedups in the paper's band.
+TEST(PaperResults, Result5CrossNodeSpeedups) {
+  struct Case {
+    topology::Cluster cluster;
+    core::ParallelismMatrix matrix;
+    std::vector<int> raxes;
+  };
+  const std::vector<Case> cases = {
+      {topology::MakeA100Cluster(2), core::ParallelismMatrix({{2, 4}, {1, 4}}),
+       {0}},
+      {topology::MakeA100Cluster(4), core::ParallelismMatrix({{2, 2}, {2, 8}}),
+       {0}},
+      {topology::MakeV100Cluster(4), core::ParallelismMatrix({{2, 4}, {2, 2}}),
+       {1}},
+  };
+  for (const auto& c : cases) {
+    const Engine eng(c.cluster, Opts());
+    const auto eval = eng.EvaluatePlacement(c.matrix, c.raxes);
+    EXPECT_GT(eval.NumOutperforming(), 0) << c.matrix.ToString();
+    const double speedup =
+        eval.DefaultAllReduce().measured_seconds /
+        eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())]
+            .measured_seconds;
+    EXPECT_GT(speedup, 1.1) << c.matrix.ToString();
+    EXPECT_LT(speedup, 3.0) << c.matrix.ToString();
+  }
+}
+
+// Table 5's shape: top-k accuracy is monotone in k and >= 90% by top-10.
+TEST(PaperResults, Table5AccuracyShape) {
+  AccuracyCounter counter;
+  for (const auto algo : {core::NcclAlgo::kRing, core::NcclAlgo::kTree}) {
+    for (const auto& cluster :
+         {topology::MakeA100Cluster(2), topology::MakeV100Cluster(2)}) {
+      const Engine eng(cluster, Opts(algo));
+      for (const auto& cfg : FullGrid(cluster)) {
+        counter.AddExperiment(eng.RunExperiment(cfg.axes, cfg.reduction_axes));
+      }
+    }
+  }
+  ASSERT_GT(counter.total(), 20);
+  for (std::size_t i = 1; i < counter.ks().size(); ++i) {
+    EXPECT_GE(counter.Rate(i), counter.Rate(i - 1));
+  }
+  // counter.ks() = {1,2,3,5,6,10}; index 5 is top-10.
+  EXPECT_GE(counter.Rate(5), 0.9);
+  EXPECT_GE(counter.Rate(0), 0.4);  // top-1 at least the paper's ballpark
+}
+
+// Result 2: synthesis stays fast — the full grid of a 2-node system
+// synthesizes in well under the paper's 2-second ceiling per config.
+TEST(PaperResults, Result2SynthesisTime) {
+  const Engine eng(topology::MakeA100Cluster(2), Opts());
+  for (const auto& cfg : FullGrid(eng.cluster())) {
+    const auto result = eng.RunExperiment(cfg.axes, cfg.reduction_axes);
+    EXPECT_LT(result.TotalSynthesisSeconds(), 2.0) << cfg.ToString();
+    EXPECT_GT(result.TotalPrograms(), 0) << cfg.ToString();
+  }
+}
+
+// Fig. 10: when a hierarchical program wins, it is one of the two canonical
+// local-first shapes (or a close variant starting local and ending local).
+TEST(PaperResults, Fig10WinnersAreLocalFirst) {
+  const Engine eng(topology::MakeA100Cluster(2), Opts());
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> raxes = {0};
+  const auto eval = eng.EvaluatePlacement(m, raxes);
+  const auto& best =
+      eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+  ASSERT_GT(best.num_steps, 1);
+  // First step must be a local (intra-node) collective: all of its lowered
+  // groups stay within one node.
+  const auto sh = core::SynthesisHierarchy::Build(
+      m, raxes, core::SynthesisHierarchyKind::kReductionAxes);
+  const auto lowered = core::LowerProgram(sh, best.program);
+  for (const auto& group : lowered.steps.front().groups) {
+    const int node = eng.cluster().NodeOf(static_cast<int>(group.front()));
+    for (std::int64_t d : group) {
+      EXPECT_EQ(eng.cluster().NodeOf(static_cast<int>(d)), node);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p2::engine

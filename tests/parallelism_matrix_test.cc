@@ -1,0 +1,90 @@
+#include "core/parallelism_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::core {
+namespace {
+
+using topology::MakeRunningExampleHierarchy;
+
+// The three placements of Figure 2 (data parallelism 4 x 4 parameter shards
+// over [(rack,1),(server,2),(cpu,2),(gpu,4)]).
+ParallelismMatrix Fig2b() {
+  return ParallelismMatrix({{1, 2, 2, 1}, {1, 1, 1, 4}});
+}
+ParallelismMatrix Fig2c() {
+  return ParallelismMatrix({{1, 2, 1, 2}, {1, 1, 2, 2}});
+}
+ParallelismMatrix Fig2d() {
+  return ParallelismMatrix({{1, 1, 2, 2}, {1, 2, 1, 2}});
+}
+
+TEST(ParallelismMatrix, Shape) {
+  const auto m = Fig2b();
+  EXPECT_EQ(m.num_axes(), 2);
+  EXPECT_EQ(m.num_levels(), 4);
+  EXPECT_EQ(m.factor(0, 1), 2);
+  EXPECT_EQ(m.factor(1, 3), 4);
+}
+
+TEST(ParallelismMatrix, RowAndColumnProducts) {
+  const auto m = Fig2c();
+  EXPECT_EQ(m.RowProduct(0), 4);
+  EXPECT_EQ(m.RowProduct(1), 4);
+  EXPECT_EQ(m.ColumnProduct(0), 1);
+  EXPECT_EQ(m.ColumnProduct(1), 2);
+  EXPECT_EQ(m.ColumnProduct(2), 2);
+  EXPECT_EQ(m.ColumnProduct(3), 4);
+}
+
+TEST(ParallelismMatrix, AxisSizesAndCardinalities) {
+  const auto m = Fig2d();
+  EXPECT_EQ(m.AxisSizes(), (std::vector<std::int64_t>{4, 4}));
+  EXPECT_EQ(m.LevelCardinalities(), (std::vector<std::int64_t>{1, 2, 2, 4}));
+}
+
+TEST(ParallelismMatrix, IsValidForRunningExample) {
+  const auto h = MakeRunningExampleHierarchy();
+  const std::vector<std::int64_t> axes = {4, 4};
+  EXPECT_TRUE(Fig2b().IsValidFor(h, axes));
+  EXPECT_TRUE(Fig2c().IsValidFor(h, axes));
+  EXPECT_TRUE(Fig2d().IsValidFor(h, axes));
+}
+
+TEST(ParallelismMatrix, InvalidWhenProductsMismatch) {
+  const auto h = MakeRunningExampleHierarchy();
+  const std::vector<std::int64_t> axes = {4, 4};
+  // Column product of level 1 is 4 != 2.
+  const ParallelismMatrix bad({{1, 4, 1, 1}, {1, 1, 2, 2}});
+  EXPECT_FALSE(bad.IsValidFor(h, axes));
+  // Wrong axis sizes.
+  const std::vector<std::int64_t> other_axes = {8, 2};
+  EXPECT_FALSE(Fig2b().IsValidFor(h, other_axes));
+}
+
+TEST(ParallelismMatrix, NumDevices) {
+  EXPECT_EQ(Fig2b().num_devices(), 16);
+}
+
+TEST(ParallelismMatrix, ToString) {
+  const ParallelismMatrix m({{1, 2}, {4, 8}});
+  EXPECT_EQ(m.ToString(), "[[1 2] [4 8]]");
+}
+
+TEST(ParallelismMatrix, RejectsBadInput) {
+  EXPECT_THROW(
+      ParallelismMatrix(std::vector<std::vector<std::int64_t>>{}),
+      std::invalid_argument);
+  EXPECT_THROW(ParallelismMatrix({{1, 2}, {1}}), std::invalid_argument);
+  EXPECT_THROW(ParallelismMatrix({{1, 0}}), std::invalid_argument);
+}
+
+TEST(ParallelismMatrix, Equality) {
+  EXPECT_EQ(Fig2b(), Fig2b());
+  EXPECT_NE(Fig2b(), Fig2c());
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,171 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/presets.h"
+
+namespace p2::core {
+namespace {
+
+using topology::MakeRunningExampleHierarchy;
+using topology::SystemHierarchy;
+
+TEST(EnumeratePlacements, RunningExampleContainsFig2) {
+  const auto h = MakeRunningExampleHierarchy();
+  const std::vector<std::int64_t> axes = {4, 4};
+  const auto ms = EnumeratePlacements(h, axes);
+  ASSERT_FALSE(ms.empty());
+  const ParallelismMatrix fig2b({{1, 2, 2, 1}, {1, 1, 1, 4}});
+  const ParallelismMatrix fig2c({{1, 2, 1, 2}, {1, 1, 2, 2}});
+  const ParallelismMatrix fig2d({{1, 1, 2, 2}, {1, 2, 1, 2}});
+  auto contains = [&](const ParallelismMatrix& m) {
+    return std::find(ms.begin(), ms.end(), m) != ms.end();
+  };
+  EXPECT_TRUE(contains(fig2b));
+  EXPECT_TRUE(contains(fig2c));
+  EXPECT_TRUE(contains(fig2d));
+}
+
+TEST(EnumeratePlacements, AllResultsValid) {
+  const auto h = MakeRunningExampleHierarchy();
+  const std::vector<std::int64_t> axes = {4, 4};
+  for (const auto& m : EnumeratePlacements(h, axes)) {
+    EXPECT_TRUE(m.IsValidFor(h, axes)) << m.ToString();
+  }
+}
+
+TEST(EnumeratePlacements, NoDuplicates) {
+  const auto h = MakeRunningExampleHierarchy();
+  const std::vector<std::int64_t> axes = {4, 4};
+  const auto ms = EnumeratePlacements(h, axes);
+  std::set<std::string> keys;
+  for (const auto& m : ms) keys.insert(m.ToString());
+  EXPECT_EQ(keys.size(), ms.size());
+}
+
+TEST(EnumeratePlacements, PaperTwoNodeA100Example) {
+  // 2 nodes x 16 A100 => hierarchy [2 16]; axes [8 4] has exactly the two
+  // placements shown in Table 4 rows F1/F2.
+  const std::vector<std::int64_t> cards = {2, 16};
+  const auto h = SystemHierarchy::FromCardinalities(cards);
+  const std::vector<std::int64_t> axes = {8, 4};
+  const auto ms = EnumeratePlacements(h, axes);
+  ASSERT_EQ(ms.size(), 2u);
+  const ParallelismMatrix f1({{1, 8}, {2, 2}});
+  const ParallelismMatrix f2({{2, 4}, {1, 4}});
+  EXPECT_NE(std::find(ms.begin(), ms.end(), f1), ms.end());
+  EXPECT_NE(std::find(ms.begin(), ms.end(), f2), ms.end());
+}
+
+TEST(EnumeratePlacements, SingleAxisIsUnique) {
+  // One axis covering the whole system factorizes uniquely.
+  const std::vector<std::int64_t> cards = {4, 16};
+  const auto h = SystemHierarchy::FromCardinalities(cards);
+  const std::vector<std::int64_t> axes = {64};
+  const auto ms = EnumeratePlacements(h, axes);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0], ParallelismMatrix({{4, 16}}));
+}
+
+TEST(EnumeratePlacements, SizeMismatchYieldsNone) {
+  const std::vector<std::int64_t> cards = {2, 16};
+  const auto h = SystemHierarchy::FromCardinalities(cards);
+  const std::vector<std::int64_t> axes = {8, 8};  // 64 != 32
+  EXPECT_TRUE(EnumeratePlacements(h, axes).empty());
+}
+
+TEST(CountPlacements, MatchesEnumeration) {
+  const auto h = MakeRunningExampleHierarchy();
+  for (const std::vector<std::int64_t>& axes :
+       {std::vector<std::int64_t>{4, 4}, {2, 8}, {16}, {2, 2, 4}}) {
+    EXPECT_EQ(CountPlacements(h, axes),
+              static_cast<std::int64_t>(EnumeratePlacements(h, axes).size()));
+  }
+}
+
+TEST(PlacementLayout, AxisCoordinatesPartitionDevices) {
+  const ParallelismMatrix fig2d({{1, 1, 2, 2}, {1, 2, 1, 2}});
+  const PlacementLayout layout(fig2d);
+  ASSERT_EQ(layout.num_devices(), 16);
+  // Each (axis0, axis1) coordinate pair occurs exactly once.
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (std::int64_t d = 0; d < 16; ++d) {
+    const auto a0 = layout.AxisCoordinate(d, 0);
+    const auto a1 = layout.AxisCoordinate(d, 1);
+    EXPECT_GE(a0, 0);
+    EXPECT_LT(a0, 4);
+    EXPECT_GE(a1, 0);
+    EXPECT_LT(a1, 4);
+    EXPECT_TRUE(seen.emplace(a0, a1).second);
+  }
+}
+
+TEST(PlacementLayout, DigitsRoundTrip) {
+  const ParallelismMatrix m({{1, 2, 2, 1}, {1, 1, 1, 4}});
+  const PlacementLayout layout(m);
+  for (std::int64_t d = 0; d < layout.num_devices(); ++d) {
+    std::vector<std::vector<std::int64_t>> digits(
+        2, std::vector<std::int64_t>(4));
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 4; ++j) digits[i][j] = layout.Digit(d, i, j);
+    }
+    EXPECT_EQ(layout.DeviceFromDigits(digits), d);
+  }
+}
+
+TEST(PlacementLayout, Fig2bReductionGroupsAlongSharding) {
+  // Fig 2b: each CPU owns one full replica; its 4 GPUs hold the 4 shards.
+  // Reduction along parameter sharding (axis 1) groups the 4 GPUs of a CPU.
+  const ParallelismMatrix fig2b({{1, 2, 2, 1}, {1, 1, 1, 4}});
+  const PlacementLayout layout(fig2b);
+  const std::vector<int> axes = {1};
+  const auto groups = layout.ReductionGroups(axes);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<std::int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[1], (std::vector<std::int64_t>{4, 5, 6, 7}));
+  EXPECT_EQ(groups[2], (std::vector<std::int64_t>{8, 9, 10, 11}));
+  EXPECT_EQ(groups[3], (std::vector<std::int64_t>{12, 13, 14, 15}));
+}
+
+TEST(PlacementLayout, Fig2bReductionGroupsAlongData) {
+  // Reduction along data parallelism (axis 0) groups same-shard GPUs of the
+  // 4 CPUs: {0,4,8,12}, {1,5,9,13}, ...
+  const ParallelismMatrix fig2b({{1, 2, 2, 1}, {1, 1, 1, 4}});
+  const PlacementLayout layout(fig2b);
+  const std::vector<int> axes = {0};
+  const auto groups = layout.ReductionGroups(axes);
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<std::int64_t>{0, 4, 8, 12}));
+  EXPECT_EQ(groups[1], (std::vector<std::int64_t>{1, 5, 9, 13}));
+}
+
+TEST(PlacementLayout, MultiAxisReduction) {
+  // Reducing over both axes groups everything together.
+  const ParallelismMatrix fig2b({{1, 2, 2, 1}, {1, 1, 1, 4}});
+  const PlacementLayout layout(fig2b);
+  const std::vector<int> axes = {0, 1};
+  const auto groups = layout.ReductionGroups(axes);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 16u);
+}
+
+TEST(PlacementLayout, ThreeAxes) {
+  const ParallelismMatrix m({{2, 1}, {1, 2}, {1, 8}});
+  const PlacementLayout layout(m);
+  EXPECT_EQ(layout.num_devices(), 32);
+  const std::vector<int> axes = {0, 2};
+  const auto groups = layout.ReductionGroups(axes);
+  ASSERT_EQ(groups.size(), 2u);  // one group per axis-1 coordinate
+  EXPECT_EQ(groups[0].size(), 16u);
+}
+
+TEST(PlacementLayout, RejectsBadAxis) {
+  const PlacementLayout layout(ParallelismMatrix({{2, 2}}));
+  const std::vector<int> axes = {1};
+  EXPECT_THROW(layout.ReductionGroups(axes), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,95 @@
+#include "engine/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::engine {
+namespace {
+
+Engine MakeEngine() {
+  EngineOptions opts;
+  opts.payload_bytes = 1e9;
+  return Engine(topology::MakeA100Cluster(2), opts);
+}
+
+TEST(Planner, SingleDemandMatchesDirectEvaluation) {
+  const auto eng = MakeEngine();
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<ReductionDemand> demands = {
+      ReductionDemand{{0}, 1e9, 1.0}};
+  const auto plans = PlanPlacements(eng, axes, demands);
+  ASSERT_EQ(plans.size(), 2u);
+  // Best plan's time equals the best measured program of that placement.
+  const auto eval = eng.EvaluatePlacement(plans[0].matrix, demands[0].reduction_axes);
+  const auto& best =
+      eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+  EXPECT_NEAR(plans[0].total_seconds_per_step, best.measured_seconds, 1e-9);
+}
+
+TEST(Planner, PlansAreSorted) {
+  const auto eng = MakeEngine();
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<ReductionDemand> demands = {
+      ReductionDemand{{0}, 1e9, 1.0}, ReductionDemand{{1}, 4e8, 8.0}};
+  const auto plans = PlanPlacements(eng, axes, demands);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LE(plans[i - 1].total_seconds_per_step,
+              plans[i].total_seconds_per_step);
+  }
+}
+
+TEST(Planner, TotalsAreWeightedSums) {
+  const auto eng = MakeEngine();
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<ReductionDemand> demands = {
+      ReductionDemand{{0}, 1e9, 2.0}, ReductionDemand{{1}, 5e8, 3.0}};
+  const auto plans = PlanPlacements(eng, axes, demands);
+  for (const auto& plan : plans) {
+    ASSERT_EQ(plan.demands.size(), 2u);
+    double sum = 0.0;
+    for (const auto& d : plan.demands) sum += d.seconds_per_step;
+    EXPECT_NEAR(plan.total_seconds_per_step, sum, 1e-12);
+  }
+}
+
+TEST(Planner, MultiAxisDemandsChangeTheWinner) {
+  // The paper's B1-vs-B3 story: reducing only axis 0 prefers the placement
+  // that keeps axis 0 local; weighting axis 1 heavily flips the choice.
+  const auto eng = MakeEngine();
+  const std::vector<std::int64_t> axes = {8, 4};
+
+  const std::vector<ReductionDemand> axis0_only = {
+      ReductionDemand{{0}, 1e9, 1.0}};
+  const std::vector<ReductionDemand> axis1_heavy = {
+      ReductionDemand{{0}, 1e9, 1.0}, ReductionDemand{{1}, 1e9, 50.0}};
+
+  const auto best0 = PlanPlacements(eng, axes, axis0_only)[0].matrix;
+  const auto best1 = PlanPlacements(eng, axes, axis1_heavy)[0].matrix;
+  EXPECT_NE(best0, best1);
+}
+
+TEST(Planner, RejectsEmptyDemands) {
+  const auto eng = MakeEngine();
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<ReductionDemand> none;
+  EXPECT_THROW(PlanPlacements(eng, axes, none), std::invalid_argument);
+}
+
+TEST(Planner, DemandPlansCarryPrograms) {
+  const auto eng = MakeEngine();
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<ReductionDemand> demands = {
+      ReductionDemand{{0}, 1e9, 1.0}};
+  const auto plans = PlanPlacements(eng, axes, demands);
+  for (const auto& plan : plans) {
+    for (const auto& d : plan.demands) {
+      EXPECT_FALSE(d.program.empty());
+      EXPECT_FALSE(d.program_text.empty());
+      EXPECT_GT(d.seconds_per_step, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p2::engine

@@ -1,0 +1,145 @@
+// Tests the rack-level third hierarchy tier: oversubscribed rack uplinks,
+// three-level synthesis, and the rack-aware program advantage.
+#include <gtest/gtest.h>
+
+#include "core/lowering.h"
+#include "core/synthesizer.h"
+#include "engine/engine.h"
+#include "runtime/data_executor.h"
+#include "topology/network.h"
+#include "topology/presets.h"
+
+namespace p2 {
+namespace {
+
+using topology::Cluster;
+using topology::MakeRackedA100Cluster;
+using topology::Network;
+
+TEST(RackedCluster, HierarchyHasThreeLevels) {
+  const Cluster c = MakeRackedA100Cluster(2, 2);
+  EXPECT_EQ(c.num_devices(), 64);
+  EXPECT_EQ(c.hierarchy().ToShortString(), "[2 2 16]");
+  EXPECT_EQ(c.hierarchy().name(0), "rack");
+  EXPECT_EQ(c.RackOf(0), 0);
+  EXPECT_EQ(c.RackOf(31), 0);
+  EXPECT_EQ(c.RackOf(32), 1);
+}
+
+TEST(RackedCluster, FlatClusterUnchanged) {
+  const Cluster c = topology::MakeA100Cluster(4);
+  EXPECT_EQ(c.racks, 1);
+  EXPECT_EQ(c.hierarchy().ToShortString(), "[4 16]");
+}
+
+TEST(RackedCluster, RejectsUnevenRacks) {
+  Cluster c = topology::MakeA100Cluster(3);
+  c.racks = 2;
+  c.rack_uplink_bandwidth = 10.0;
+  EXPECT_THROW(c.hierarchy(), std::invalid_argument);
+}
+
+TEST(RackedCluster, NetworkRoutesCrossRackThroughUplink) {
+  const Cluster c = MakeRackedA100Cluster(2, 2);
+  const auto net = Network::Build(c);
+  // Same rack, different node: gpu->sw->nic->rack_sw->nic->sw->gpu (6 links).
+  EXPECT_EQ(net.PathLinks(0, 16).size(), 6u);
+  // Different racks: two more hops through the core.
+  EXPECT_EQ(net.PathLinks(0, 32).size(), 8u);
+  // The cross-rack path includes a link at the rack-uplink bandwidth.
+  bool uses_uplink = false;
+  for (int l : net.PathLinks(0, 32)) {
+    if (net.links()[static_cast<std::size_t>(l)].bandwidth ==
+        c.rack_uplink_bandwidth * 1e9) {
+      uses_uplink = true;
+    }
+  }
+  EXPECT_TRUE(uses_uplink);
+}
+
+TEST(RackedCluster, NetworkRequiresUplinkBandwidth) {
+  Cluster c = topology::MakeA100Cluster(4);
+  c.racks = 2;  // but no uplink bandwidth set
+  EXPECT_THROW(Network::Build(c), std::invalid_argument);
+}
+
+TEST(RackedCluster, ThreeLevelSynthesisFindsRackAwarePrograms) {
+  // Reduction axis spanning rack x node x gpu: the synthesizer can stage
+  // gpu-local, node-local and rack-local steps.
+  const Cluster c = MakeRackedA100Cluster(2, 2);
+  const core::ParallelismMatrix m({{2, 2, 4}, {1, 1, 4}});
+  const std::vector<int> axes = {0};
+  const auto sh = core::SynthesisHierarchy::Build(
+      m, axes, core::SynthesisHierarchyKind::kReductionAxes);
+  EXPECT_EQ(sh.levels(), (std::vector<std::int64_t>{1, 2, 2, 4}));
+  const auto result = core::SynthesizePrograms(sh);
+  EXPECT_GT(result.programs.size(), 50u);
+  // Spot-check validity of everything on the full 64-GPU system.
+  int checked = 0;
+  for (const auto& p : result.programs) {
+    if (++checked > 40) break;
+    const auto lowered = core::LowerProgram(sh, p);
+    std::string err;
+    ASSERT_TRUE(core::CheckLoweredOnFullSystem(sh, lowered, &err))
+        << core::ToString(p) << ": " << err;
+  }
+}
+
+TEST(RackedCluster, OversubscriptionMakesCrossRackSlower) {
+  const engine::EngineOptions opts = [] {
+    engine::EngineOptions o;
+    o.payload_bytes = 1e9;
+    return o;
+  }();
+  const engine::Engine eng(MakeRackedA100Cluster(2, 2, /*oversub=*/4.0),
+                           opts);
+  // Axis 0 of size 4 placed across nodes-within-rack vs across racks.
+  const core::ParallelismMatrix within_rack({{1, 2, 2}, {2, 1, 8}});
+  const core::ParallelismMatrix across_racks({{2, 2, 1}, {1, 1, 16}});
+  const std::vector<int> raxes = {0};
+  const double t_within =
+      eng.EvaluatePlacement(within_rack, raxes).DefaultAllReduce()
+          .measured_seconds;
+  const double t_across =
+      eng.EvaluatePlacement(across_racks, raxes).DefaultAllReduce()
+          .measured_seconds;
+  EXPECT_GT(t_across, t_within);
+}
+
+TEST(RackedCluster, SynthesisHelpsMostWhenCrossingRacks) {
+  engine::EngineOptions opts;
+  opts.payload_bytes = 1e9;
+  const engine::Engine eng(MakeRackedA100Cluster(2, 2, 4.0), opts);
+  // Reduction axis = 16 spanning rack(2) x node(2) x gpu(4).
+  const core::ParallelismMatrix m({{2, 2, 4}, {1, 1, 4}});
+  const std::vector<int> raxes = {0};
+  const auto eval = eng.EvaluatePlacement(m, raxes);
+  EXPECT_GT(eval.NumOutperforming(), 0);
+  const auto& best =
+      eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+  EXPECT_GT(eval.DefaultAllReduce().measured_seconds /
+                best.measured_seconds,
+            1.1);
+  // The winning program is staged (more than one step).
+  EXPECT_GT(best.num_steps, 1);
+}
+
+TEST(RackedCluster, DataExecutorStillVerifies) {
+  const core::ParallelismMatrix m({{2, 1, 4}, {1, 2, 4}});
+  const std::vector<int> axes = {0};
+  const auto sh = core::SynthesisHierarchy::Build(
+      m, axes, core::SynthesisHierarchyKind::kReductionAxes);
+  core::SynthesisOptions sopts;
+  sopts.max_program_size = 3;
+  const auto result = core::SynthesizePrograms(sh, sopts);
+  ASSERT_FALSE(result.programs.empty());
+  for (const auto& p : result.programs) {
+    const auto lowered = core::LowerProgram(sh, p);
+    std::string err;
+    ASSERT_TRUE(runtime::DataExecutor::ExecuteAndVerify(sh, lowered, 2, &err))
+        << core::ToString(p) << ": " << err;
+  }
+}
+
+}  // namespace
+}  // namespace p2

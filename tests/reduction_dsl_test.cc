@@ -1,0 +1,90 @@
+#include "core/reduction_dsl.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collective.h"
+
+namespace p2::core {
+namespace {
+
+TEST(Form, Factories) {
+  EXPECT_EQ(Form::InsideGroup().kind, Form::Kind::kInsideGroup);
+  EXPECT_EQ(Form::InsideGroup().ancestor_level, -1);
+  EXPECT_EQ(Form::Parallel(2).kind, Form::Kind::kParallel);
+  EXPECT_EQ(Form::Parallel(2).ancestor_level, 2);
+  EXPECT_EQ(Form::Master(0).kind, Form::Kind::kMaster);
+}
+
+TEST(Form, Equality) {
+  EXPECT_EQ(Form::Parallel(1), Form::Parallel(1));
+  EXPECT_NE(Form::Parallel(1), Form::Parallel(2));
+  EXPECT_NE(Form::Parallel(1), Form::Master(1));
+  EXPECT_EQ(Form::InsideGroup(), Form::InsideGroup());
+}
+
+TEST(Instruction, Equality) {
+  const Instruction a{2, Form::Parallel(0), Collective::kAllReduce};
+  const Instruction b{2, Form::Parallel(0), Collective::kAllReduce};
+  const Instruction c{2, Form::Parallel(0), Collective::kReduce};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ToString, DefaultLevelNames) {
+  const Instruction i{2, Form::Parallel(0), Collective::kAllReduce};
+  EXPECT_EQ(ToString(i), "AllReduce(slice=L2, Parallel(L0))");
+}
+
+TEST(ToString, CustomLevelNames) {
+  const std::vector<std::string> names = {"rack", "server", "cpu", "gpu"};
+  const Instruction i{2, Form::Master(0), Collective::kReduce};
+  EXPECT_EQ(ToString(i, names), "Reduce(slice=cpu, Master(rack))");
+}
+
+TEST(ToString, InsideGroup) {
+  const std::vector<std::string> names = {"root", "node", "gpu"};
+  const Instruction i{1, Form::InsideGroup(), Collective::kReduceScatter};
+  EXPECT_EQ(ToString(i, names), "ReduceScatter(slice=node, InsideGroup)");
+}
+
+TEST(ToString, ProgramJoinsWithSemicolons) {
+  const Program p = {
+      Instruction{1, Form::InsideGroup(), Collective::kReduceScatter},
+      Instruction{1, Form::Parallel(0), Collective::kAllReduce},
+      Instruction{1, Form::InsideGroup(), Collective::kAllGather}};
+  const std::string s = ToString(p);
+  EXPECT_EQ(s,
+            "ReduceScatter(slice=L1, InsideGroup); "
+            "AllReduce(slice=L1, Parallel(L0)); "
+            "AllGather(slice=L1, InsideGroup)");
+}
+
+TEST(ToString, EmptyProgram) {
+  EXPECT_EQ(ToString(Program{}), "");
+}
+
+TEST(Collective, Names) {
+  EXPECT_STREQ(ToString(Collective::kAllReduce), "AllReduce");
+  EXPECT_STREQ(ToString(Collective::kReduceScatter), "ReduceScatter");
+  EXPECT_STREQ(ToString(Collective::kAllGather), "AllGather");
+  EXPECT_STREQ(ToString(Collective::kReduce), "Reduce");
+  EXPECT_STREQ(ToString(Collective::kBroadcast), "Broadcast");
+}
+
+TEST(Collective, ShortNames) {
+  EXPECT_STREQ(ShortName(Collective::kAllReduce), "AR");
+  EXPECT_STREQ(ShortName(Collective::kReduceScatter), "RS");
+  EXPECT_STREQ(ShortName(Collective::kAllGather), "AG");
+  EXPECT_STREQ(ShortName(Collective::kReduce), "RD");
+  EXPECT_STREQ(ShortName(Collective::kBroadcast), "BC");
+}
+
+TEST(Collective, AlgoNames) {
+  EXPECT_STREQ(ToString(NcclAlgo::kRing), "Ring");
+  EXPECT_STREQ(ToString(NcclAlgo::kTree), "Tree");
+  EXPECT_EQ(kAllAlgos.size(), 2u);
+  EXPECT_EQ(kAllCollectives.size(), 5u);
+}
+
+}  // namespace
+}  // namespace p2::core

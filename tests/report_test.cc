@@ -1,0 +1,88 @@
+#include "engine/report.h"
+
+#include <gtest/gtest.h>
+
+namespace p2::engine {
+namespace {
+
+ExperimentResult MakeResult(
+    const std::vector<std::vector<std::pair<double, double>>>& placements) {
+  ExperimentResult result;
+  for (const auto& progs : placements) {
+    PlacementEvaluation pe;
+    pe.matrix =
+        core::ParallelismMatrix(std::vector<std::vector<std::int64_t>>{{1}});
+    for (const auto& [pred, meas] : progs) {
+      ProgramEvaluation p;
+      p.predicted_seconds = pred;
+      p.measured_seconds = meas;
+      pe.programs.push_back(p);
+    }
+    result.placements.push_back(std::move(pe));
+  }
+  return result;
+}
+
+TEST(Report, CollectPairsFlattens) {
+  const auto result = MakeResult({{{1, 1}, {2, 2}}, {{3, 3}}});
+  const auto pairs = CollectPairs(result);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[2].placement_index, 1);
+  EXPECT_EQ(pairs[2].program_index, 0);
+}
+
+TEST(Report, PerfectPredictionRankZero) {
+  const auto result = MakeResult({{{2, 2}, {1, 1}, {3, 3}}});
+  EXPECT_EQ(MeasuredRankOfPredictedBest(CollectPairs(result)), 0);
+}
+
+TEST(Report, MispredictionGetsPositiveRank) {
+  // Predicted best is the pair with pred=1 (meas=10); two pairs measure
+  // faster than 10 => rank 2.
+  const auto result = MakeResult({{{1, 10}, {2, 3}, {3, 5}, {4, 20}}});
+  EXPECT_EQ(MeasuredRankOfPredictedBest(CollectPairs(result)), 2);
+}
+
+TEST(Report, AccuracyCounterTopK) {
+  AccuracyCounter counter({1, 2, 10});
+  counter.AddExperiment(MakeResult({{{1, 1}, {2, 2}}}));        // rank 0
+  counter.AddExperiment(MakeResult({{{1, 10}, {2, 3}}}));        // rank 1
+  counter.AddExperiment(MakeResult(
+      {{{1, 10}, {2, 3}, {3, 4}, {4, 5}}}));                     // rank 3
+  EXPECT_EQ(counter.total(), 3);
+  EXPECT_DOUBLE_EQ(counter.Rate(0), 1.0 / 3.0);  // top-1
+  EXPECT_DOUBLE_EQ(counter.Rate(1), 2.0 / 3.0);  // top-2
+  EXPECT_DOUBLE_EQ(counter.Rate(2), 1.0);        // top-10
+}
+
+TEST(Report, AccuracyRatesMonotoneInK) {
+  AccuracyCounter counter;
+  counter.AddExperiment(MakeResult({{{1, 5}, {2, 3}, {3, 1}}}));
+  for (std::size_t i = 1; i < counter.ks().size(); ++i) {
+    EXPECT_GE(counter.Rate(i), counter.Rate(i - 1));
+  }
+}
+
+TEST(Report, FormatSpeedup) {
+  EXPECT_EQ(FormatSpeedup(1.0), "1x");
+  EXPECT_EQ(FormatSpeedup(1.83), "1.83x");
+  EXPECT_EQ(FormatSpeedup(2.044), "2.04x");
+}
+
+TEST(Report, ProgramShape) {
+  const core::Program p = {
+      core::Instruction{1, core::Form::InsideGroup(),
+                        core::Collective::kReduceScatter},
+      core::Instruction{1, core::Form::Parallel(0),
+                        core::Collective::kAllReduce},
+      core::Instruction{1, core::Form::InsideGroup(),
+                        core::Collective::kAllGather}};
+  EXPECT_EQ(ProgramShape(p), "RS-AR-AG");
+}
+
+TEST(Report, RankThrowsOnEmpty) {
+  EXPECT_THROW(MeasuredRankOfPredictedBest({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2::engine

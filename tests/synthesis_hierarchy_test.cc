@@ -1,0 +1,175 @@
+// Reproduces Table 1 (synthesis hierarchies) and validates the lowering maps.
+#include "core/synthesis_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace p2::core {
+namespace {
+
+// Table 1 top: matrix [[1 1 2 2] [1 2 1 2]], reduction on axis 1.
+ParallelismMatrix Table1Matrix() {
+  return ParallelismMatrix({{1, 1, 2, 2}, {1, 2, 1, 2}});
+}
+
+TEST(Table1, ColumnBased) {
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(
+      Table1Matrix(), axes, SynthesisHierarchyKind::kColumnMajor);
+  EXPECT_EQ(sh.levels(),
+            (std::vector<std::int64_t>{1, 1, 1, 2, 2, 1, 2, 2}));
+  EXPECT_EQ(sh.num_synth_devices(), 16);
+  EXPECT_EQ(sh.num_replicas(), 1);
+}
+
+TEST(Table1, RowBased) {
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(Table1Matrix(), axes,
+                                            SynthesisHierarchyKind::kRowMajor);
+  EXPECT_EQ(sh.levels(),
+            (std::vector<std::int64_t>{1, 1, 2, 2, 1, 2, 1, 2}));
+  EXPECT_EQ(sh.num_synth_devices(), 16);
+}
+
+TEST(Table1, ReductionAxis) {
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(
+      Table1Matrix(), axes, SynthesisHierarchyKind::kReductionAxes);
+  // [1 2 1 2] with a (root, 1) prepended.
+  EXPECT_EQ(sh.levels(), (std::vector<std::int64_t>{1, 1, 2, 1, 2}));
+  EXPECT_EQ(sh.num_synth_devices(), 4);
+  EXPECT_EQ(sh.num_replicas(), 4);
+  ASSERT_EQ(sh.goal_groups().size(), 1u);
+  EXPECT_EQ(sh.goal_groups()[0].size(), 4u);
+}
+
+TEST(Table1, SystemHierarchy) {
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(Table1Matrix(), axes,
+                                            SynthesisHierarchyKind::kSystem);
+  EXPECT_EQ(sh.levels(), (std::vector<std::int64_t>{1, 2, 2, 4}));
+  EXPECT_EQ(sh.num_synth_devices(), 16);
+}
+
+// Table 1 bottom: matrix [[1 2 3] [4 5 6] [7 8 9]], reduction on axes 0, 2.
+TEST(Table1, MultiAxisRowBasedAndCollapsed) {
+  const ParallelismMatrix m({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  const std::vector<int> axes = {0, 2};
+  const auto uncollapsed = SynthesisHierarchy::Build(
+      m, axes, SynthesisHierarchyKind::kReductionAxes, /*collapse=*/false);
+  EXPECT_EQ(uncollapsed.levels(),
+            (std::vector<std::int64_t>{1, 1, 2, 3, 7, 8, 9}));
+  const auto collapsed = SynthesisHierarchy::Build(
+      m, axes, SynthesisHierarchyKind::kReductionAxes, /*collapse=*/true);
+  EXPECT_EQ(collapsed.levels(), (std::vector<std::int64_t>{1, 7, 16, 27}));
+  EXPECT_EQ(collapsed.num_synth_devices(), 6 * 504);
+  EXPECT_EQ(collapsed.num_replicas(), 120);
+}
+
+TEST(SynthesisHierarchy, ReductionAxesMapCoversGroups) {
+  // The (d) device map must enumerate, per replica, exactly one reduction
+  // group of the placement.
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(
+      Table1Matrix(), axes, SynthesisHierarchyKind::kReductionAxes);
+  const auto groups = sh.layout().ReductionGroups(axes);
+  std::set<std::vector<std::int64_t>> group_set(groups.begin(), groups.end());
+  for (std::int64_t rep = 0; rep < sh.num_replicas(); ++rep) {
+    std::vector<std::int64_t> devices;
+    for (std::int64_t s = 0; s < sh.num_synth_devices(); ++s) {
+      devices.push_back(sh.GlobalDevice(s, rep));
+    }
+    std::sort(devices.begin(), devices.end());
+    EXPECT_TRUE(group_set.count(devices))
+        << "replica " << rep << " is not a reduction group";
+  }
+}
+
+TEST(SynthesisHierarchy, MapIsBijective) {
+  const std::vector<int> axes = {0};
+  const auto sh = SynthesisHierarchy::Build(
+      Table1Matrix(), axes, SynthesisHierarchyKind::kReductionAxes);
+  std::set<std::int64_t> all;
+  for (std::int64_t rep = 0; rep < sh.num_replicas(); ++rep) {
+    for (std::int64_t s = 0; s < sh.num_synth_devices(); ++s) {
+      EXPECT_TRUE(all.insert(sh.GlobalDevice(s, rep)).second);
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(all.size()), sh.num_global_devices());
+}
+
+TEST(SynthesisHierarchy, RowMajorIsPermutation) {
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(Table1Matrix(), axes,
+                                            SynthesisHierarchyKind::kRowMajor);
+  std::set<std::int64_t> all;
+  for (std::int64_t s = 0; s < sh.num_synth_devices(); ++s) {
+    all.insert(sh.GlobalDevice(s, 0));
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(all.size()), 16);
+}
+
+TEST(SynthesisHierarchy, ColumnMajorIsIdentity) {
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(
+      Table1Matrix(), axes, SynthesisHierarchyKind::kColumnMajor);
+  for (std::int64_t s = 0; s < sh.num_synth_devices(); ++s) {
+    EXPECT_EQ(sh.GlobalDevice(s, 0), s);
+  }
+}
+
+TEST(SynthesisHierarchy, GoalGroupsPartitionSynthDevices) {
+  for (const auto kind :
+       {SynthesisHierarchyKind::kSystem, SynthesisHierarchyKind::kColumnMajor,
+        SynthesisHierarchyKind::kRowMajor,
+        SynthesisHierarchyKind::kReductionAxes}) {
+    const std::vector<int> axes = {0};
+    const auto sh = SynthesisHierarchy::Build(Table1Matrix(), axes, kind);
+    std::vector<int> seen(static_cast<std::size_t>(sh.num_synth_devices()), 0);
+    for (const auto& g : sh.goal_groups()) {
+      for (std::int64_t s : g) ++seen[static_cast<std::size_t>(s)];
+    }
+    for (int c : seen) EXPECT_EQ(c, 1) << ToString(kind);
+  }
+}
+
+TEST(SynthesisHierarchy, RowMajorGoalGroupsAreContiguousReductionAxis) {
+  // In row-major numbering the reduction axis digits are consecutive, so
+  // reduction groups are easy to express -- the paper's key insight.
+  const std::vector<int> axes = {1};
+  const auto sh = SynthesisHierarchy::Build(Table1Matrix(), axes,
+                                            SynthesisHierarchyKind::kRowMajor);
+  for (const auto& g : sh.goal_groups()) {
+    ASSERT_EQ(g.size(), 4u);
+    // Members are consecutive synthesis indices (stride 1).
+    for (std::size_t i = 1; i < g.size(); ++i) {
+      EXPECT_EQ(g[i], g[i - 1] + 1);
+    }
+  }
+}
+
+TEST(SynthesisHierarchy, Errors) {
+  const std::vector<int> none = {};
+  EXPECT_THROW(SynthesisHierarchy::Build(
+                   Table1Matrix(), none, SynthesisHierarchyKind::kReductionAxes),
+               std::invalid_argument);
+  const std::vector<int> bad = {2};
+  EXPECT_THROW(SynthesisHierarchy::Build(
+                   Table1Matrix(), bad, SynthesisHierarchyKind::kReductionAxes),
+               std::out_of_range);
+  const std::vector<int> dup = {0, 0};
+  EXPECT_THROW(SynthesisHierarchy::Build(
+                   Table1Matrix(), dup, SynthesisHierarchyKind::kReductionAxes),
+               std::invalid_argument);
+}
+
+TEST(SynthesisHierarchy, KindNames) {
+  EXPECT_STREQ(ToString(SynthesisHierarchyKind::kReductionAxes),
+               "reduction-axes");
+  EXPECT_STREQ(ToString(SynthesisHierarchyKind::kSystem), "system");
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,161 @@
+#include "core/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/lowering.h"
+
+namespace p2::core {
+namespace {
+
+SynthesisHierarchy Fig2dHierarchy() {
+  const ParallelismMatrix m({{1, 1, 2, 2}, {1, 2, 1, 2}});
+  const std::vector<int> axes = {1};
+  return SynthesisHierarchy::Build(m, axes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+bool ContainsProgram(const SynthesisResult& r, const Program& p) {
+  return std::find(r.programs.begin(), r.programs.end(), p) != r.programs.end();
+}
+
+TEST(Synthesizer, FindsSingleStepAllReduce) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  ASSERT_FALSE(result.programs.empty());
+  // The shortest program is the single AllReduce over the whole group.
+  EXPECT_EQ(result.programs.front().size(), 1u);
+  EXPECT_EQ(result.programs.front()[0].op, Collective::kAllReduce);
+}
+
+TEST(Synthesizer, FindsFig3bTwoStepAllReduce) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  const Program fig3b = {
+      Instruction{2, Form::InsideGroup(), Collective::kAllReduce},
+      Instruction{2, Form::Parallel(0), Collective::kAllReduce}};
+  EXPECT_TRUE(ContainsProgram(result, fig3b));
+}
+
+TEST(Synthesizer, FindsReduceAllReduceBroadcast) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  const Program fig3c = {
+      Instruction{2, Form::InsideGroup(), Collective::kReduce},
+      Instruction{2, Form::Master(0), Collective::kAllReduce},
+      Instruction{2, Form::InsideGroup(), Collective::kBroadcast}};
+  EXPECT_TRUE(ContainsProgram(result, fig3c));
+}
+
+TEST(Synthesizer, FindsBlueConnect) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  const Program blueconnect = {
+      Instruction{2, Form::InsideGroup(), Collective::kReduceScatter},
+      Instruction{2, Form::Parallel(0), Collective::kAllReduce},
+      Instruction{2, Form::InsideGroup(), Collective::kAllGather}};
+  EXPECT_TRUE(ContainsProgram(result, blueconnect));
+}
+
+TEST(Synthesizer, AllProgramsLowerAndValidateOnFullSystem) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  for (const Program& p : result.programs) {
+    const auto lowered = LowerProgram(sh, p);
+    std::string err;
+    EXPECT_TRUE(CheckLoweredOnFullSystem(sh, lowered, &err))
+        << ToString(p) << ": " << err;
+  }
+}
+
+TEST(Synthesizer, ProgramsAreUnique) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  std::set<std::string> keys;
+  for (const Program& p : result.programs) keys.insert(ToString(p));
+  EXPECT_EQ(keys.size(), result.programs.size());
+}
+
+TEST(Synthesizer, SortedBySize) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  for (std::size_t i = 1; i < result.programs.size(); ++i) {
+    EXPECT_LE(result.programs[i - 1].size(), result.programs[i].size());
+  }
+}
+
+TEST(Synthesizer, RespectsSizeLimit) {
+  const auto sh = Fig2dHierarchy();
+  SynthesisOptions opts;
+  opts.max_program_size = 2;
+  const auto result = SynthesizePrograms(sh, opts);
+  for (const Program& p : result.programs) EXPECT_LE(p.size(), 2u);
+  // Size 2 is enough for AllReduce and the Fig 3b pattern but not Fig 3c.
+  EXPECT_GE(result.programs.size(), 2u);
+}
+
+TEST(Synthesizer, LargerLimitFindsMorePrograms) {
+  const auto sh = Fig2dHierarchy();
+  SynthesisOptions small, large;
+  small.max_program_size = 2;
+  large.max_program_size = 4;
+  EXPECT_LT(SynthesizePrograms(sh, small).programs.size(),
+            SynthesizePrograms(sh, large).programs.size());
+}
+
+TEST(Synthesizer, MaxProgramsCapRespected) {
+  const auto sh = Fig2dHierarchy();
+  SynthesisOptions opts;
+  opts.max_programs = 3;
+  const auto result = SynthesizePrograms(sh, opts);
+  EXPECT_EQ(result.programs.size(), 3u);
+}
+
+TEST(Synthesizer, TrivialHierarchyOnlyDirectPrograms) {
+  // Reduction axis fully inside one level: [root=1, 1, 8]; the only grouping
+  // is the full group, so programs are AR / RS->AG / RD->BC (and no more).
+  const ParallelismMatrix m({{1, 8}, {2, 2}});
+  const std::vector<int> axes = {0};
+  const auto sh =
+      SynthesisHierarchy::Build(m, axes, SynthesisHierarchyKind::kReductionAxes);
+  const auto result = SynthesizePrograms(sh);
+  ASSERT_EQ(result.programs.size(), 3u);
+  EXPECT_EQ(result.programs[0].size(), 1u);  // AllReduce
+  EXPECT_EQ(result.programs[1].size(), 2u);
+  EXPECT_EQ(result.programs[2].size(), 2u);
+}
+
+TEST(Synthesizer, StatsPopulated) {
+  const auto sh = Fig2dHierarchy();
+  const auto result = SynthesizePrograms(sh);
+  EXPECT_GT(result.stats.instructions_tried, 0);
+  EXPECT_GT(result.stats.applications_succeeded, 0);
+  EXPECT_GT(result.stats.alphabet_size, 0);
+  EXPECT_GE(result.stats.seconds, 0.0);
+}
+
+TEST(Synthesizer, DeeperHierarchyFindsRicherPrograms) {
+  // Reduction axis split over three structured levels.
+  const ParallelismMatrix m({{2, 2, 2}, {1, 1, 1}});
+  const std::vector<int> axes = {0};
+  const auto sh =
+      SynthesisHierarchy::Build(m, axes, SynthesisHierarchyKind::kReductionAxes);
+  EXPECT_EQ(sh.num_synth_devices(), 8);
+  const auto result = SynthesizePrograms(sh);
+  // Must include the fully hierarchical 3-step AllReduce chain.
+  bool found_three_step_ar = false;
+  for (const Program& p : result.programs) {
+    if (p.size() == 3 && std::all_of(p.begin(), p.end(), [](const auto& i) {
+          return i.op == Collective::kAllReduce;
+        })) {
+      found_three_step_ar = true;
+    }
+  }
+  EXPECT_TRUE(found_three_step_ar);
+  EXPECT_GT(result.programs.size(), 20u);
+}
+
+}  // namespace
+}  // namespace p2::core

@@ -1,0 +1,65 @@
+#include "topology/system.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.h"
+
+namespace p2::topology {
+namespace {
+
+SystemHierarchy RunningExample() { return MakeRunningExampleHierarchy(); }
+
+TEST(SystemHierarchy, RunningExampleShape) {
+  const auto h = RunningExample();
+  EXPECT_EQ(h.depth(), 4);
+  EXPECT_EQ(h.num_devices(), 16);
+  EXPECT_EQ(h.cardinality(0), 1);
+  EXPECT_EQ(h.cardinality(1), 2);
+  EXPECT_EQ(h.cardinality(2), 2);
+  EXPECT_EQ(h.cardinality(3), 4);
+  EXPECT_EQ(h.name(3), "gpu");
+}
+
+TEST(SystemHierarchy, ToString) {
+  const auto h = RunningExample();
+  EXPECT_EQ(h.ToShortString(), "[1 2 2 4]");
+  EXPECT_EQ(h.ToString(), "[(rack, 1), (server, 2), (cpu, 2), (gpu, 4)]");
+}
+
+TEST(SystemHierarchy, SubtreeSizes) {
+  const auto h = RunningExample();
+  EXPECT_EQ(h.subtree_size(0), 16);  // a rack holds all 16 GPUs
+  EXPECT_EQ(h.subtree_size(1), 8);   // a server holds 8
+  EXPECT_EQ(h.subtree_size(2), 4);   // a cpu holds 4
+  EXPECT_EQ(h.subtree_size(3), 1);
+}
+
+TEST(SystemHierarchy, CoordinatesRoundTrip) {
+  const auto h = RunningExample();
+  for (std::int64_t d = 0; d < h.num_devices(); ++d) {
+    const auto coords = h.coordinates(d);
+    EXPECT_EQ(h.device_of(coords), d);
+  }
+}
+
+TEST(SystemHierarchy, CoordinatesAreHierarchical) {
+  const auto h = RunningExample();
+  // Device 5 = server 0, cpu 1, gpu 1 (A=cpu0 gpus 0-3, B=cpu1 gpus 4-7, ...).
+  const auto coords = h.coordinates(5);
+  EXPECT_EQ(coords, (std::vector<std::int64_t>{0, 0, 1, 1}));
+}
+
+TEST(SystemHierarchy, FromCardinalities) {
+  const std::vector<std::int64_t> cards = {2, 8};
+  const auto h = SystemHierarchy::FromCardinalities(cards);
+  EXPECT_EQ(h.num_devices(), 16);
+  EXPECT_EQ(h.name(0), "L0");
+}
+
+TEST(SystemHierarchy, RejectsBadInput) {
+  EXPECT_THROW(SystemHierarchy(std::vector<Level>{}), std::invalid_argument);
+  EXPECT_THROW(SystemHierarchy({Level{"x", 0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2::topology
