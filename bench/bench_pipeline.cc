@@ -1,0 +1,173 @@
+// Benchmarks the staged evaluation pipeline (ISSUE 1) against the serial
+// monolith it replaced, on a Table-3-style grid: one A100 system, several
+// axis configurations, every reduction axis of each. Three variants:
+//
+//   serial      — per-placement re-synthesis, one thread (the seed's
+//                 Engine::RunExperiment monolith)
+//   cached      — synthesize once per hierarchy signature, one thread
+//   cached+par  — signature cache plus a worker pool for evaluation
+//
+// Reported per variant: wall-clock, placements evaluated, unique synthesis
+// hierarchies, cache hit rate and the re-synthesis time the cache avoided.
+// Prediction-only (like the paper's simulator-guided sweep): the grid's cost
+// is dominated by syntax-guided synthesis, which is exactly what the cache
+// removes.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "engine/pipeline.h"
+#include "engine/report.h"
+#include "topology/presets.h"
+
+namespace {
+
+using p2::FormatSeconds;
+using p2::TextTable;
+using p2::engine::Engine;
+using p2::engine::EngineOptions;
+using p2::engine::ExperimentResult;
+using p2::engine::Pipeline;
+using p2::engine::PipelineOptions;
+
+struct GridConfig {
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+};
+
+// A Table-3-style grid on the racked (three-level) A100 system: several axis
+// configurations, all reducing over a 16-wide axis. Under kReductionAxes the
+// synthesis hierarchy of a placement is the reduction axis's factorization
+// over the [rack node gpu] levels — the same four signatures recur across
+// every experiment of the grid, which is exactly the reuse the cache mines.
+std::vector<GridConfig> MakeGrid() {
+  return {
+      {{16, 4}, {0}},    {{16, 2, 2}, {0}}, {{4, 16}, {1}},
+      {{2, 16, 2}, {1}}, {{2, 2, 16}, {2}}, {{8, 4, 2}, {0}},
+  };
+}
+
+struct VariantResult {
+  double seconds = 0.0;
+  std::int64_t placements = 0;
+  std::int64_t unique = 0;
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  double saved_seconds = 0.0;
+};
+
+VariantResult RunGrid(const Engine& engine, const PipelineOptions& options,
+                      const std::vector<GridConfig>& grid,
+                      std::vector<ExperimentResult>* results) {
+  VariantResult v;
+  // One Pipeline for the whole grid: the signature cache also carries
+  // synthesis results across experiments (e.g. reduce=0 of [8 2 2 2] and of
+  // [16 2 2] can share hierarchies).
+  Pipeline pipeline(engine, options);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& cfg : grid) {
+    ExperimentResult result = pipeline.Run(cfg.axes, cfg.reduction_axes);
+    v.placements += result.pipeline.num_placements;
+    v.unique += result.pipeline.unique_hierarchies;
+    v.hits += result.pipeline.cache_hits;
+    v.misses += result.pipeline.cache_misses;
+    v.saved_seconds += result.pipeline.synthesis_seconds_saved;
+    if (results != nullptr) results->push_back(std::move(result));
+  }
+  v.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return v;
+}
+
+bool SameResults(const std::vector<ExperimentResult>& a,
+                 const std::vector<ExperimentResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    if (a[e].placements.size() != b[e].placements.size()) return false;
+    for (std::size_t p = 0; p < a[e].placements.size(); ++p) {
+      const auto& pa = a[e].placements[p];
+      const auto& pb = b[e].placements[p];
+      if (!(pa.matrix == pb.matrix)) return false;
+      if (pa.programs.size() != pb.programs.size()) return false;
+      for (std::size_t g = 0; g < pa.programs.size(); ++g) {
+        if (pa.programs[g].program != pb.programs[g].program) return false;
+        if (pa.programs[g].predicted_seconds !=
+            pb.programs[g].predicted_seconds) {
+          return false;
+        }
+        if (pa.programs[g].measured_seconds !=
+            pb.programs[g].measured_seconds) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  if (argc > 1) threads = std::max(1, std::atoi(argv[1]));
+
+  EngineOptions opts;
+  opts.payload_bytes = 1e9;
+  opts.measure = false;  // prediction-only sweep (paper Section 5 workflow)
+  const Engine engine(p2::topology::MakeRackedA100Cluster(2, 2), opts);
+  const auto grid = MakeGrid();
+
+  std::printf(
+      "Pipeline bench: %zu experiments on %s\n"
+      "(prediction-only; serial = the seed's per-placement re-synthesis)\n\n",
+      grid.size(), engine.cluster().ToString().c_str());
+
+  std::vector<ExperimentResult> serial_results;
+  const auto serial =
+      RunGrid(engine,
+              PipelineOptions{.threads = 1, .cache_synthesis = false},
+              grid, &serial_results);
+
+  std::vector<ExperimentResult> cached_results;
+  const auto cached =
+      RunGrid(engine, PipelineOptions{.threads = 1, .cache_synthesis = true},
+              grid, &cached_results);
+
+  std::vector<ExperimentResult> parallel_results;
+  const auto parallel =
+      RunGrid(engine,
+              PipelineOptions{.threads = threads, .cache_synthesis = true},
+              grid, &parallel_results);
+
+  TextTable table({"Variant", "Wall(s)", "Placements", "Unique", "Cache",
+                   "Saved(s)", "Speedup"});
+  auto row = [&](const char* name, const VariantResult& v) {
+    char cache[64];
+    std::snprintf(cache, sizeof(cache), "%lld/%lld",
+                  static_cast<long long>(v.hits),
+                  static_cast<long long>(v.hits + v.misses));
+    table.AddRow({name, FormatSeconds(v.seconds), std::to_string(v.placements),
+                  std::to_string(v.unique), cache,
+                  FormatSeconds(v.saved_seconds),
+                  p2::engine::FormatSpeedup(serial.seconds / v.seconds)});
+  };
+  row("serial", serial);
+  row("cached", cached);
+  char label[32];
+  std::snprintf(label, sizeof(label), "cached+par(%d)", threads);
+  row(label, parallel);
+  std::printf("%s\n", table.Render().c_str());
+
+  const bool identical = SameResults(serial_results, cached_results) &&
+                         SameResults(serial_results, parallel_results);
+  std::printf("outputs identical across variants: %s\n",
+              identical ? "yes" : "NO — BUG");
+  std::printf("cached+parallel speedup over serial: %.2fx\n",
+              serial.seconds / parallel.seconds);
+  return identical ? 0 : 1;
+}

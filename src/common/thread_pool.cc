@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace p2 {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (first_error_ == nullptr) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    bool skip = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      // Fail fast: once a task has thrown, drain the remaining queue without
+      // running it — Wait() is about to rethrow anyway.
+      skip = first_error_ != nullptr;
+    }
+    if (!skip) RunTask(task);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    RunTask(task);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (workers_.empty()) {
+    // Inline mode still honours the first-error-wins contract of Wait(),
+    // and fails fast like the workers do.
+    for (std::int64_t i = 0; i < n; ++i) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (first_error_ != nullptr) break;
+      }
+      RunTask([&fn, i] { fn(i); });
+    }
+    Wait();
+    return;
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  Wait();
+}
+
+}  // namespace p2

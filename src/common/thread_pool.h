@@ -1,0 +1,61 @@
+// A small fixed-size thread pool for the evaluation pipeline: placements of
+// one experiment are independent once their synthesis hierarchies are
+// deduplicated, so they are evaluated by `threads` workers writing into
+// preallocated result slots (the caller merges in deterministic placement
+// order — parallel output is byte-identical to the serial path).
+#ifndef P2_COMMON_THREAD_POOL_H_
+#define P2_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p2 {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. With num_threads <= 1 no workers are
+  /// spawned and Submit runs tasks inline — the serial path stays free of
+  /// synchronization and of thread-creation cost.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not Submit to the same pool recursively.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception any task threw (if one did).
+  void Wait();
+
+  /// Runs fn(0..n-1), distributing iterations over the pool's workers, and
+  /// waits for completion. Iterations must be independent; callers that need
+  /// ordered output should write to slot i and merge afterwards.
+  void ParallelFor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void RunTask(const std::function<void()>& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::int64_t in_flight_ = 0;  ///< queued + currently running tasks
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace p2
+
+#endif  // P2_COMMON_THREAD_POOL_H_

@@ -29,6 +29,24 @@ SynthesisHierarchy::SynthesisHierarchy(PlacementLayout layout,
       layout_(std::move(layout)),
       reduction_axes_(std::move(reduction_axes)) {}
 
+std::string SynthesisHierarchy::Signature() const {
+  std::string sig = "levels:";
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) sig += ',';
+    sig += std::to_string(levels_[i]);
+  }
+  sig += ";goal:";
+  for (const auto& group : goal_groups_) {
+    sig += '[';
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i > 0) sig += ',';
+      sig += std::to_string(group[i]);
+    }
+    sig += ']';
+  }
+  return sig;
+}
+
 std::int64_t SynthesisHierarchy::GlobalDevice(std::int64_t synth,
                                               std::int64_t replica) const {
   return device_map_.at(static_cast<std::size_t>(replica))

@@ -69,6 +69,17 @@ class SynthesisHierarchy {
     return goal_groups_;
   }
 
+  /// Canonical signature of the synthesis problem this hierarchy poses:
+  /// the level cardinalities plus the goal-group partition of the synthesis
+  /// devices. Everything SynthesizePrograms depends on — the grouping
+  /// alphabet (derived from the levels), the synthesis device count (their
+  /// product) and the goal context — is a function of the signature, so two
+  /// hierarchies with equal signatures yield identical program lists. The
+  /// signature is invariant under global-device renumbering (the device map
+  /// only affects lowering), which is what lets isomorphic placements of one
+  /// experiment share a single synthesis run.
+  std::string Signature() const;
+
  private:
   SynthesisHierarchy(PlacementLayout layout, std::vector<int> reduction_axes,
                      SynthesisHierarchyKind kind);

@@ -7,6 +7,7 @@
 #include "common/format.h"
 #include "core/fusion.h"
 #include "engine/engine.h"
+#include "engine/pipeline.h"
 #include "engine/report.h"
 #include "topology/presets.h"
 
@@ -41,7 +42,7 @@ std::string CliUsage() {
       "usage: p2_plan --system=a100|v100 --nodes=N --axes=A,B[,C] "
       "--reduce=I[,J]\n"
       "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N] "
-      "[--fuse]\n"
+      "[--threads=N] [--fuse]\n"
       "\n"
       "  --system      GPU system model (Fig. 9 of the paper)\n"
       "  --nodes       number of nodes\n"
@@ -50,6 +51,8 @@ std::string CliUsage() {
       "  --algo        NCCL algorithm (default ring)\n"
       "  --payload-mb  per-GPU payload in MB (default: 2^29*nodes floats)\n"
       "  --top-k       measure only the top-k programs by prediction\n"
+      "  --threads     evaluate placements with N worker threads (default 1;\n"
+      "                the result is identical at any thread count)\n"
       "  --fuse        fuse consecutive fusible steps before evaluating\n";
 }
 
@@ -123,6 +126,15 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.top_k = static_cast<int>(v);
+    } else if (key == "--threads") {
+      std::int64_t v = 0;
+      // Bounded: an absurd count would die in std::thread creation with an
+      // unhandled std::system_error instead of a usage message.
+      if (!ParseInt(value, &v) || v < 1 || v > 1024) {
+        *error = "--threads must be an integer in [1, 1024]";
+        return std::nullopt;
+      }
+      opts.threads = static_cast<int>(v);
     } else {
       *error = "unrecognized flag: " + key + "\n\n" + CliUsage();
       return std::nullopt;
@@ -176,6 +188,13 @@ int RunCli(const CliOptions& options, std::string* output) {
     eng_opts.payload_bytes = options.payload_mb * 1e6;
   }
   const Engine engine(cluster, eng_opts);
+  Pipeline pipeline(
+      engine,
+      PipelineOptions{.threads = options.threads,
+                      .cache_synthesis = true,
+                      .measure_top_k = options.top_k > 0 ? options.top_k : -1});
+  const ExperimentResult result =
+      pipeline.Run(options.axes, options.reduction_axes);
 
   std::ostringstream os;
   os << "system: " << cluster.ToString() << ", "
@@ -184,18 +203,13 @@ int RunCli(const CliOptions& options, std::string* output) {
 
   TextTable table({"Placement", "Programs", "AllReduce(s)", "Best(s)",
                    "Speedup", "Best program"});
-  for (const auto& matrix : engine.SynthesizePlacements(options.axes)) {
-    auto eval = options.top_k > 0
-                    ? engine.EvaluatePlacementGuided(
-                          matrix, options.reduction_axes, options.top_k)
-                    : engine.EvaluatePlacement(matrix,
-                                               options.reduction_axes);
+  for (const auto& eval : result.placements) {
     const auto& best =
         eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
     std::string best_text = best.text;
     if (options.fuse) {
       const auto sh = core::SynthesisHierarchy::Build(
-          matrix, options.reduction_axes,
+          eval.matrix, options.reduction_axes,
           core::SynthesisHierarchyKind::kReductionAxes);
       const auto fused = core::FuseProgram(sh, best.program);
       if (fused.steps_removed > 0) {
@@ -203,7 +217,7 @@ int RunCli(const CliOptions& options, std::string* output) {
                      core::ToString(fused.program, sh.level_names()) + "]";
       }
     }
-    table.AddRow({matrix.ToString(), std::to_string(eval.programs.size()),
+    table.AddRow({eval.matrix.ToString(), std::to_string(eval.programs.size()),
                   FormatSeconds(eval.DefaultAllReduce().measured_seconds),
                   FormatSeconds(best.measured_seconds),
                   FormatSpeedup(eval.DefaultAllReduce().measured_seconds /
@@ -211,6 +225,7 @@ int RunCli(const CliOptions& options, std::string* output) {
                   best_text});
   }
   os << table.Render();
+  os << '\n' << RenderPipelineStats(result.pipeline) << '\n';
   *output = os.str();
   return 0;
 }

@@ -2,7 +2,8 @@
 // the library so it is unit-testable.
 //
 //   p2_plan --system=a100 --nodes=4 --axes=4,16 --reduce=0
-//           [--algo=ring|tree] [--payload-mb=N] [--top-k=N] [--fuse]
+//           [--algo=ring|tree] [--payload-mb=N] [--top-k=N] [--threads=N]
+//           [--fuse]
 #ifndef P2_ENGINE_CLI_H_
 #define P2_ENGINE_CLI_H_
 
@@ -24,6 +25,7 @@ struct CliOptions {
   core::NcclAlgo algo = core::NcclAlgo::kRing;
   double payload_mb = 0.0;  // 0 => the paper's default
   int top_k = 0;            // 0 => measure everything
+  int threads = 1;          // pipeline evaluation threads
   bool fuse = false;        // apply the fusion pass before evaluation
 };
 

@@ -4,24 +4,30 @@
 #include <cmath>
 
 #include "core/placement.h"
-#include "engine/baselines.h"
+#include "engine/pipeline.h"
 
 namespace p2::engine {
 
 int PlacementEvaluation::BestMeasuredIndex() const {
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(programs.size()); ++i) {
+  if (programs.empty()) return -1;
+  // Seed the comparison from the first *measured* program: under guided
+  // evaluation (or measure = false) most entries carry measured_seconds == 0,
+  // which must not win.
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(programs.size()); ++i) {
     const auto& p = programs[static_cast<std::size_t>(i)];
     if (!p.measured) continue;
-    if (p.measured_seconds <
-        programs[static_cast<std::size_t>(best)].measured_seconds) {
+    if (best < 0 ||
+        p.measured_seconds <
+            programs[static_cast<std::size_t>(best)].measured_seconds) {
       best = i;
     }
   }
-  return best;
+  return best >= 0 ? best : BestPredictedIndex();
 }
 
 int PlacementEvaluation::BestPredictedIndex() const {
+  if (programs.empty()) return -1;
   int best = 0;
   for (int i = 1; i < static_cast<int>(programs.size()); ++i) {
     if (programs[static_cast<std::size_t>(i)].predicted_seconds <
@@ -33,6 +39,7 @@ int PlacementEvaluation::BestPredictedIndex() const {
 }
 
 int PlacementEvaluation::NumOutperforming() const {
+  if (programs.empty() || !DefaultAllReduce().measured) return 0;
   // Require a 0.5% margin: schedules that move exactly the same bytes over
   // the same links should not be counted as wins on float noise.
   const double baseline = DefaultAllReduce().measured_seconds * 0.995;
@@ -84,108 +91,38 @@ std::vector<core::ParallelismMatrix> Engine::SynthesizePlacements(
 
 ProgramEvaluation Engine::EvaluateProgram(const core::SynthesisHierarchy& sh,
                                           const core::Program& program) const {
-  ProgramEvaluation eval;
-  eval.program = program;
-  eval.text = core::ToString(program, sh.level_names());
-  eval.num_steps = static_cast<int>(program.size());
-  const auto lowered = core::LowerProgram(sh, program);
-  eval.predicted_seconds =
-      cost_model_.PredictProgram(lowered, payload_bytes_, options_.algo);
-  if (options_.measure) {
-    eval.measured_seconds =
-        executor_.MeasureProgram(lowered, payload_bytes_, options_.algo);
-    eval.measured = true;
-  }
-  return eval;
+  return EvaluateProgramOnEngine(*this, sh, program, options_.measure);
 }
 
 PlacementEvaluation Engine::EvaluatePlacement(
     const core::ParallelismMatrix& matrix,
     std::span<const int> reduction_axes) const {
-  PlacementEvaluation eval;
-  eval.matrix = matrix;
-
-  const auto sh = core::SynthesisHierarchy::Build(
-      matrix, reduction_axes, options_.hierarchy_kind,
-      options_.collapse_hierarchy);
-
-  auto synthesis = core::SynthesizePrograms(sh, options_.synthesis);
-  eval.synthesis_seconds = synthesis.stats.seconds;
-  eval.synthesis_stats = synthesis.stats;
-
-  // The default AllReduce always comes first; the synthesizer also finds it,
-  // so drop the duplicate from the synthesized list.
-  const core::Program default_ar = DefaultAllReduceProgram();
-  eval.programs.push_back(EvaluateProgram(sh, default_ar));
-  eval.programs.front().is_default_allreduce = true;
-
-  const auto default_lowered = core::LowerProgram(sh, default_ar);
-  for (const core::Program& p : synthesis.programs) {
-    if (p.size() == 1) {
-      // A one-step program with the same lowered groups *is* the default.
-      const auto lowered = core::LowerProgram(sh, p);
-      if (lowered.steps.size() == 1 &&
-          lowered.steps[0].op == core::Collective::kAllReduce &&
-          lowered.steps[0].groups == default_lowered.steps[0].groups) {
-        continue;
-      }
-    }
-    eval.programs.push_back(EvaluateProgram(sh, p));
-  }
-  return eval;
+  Pipeline pipeline(*this, PipelineOptions{.threads = 1,
+                                           .cache_synthesis = false,
+                                           .measure_top_k = -1});
+  return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
 PlacementEvaluation Engine::EvaluatePlacementGuided(
     const core::ParallelismMatrix& matrix,
     std::span<const int> reduction_axes, int measure_top_k) const {
-  // Predict everything without measuring...
-  EngineOptions predict_only = options_;
-  predict_only.measure = false;
-  Engine predictor(cluster_, predict_only);
-  PlacementEvaluation eval =
-      predictor.EvaluatePlacement(matrix, reduction_axes);
-
-  // ...then measure the default AllReduce and the top-k by prediction.
-  std::vector<int> order(eval.programs.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    order[i] = static_cast<int>(i);
-  }
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return eval.programs[static_cast<std::size_t>(a)].predicted_seconds <
-           eval.programs[static_cast<std::size_t>(b)].predicted_seconds;
-  });
-
-  const auto sh = core::SynthesisHierarchy::Build(
-      matrix, reduction_axes, options_.hierarchy_kind,
-      options_.collapse_hierarchy);
-  auto measure = [&](int index) {
-    auto& p = eval.programs[static_cast<std::size_t>(index)];
-    if (p.measured) return;
-    const auto lowered = core::LowerProgram(sh, p.program);
-    p.measured_seconds =
-        executor_.MeasureProgram(lowered, payload_bytes_, options_.algo);
-    p.measured = true;
-  };
-  measure(0);  // the baseline is always measured
-  for (int i = 0; i < measure_top_k && i < static_cast<int>(order.size());
-       ++i) {
-    measure(order[static_cast<std::size_t>(i)]);
-  }
-  return eval;
+  // Clamp: negative k means "measure nothing beyond the baseline" here,
+  // while a negative PipelineOptions::measure_top_k would mean "not guided".
+  Pipeline pipeline(*this,
+                    PipelineOptions{.threads = 1,
+                                    .cache_synthesis = false,
+                                    .measure_top_k = std::max(0, measure_top_k)});
+  return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
 ExperimentResult Engine::RunExperiment(
     std::span<const std::int64_t> axes,
     std::span<const int> reduction_axes) const {
-  ExperimentResult result;
-  result.axes.assign(axes.begin(), axes.end());
-  result.reduction_axes.assign(reduction_axes.begin(), reduction_axes.end());
-  result.algo = options_.algo;
-  result.payload_bytes = payload_bytes_;
-  for (const auto& matrix : SynthesizePlacements(axes)) {
-    result.placements.push_back(EvaluatePlacement(matrix, reduction_axes));
-  }
-  return result;
+  Pipeline pipeline(*this,
+                    PipelineOptions{.threads = options_.threads,
+                                    .cache_synthesis = options_.cache_synthesis,
+                                    .measure_top_k = -1});
+  return pipeline.Run(axes, reduction_axes);
 }
 
 }  // namespace p2::engine

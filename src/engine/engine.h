@@ -32,6 +32,28 @@ struct EngineOptions {
       core::SynthesisHierarchyKind::kReductionAxes;
   /// Skip the runtime-substrate measurement (prediction only).
   bool measure = true;
+  /// Worker threads for the per-placement evaluation stage of RunExperiment
+  /// (engine/pipeline.h); <= 1 evaluates serially. Results are merged in
+  /// placement order, so the output is identical at any thread count.
+  int threads = 1;
+  /// Memoize synthesis by hierarchy signature across the placements of an
+  /// experiment (engine/synthesis_cache.h).
+  bool cache_synthesis = true;
+};
+
+/// Stage and cache statistics of the evaluation pipeline run that produced
+/// an ExperimentResult (engine/pipeline.h). Wall-clock fields vary run to
+/// run; everything else is deterministic.
+struct PipelineStats {
+  std::int64_t num_placements = 0;
+  std::int64_t unique_hierarchies = 0;  ///< distinct synthesis signatures
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  double synthesis_seconds_saved = 0.0;  ///< re-synthesis avoided by the cache
+  double synthesis_seconds = 0.0;        ///< wall-clock actually synthesizing
+  double evaluation_seconds = 0.0;       ///< lower/predict/measure stage
+  double total_seconds = 0.0;
+  int threads = 1;
 };
 
 /// One synthesized (or baseline) program, evaluated.
@@ -48,16 +70,27 @@ struct ProgramEvaluation {
 /// All programs of one parallelism placement.
 struct PlacementEvaluation {
   core::ParallelismMatrix matrix;
+  /// Wall-clock of synthesizing this placement's program set. When the
+  /// pipeline serves the set from the signature cache this is the original
+  /// synthesis time of the shared run (what a cacheless evaluation would
+  /// have spent), so summing it across placements gives the counterfactual
+  /// serial cost; the wall-clock actually spent synthesizing is
+  /// ExperimentResult::pipeline.synthesis_seconds.
   double synthesis_seconds = 0.0;
   core::SynthesisStats synthesis_stats;
   std::vector<ProgramEvaluation> programs;  ///< [0] is the default AllReduce
 
   const ProgramEvaluation& DefaultAllReduce() const { return programs.front(); }
-  /// Index of the measured-best program among those actually measured.
+  /// Index of the measured-best program among those actually measured. When
+  /// nothing was measured (measure = false, or guided evaluation with
+  /// measure_top_k = 0 before the baseline) falls back to the predicted-best
+  /// index, so the result is a valid index whenever `programs` is non-empty
+  /// (as every evaluated placement is; both return -1 on an empty vector).
   int BestMeasuredIndex() const;
   int BestPredictedIndex() const;
   /// Programs measurably faster than the default AllReduce (with a small
   /// relative tolerance so that byte-identical schedules do not count).
+  /// Zero when the default AllReduce itself was never measured.
   int NumOutperforming() const;
 };
 
@@ -68,9 +101,13 @@ struct ExperimentResult {
   core::NcclAlgo algo = core::NcclAlgo::kRing;
   double payload_bytes = 0.0;
   std::vector<PlacementEvaluation> placements;
+  PipelineStats pipeline;  ///< statistics of the run that produced this
 
   std::int64_t TotalPrograms() const;
   std::int64_t TotalOutperforming() const;
+  /// Counterfactual serial synthesis cost (see
+  /// PlacementEvaluation::synthesis_seconds); the wall-clock actually spent
+  /// is pipeline.synthesis_seconds.
   double TotalSynthesisSeconds() const;
 };
 
@@ -81,6 +118,10 @@ class Engine {
   const topology::Cluster& cluster() const { return cluster_; }
   const EngineOptions& options() const { return options_; }
   double payload_bytes() const { return payload_bytes_; }
+  /// The analytic model and the runtime substrate. Both are const-thread-safe
+  /// over their immutable topology::Network, so pipeline workers share them.
+  const cost::CostModel& cost_model() const { return cost_model_; }
+  const runtime::Executor& executor() const { return executor_; }
 
   /// The paper's payload: 2^29 * num_nodes float32 elements per GPU.
   static double DefaultPayloadBytes(const topology::Cluster& cluster);
@@ -102,7 +143,10 @@ class Engine {
       const core::ParallelismMatrix& matrix,
       std::span<const int> reduction_axes, int measure_top_k) const;
 
-  /// Full experiment over every placement of `axes`.
+  /// Full experiment over every placement of `axes`, through the staged
+  /// pipeline (engine/pipeline.h): placements inducing isomorphic synthesis
+  /// hierarchies share one synthesis run, and evaluation uses
+  /// `options().threads` workers. Output is identical at any thread count.
   ExperimentResult RunExperiment(std::span<const std::int64_t> axes,
                                  std::span<const int> reduction_axes) const;
 

@@ -82,6 +82,14 @@ std::string ToJson(const ExperimentResult& result) {
   }
   os << "],\"algo\":\"" << core::ToString(result.algo) << "\","
      << "\"payload_bytes\":" << Num(result.payload_bytes) << ","
+     << "\"pipeline\":{"
+     << "\"placements\":" << result.pipeline.num_placements << ","
+     << "\"unique_hierarchies\":" << result.pipeline.unique_hierarchies << ","
+     << "\"cache_hits\":" << result.pipeline.cache_hits << ","
+     << "\"cache_misses\":" << result.pipeline.cache_misses << ","
+     << "\"synthesis_seconds_saved\":"
+     << Num(result.pipeline.synthesis_seconds_saved) << ","
+     << "\"threads\":" << result.pipeline.threads << "},"
      << "\"placements\":[";
   for (std::size_t i = 0; i < result.placements.size(); ++i) {
     if (i > 0) os << ',';

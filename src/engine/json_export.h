@@ -18,7 +18,11 @@ namespace p2::engine {
 std::string ToJson(const PlacementEvaluation& eval);
 
 /// {"axes": [4, 16], "reduction_axes": [0], "algo": "Ring",
-///  "payload_bytes": ..., "placements": [...]}
+///  "payload_bytes": ...,
+///  "pipeline": {"placements": N, "unique_hierarchies": U, "cache_hits": H,
+///               "cache_misses": M, "synthesis_seconds_saved": S,
+///               "threads": T},
+///  "placements": [...]}
 std::string ToJson(const ExperimentResult& result);
 
 /// Escapes a string for embedding in JSON output.

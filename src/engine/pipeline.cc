@@ -1,0 +1,214 @@
+#include "engine/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/placement.h"
+#include "engine/baselines.h"
+
+namespace p2::engine {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
+                                          const core::SynthesisHierarchy& sh,
+                                          const core::Program& program,
+                                          bool measure) {
+  ProgramEvaluation eval;
+  eval.program = program;
+  eval.text = core::ToString(program, sh.level_names());
+  eval.num_steps = static_cast<int>(program.size());
+  const auto lowered = core::LowerProgram(sh, program);
+  eval.predicted_seconds = engine.cost_model().PredictProgram(
+      lowered, engine.payload_bytes(), engine.options().algo);
+  if (measure) {
+    eval.measured_seconds = engine.executor().MeasureProgram(
+        lowered, engine.payload_bytes(), engine.options().algo);
+    eval.measured = true;
+  }
+  return eval;
+}
+
+Pipeline::Pipeline(const Engine& engine, PipelineOptions options)
+    : engine_(engine), options_(options) {}
+
+PlacementEvaluation Pipeline::Evaluate(
+    const core::ParallelismMatrix& matrix, const core::SynthesisHierarchy& sh,
+    const core::SynthesisResult& synthesis) const {
+  const bool guided = options_.measure_top_k >= 0;
+  const bool measure_all = !guided && engine_.options().measure;
+
+  PlacementEvaluation eval;
+  eval.matrix = matrix;
+  eval.synthesis_seconds = synthesis.stats.seconds;
+  eval.synthesis_stats = synthesis.stats;
+
+  // The default AllReduce always comes first; the synthesizer also finds it,
+  // so drop the duplicate from the synthesized list.
+  const core::Program default_ar = DefaultAllReduceProgram();
+  eval.programs.push_back(
+      EvaluateProgramOnEngine(engine_, sh, default_ar, measure_all));
+  eval.programs.front().is_default_allreduce = true;
+
+  const auto default_lowered = core::LowerProgram(sh, default_ar);
+  for (const core::Program& p : synthesis.programs) {
+    if (p.size() == 1) {
+      // A one-step program with the same lowered groups *is* the default.
+      const auto lowered = core::LowerProgram(sh, p);
+      if (lowered.steps.size() == 1 &&
+          lowered.steps[0].op == core::Collective::kAllReduce &&
+          lowered.steps[0].groups == default_lowered.steps[0].groups) {
+        continue;
+      }
+    }
+    eval.programs.push_back(EvaluateProgramOnEngine(engine_, sh, p, measure_all));
+  }
+
+  if (guided) {
+    // Measure the default AllReduce and the top-k by prediction (stable on
+    // prediction ties, so the measured set is deterministic).
+    std::vector<int> order(eval.programs.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int>(i);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return eval.programs[static_cast<std::size_t>(a)].predicted_seconds <
+             eval.programs[static_cast<std::size_t>(b)].predicted_seconds;
+    });
+    auto measure = [&](int index) {
+      auto& p = eval.programs[static_cast<std::size_t>(index)];
+      if (p.measured) return;
+      const auto lowered = core::LowerProgram(sh, p.program);
+      p.measured_seconds = engine_.executor().MeasureProgram(
+          lowered, engine_.payload_bytes(), engine_.options().algo);
+      p.measured = true;
+    };
+    measure(0);  // the baseline is always measured
+    for (int i = 0;
+         i < options_.measure_top_k && i < static_cast<int>(order.size());
+         ++i) {
+      measure(order[static_cast<std::size_t>(i)]);
+    }
+  }
+  return eval;
+}
+
+PlacementEvaluation Pipeline::EvaluatePlacement(
+    const core::ParallelismMatrix& matrix,
+    std::span<const int> reduction_axes) {
+  const auto sh = core::SynthesisHierarchy::Build(
+      matrix, reduction_axes, engine_.options().hierarchy_kind,
+      engine_.options().collapse_hierarchy);
+  if (options_.cache_synthesis) {
+    const auto synthesis =
+        cache_.GetOrSynthesize(sh, engine_.options().synthesis);
+    return Evaluate(matrix, sh, *synthesis);
+  }
+  const auto synthesis = core::SynthesizePrograms(sh, engine_.options().synthesis);
+  return Evaluate(matrix, sh, synthesis);
+}
+
+ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
+                               std::span<const int> reduction_axes) {
+  const auto start = std::chrono::steady_clock::now();
+  const SynthesisCacheStats cache_before = cache_.stats();
+
+  ExperimentResult result;
+  result.axes.assign(axes.begin(), axes.end());
+  result.reduction_axes.assign(reduction_axes.begin(), reduction_axes.end());
+  result.algo = engine_.options().algo;
+  result.payload_bytes = engine_.payload_bytes();
+
+  // Stage 1: enumerate placements (deterministic lexicographic order).
+  const auto placements =
+      core::EnumeratePlacements(engine_.cluster().hierarchy(), axes);
+  const std::size_t n = placements.size();
+
+  // Stage 2: build each placement's synthesis hierarchy and group placements
+  // by signature. `members_of[u]` lists the placements sharing unique
+  // signature u, in placement order.
+  std::vector<core::SynthesisHierarchy> hierarchies;
+  hierarchies.reserve(n);
+  for (const auto& matrix : placements) {
+    hierarchies.push_back(core::SynthesisHierarchy::Build(
+        matrix, reduction_axes, engine_.options().hierarchy_kind,
+        engine_.options().collapse_hierarchy));
+  }
+  std::vector<std::vector<std::size_t>> members_of;
+  if (options_.cache_synthesis) {
+    std::unordered_map<std::string, std::size_t> group_of_signature;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, inserted] = group_of_signature.try_emplace(
+          SynthesisCache::Key(hierarchies[i], engine_.options().synthesis),
+          members_of.size());
+      if (inserted) members_of.emplace_back();
+      members_of[it->second].push_back(i);
+    }
+  } else {
+    // Cacheless: every placement is its own group and re-synthesizes.
+    members_of.resize(n);
+    for (std::size_t i = 0; i < n; ++i) members_of[i].push_back(i);
+  }
+
+  ThreadPool pool(options_.threads);
+
+  // Stage 3: synthesize once per unique signature, in parallel. Duplicate
+  // members resolve through the cache (counted as hits with the seconds the
+  // cacheless path would have spent).
+  const auto synth_start = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<const core::SynthesisResult>> synthesis(n);
+  pool.ParallelFor(
+      static_cast<std::int64_t>(members_of.size()), [&](std::int64_t g) {
+        const auto& members = members_of[static_cast<std::size_t>(g)];
+        for (std::size_t i : members) {
+          if (options_.cache_synthesis) {
+            synthesis[i] =
+                cache_.GetOrSynthesize(hierarchies[i], engine_.options().synthesis);
+          } else {
+            synthesis[i] = std::make_shared<const core::SynthesisResult>(
+                SynthesizePrograms(hierarchies[i], engine_.options().synthesis));
+          }
+        }
+      });
+  const double synthesis_seconds = SecondsSince(synth_start);
+
+  // Stage 4: lower/predict/measure every placement in parallel, writing into
+  // its slot...
+  const auto eval_start = std::chrono::steady_clock::now();
+  result.placements.resize(n);
+  pool.ParallelFor(static_cast<std::int64_t>(n), [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    result.placements[idx] =
+        Evaluate(placements[idx], hierarchies[idx], *synthesis[idx]);
+  });
+  // ...which *is* the deterministic merge: slot order equals placement order,
+  // so the output matches the serial path byte for byte.
+
+  const SynthesisCacheStats cache_after = cache_.stats();
+  result.pipeline.num_placements = static_cast<std::int64_t>(n);
+  result.pipeline.unique_hierarchies =
+      static_cast<std::int64_t>(members_of.size());
+  result.pipeline.cache_hits = cache_after.hits - cache_before.hits;
+  result.pipeline.cache_misses = cache_after.misses - cache_before.misses;
+  result.pipeline.synthesis_seconds_saved =
+      cache_after.seconds_saved - cache_before.seconds_saved;
+  result.pipeline.synthesis_seconds = synthesis_seconds;
+  result.pipeline.evaluation_seconds = SecondsSince(eval_start);
+  result.pipeline.total_seconds = SecondsSince(start);
+  result.pipeline.threads = std::max(1, options_.threads);
+  return result;
+}
+
+}  // namespace p2::engine

@@ -1,0 +1,76 @@
+// The staged evaluation pipeline behind Engine::RunExperiment:
+//
+//   enumerate placements -> dedup by synthesis-hierarchy signature
+//     -> synthesize once per signature (memoized in a SynthesisCache)
+//     -> lower / predict / (guided-)measure every placement, in parallel
+//     -> merge in placement order
+//
+// Placements are independent once their synthesis hierarchies are shared, so
+// stage 4 runs on a common::ThreadPool; results are written into
+// preallocated slots and merged in enumeration order, which makes the
+// parallel output byte-identical to the serial path (modulo wall-clock
+// timing fields). A Pipeline owns its cache, so running several experiments
+// through one Pipeline reuses synthesis results across experiments too.
+#ifndef P2_ENGINE_PIPELINE_H_
+#define P2_ENGINE_PIPELINE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "engine/engine.h"
+#include "engine/synthesis_cache.h"
+
+namespace p2::engine {
+
+struct PipelineOptions {
+  /// Worker threads for the per-placement evaluation stage; <= 1 is serial.
+  int threads = 1;
+  /// Memoize synthesis by hierarchy signature (stage 2/3). Off re-synthesizes
+  /// per placement like the original monolith (the bench's baseline).
+  bool cache_synthesis = true;
+  /// < 0: measure every program iff the engine's options say so (the classic
+  /// full-evaluation path). >= 0: simulator-guided evaluation — predict
+  /// everything, measure only the default AllReduce plus the top-k programs
+  /// by prediction (paper Section 5).
+  int measure_top_k = -1;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const Engine& engine, PipelineOptions options = {});
+
+  const Engine& engine() const { return engine_; }
+  const PipelineOptions& options() const { return options_; }
+  const SynthesisCache& cache() const { return cache_; }
+
+  /// Runs the full pipeline over every placement of `axes`. The result's
+  /// `pipeline` field carries this run's stage and cache statistics.
+  ExperimentResult Run(std::span<const std::int64_t> axes,
+                       std::span<const int> reduction_axes);
+
+  /// Single-placement entry point (stages 3-4 only); shares the cache with
+  /// previous calls on this Pipeline.
+  PlacementEvaluation EvaluatePlacement(const core::ParallelismMatrix& matrix,
+                                        std::span<const int> reduction_axes);
+
+ private:
+  PlacementEvaluation Evaluate(const core::ParallelismMatrix& matrix,
+                               const core::SynthesisHierarchy& sh,
+                               const core::SynthesisResult& synthesis) const;
+
+  const Engine& engine_;
+  PipelineOptions options_;
+  SynthesisCache cache_;
+};
+
+/// Lowers, predicts and optionally measures one program on the engine's cost
+/// model and runtime substrate (the shared per-program evaluation of every
+/// pipeline stage and of Engine::EvaluateProgram).
+ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
+                                          const core::SynthesisHierarchy& sh,
+                                          const core::Program& program,
+                                          bool measure);
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_PIPELINE_H_

@@ -61,6 +61,19 @@ std::string FormatSpeedup(double speedup) {
   return buf;
 }
 
+std::string RenderPipelineStats(const PipelineStats& stats) {
+  std::ostringstream os;
+  os << "pipeline: " << stats.num_placements << " placements, "
+     << stats.unique_hierarchies << " unique hierarchies, cache "
+     << stats.cache_hits << " hits / " << stats.cache_misses << " misses";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (%.2f s re-synthesis avoided)",
+                stats.synthesis_seconds_saved);
+  os << buf << ", " << stats.threads
+     << (stats.threads == 1 ? " thread" : " threads");
+  return os.str();
+}
+
 std::string ProgramShape(const core::Program& program) {
   std::ostringstream os;
   for (std::size_t i = 0; i < program.size(); ++i) {

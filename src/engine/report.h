@@ -51,6 +51,11 @@ class AccuracyCounter {
 /// "1.83x" (two decimals, trailing x); "1x" for exactly one.
 std::string FormatSpeedup(double speedup);
 
+/// One-line summary of an experiment's pipeline run, e.g.
+/// "pipeline: 6 placements, 3 unique hierarchies, cache 3 hits / 3 misses
+///  (1.20 s re-synthesis avoided), 2 threads".
+std::string RenderPipelineStats(const PipelineStats& stats);
+
 /// Classifies a program's shape for the Fig. 10 analysis: "AR", "AR-AR",
 /// "RD-AR-BC", "RS-AR-AG", or the generic short-op chain.
 std::string ProgramShape(const core::Program& program);

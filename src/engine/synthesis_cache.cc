@@ -1,0 +1,62 @@
+#include "engine/synthesis_cache.h"
+
+#include <utility>
+
+namespace p2::engine {
+
+std::string SynthesisCache::Key(const core::SynthesisHierarchy& sh,
+                                const core::SynthesisOptions& options) {
+  // Every SynthesisOptions field must appear in the key, or two pipelines
+  // with different options would silently share program sets. The assert
+  // fires when a field is added without updating this function.
+  static_assert(sizeof(core::SynthesisOptions) ==
+                    2 * sizeof(std::int64_t),  // int max_program_size (padded)
+                                               // + int64 max_programs
+                "new SynthesisOptions field? include it in the cache key");
+  return sh.Signature() + ";size<=" + std::to_string(options.max_program_size) +
+         ";cap=" + std::to_string(options.max_programs);
+}
+
+std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
+    const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options) {
+  const std::string key = Key(sh, options);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      stats_.seconds_saved += it->second->stats.seconds;
+      return it->second;
+    }
+  }
+  auto result =
+      std::make_shared<const core::SynthesisResult>(SynthesizePrograms(sh, options));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A concurrent miss on the same signature may have beaten us to the
+    // insert (try_emplace keeps the winner); either way we synthesized — the
+    // programs are identical — so this call is a miss and no re-synthesis
+    // was avoided.
+    const auto it = entries_.try_emplace(key, std::move(result)).first;
+    ++stats_.misses;
+    return it->second;
+  }
+}
+
+SynthesisCacheStats SynthesisCache::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SynthesisCache::size() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SynthesisCache::Clear() {
+  std::unique_lock<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = SynthesisCacheStats{};
+}
+
+}  // namespace p2::engine

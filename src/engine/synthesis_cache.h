@@ -1,0 +1,57 @@
+// Memoization of SynthesizePrograms keyed by the canonical signature of the
+// synthesis hierarchy (core::SynthesisHierarchy::Signature) plus the
+// synthesis options. Under the paper's preferred kReductionAxes hierarchy
+// many placements of one experiment induce isomorphic hierarchies — same
+// level cardinalities, same goal groups — whose program sets are identical
+// up to lowering, so synthesizing once per signature removes the dominant
+// cost of a multi-placement experiment. Thread-safe; synthesis runs outside
+// the lock so concurrent misses on different signatures do not serialize.
+#ifndef P2_ENGINE_SYNTHESIS_CACHE_H_
+#define P2_ENGINE_SYNTHESIS_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/synthesizer.h"
+
+namespace p2::engine {
+
+struct SynthesisCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  /// Sum of the original synthesis wall-clock of every entry served from the
+  /// cache: the time a cacheless run would have spent re-synthesizing.
+  double seconds_saved = 0.0;
+};
+
+class SynthesisCache {
+ public:
+  /// Returns the memoized synthesis result for `sh`'s signature, running
+  /// core::SynthesizePrograms on a miss. Safe to call concurrently; if two
+  /// threads miss the same signature simultaneously the first insert wins
+  /// (both return the same programs — synthesis is deterministic — and both
+  /// count as misses, since both actually synthesized).
+  std::shared_ptr<const core::SynthesisResult> GetOrSynthesize(
+      const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options);
+
+  /// Cache key for a hierarchy under the given options.
+  static std::string Key(const core::SynthesisHierarchy& sh,
+                         const core::SynthesisOptions& options);
+
+  SynthesisCacheStats stats() const;
+  std::size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const core::SynthesisResult>>
+      entries_;
+  SynthesisCacheStats stats_;
+};
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_SYNTHESIS_CACHE_H_

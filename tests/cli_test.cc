@@ -71,6 +71,18 @@ TEST(Cli, RejectsBadValues) {
   EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "bogus"}, &error)
                    .has_value());
   EXPECT_FALSE(Parse({"--axes=-8,4", "--reduce=0"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--threads=0"}, &error)
+                   .has_value());
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--threads=100000"}, &error)
+                   .has_value());
+}
+
+TEST(Cli, ParsesThreads) {
+  std::string error;
+  const auto opts =
+      Parse({"--axes=8,4", "--reduce=0", "--threads=8"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->threads, 8);
 }
 
 TEST(Cli, ClusterFromOptions) {

@@ -1,0 +1,124 @@
+// The synthesis cache's contract (ISSUE 1): placements inducing isomorphic
+// synthesis hierarchies — equal signatures — share one synthesis run and get
+// identical program sets; differing signatures miss.
+#include "engine/synthesis_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesis_hierarchy.h"
+
+namespace p2::engine {
+namespace {
+
+using core::ParallelismMatrix;
+using core::SynthesisHierarchy;
+using core::SynthesisHierarchyKind;
+
+// Two placements of axes (8, 2, 2) on a [2 16] hierarchy that differ only in
+// where the *non-reduction* axes land: their reduction-axis rows agree, so
+// under kReductionAxes they pose the same synthesis problem.
+SynthesisHierarchy IsomorphicA() {
+  const ParallelismMatrix m({{1, 8}, {1, 2}, {2, 1}});
+  const std::vector<int> raxes = {0};
+  return SynthesisHierarchy::Build(m, raxes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+SynthesisHierarchy IsomorphicB() {
+  const ParallelismMatrix m({{1, 8}, {2, 1}, {1, 2}});
+  const std::vector<int> raxes = {0};
+  return SynthesisHierarchy::Build(m, raxes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+// Same axes, but the reduction axis is split differently: another signature.
+SynthesisHierarchy Different() {
+  const ParallelismMatrix m({{2, 4}, {1, 2}, {1, 2}});
+  const std::vector<int> raxes = {0};
+  return SynthesisHierarchy::Build(m, raxes,
+                                   SynthesisHierarchyKind::kReductionAxes);
+}
+
+TEST(Signature, InvariantUnderDeviceRenumbering) {
+  EXPECT_EQ(IsomorphicA().Signature(), IsomorphicB().Signature());
+  // ...even though the placements map synthesis devices to different global
+  // devices.
+  bool same_map = true;
+  const auto a = IsomorphicA();
+  const auto b = IsomorphicB();
+  ASSERT_EQ(a.num_synth_devices(), b.num_synth_devices());
+  ASSERT_EQ(a.num_replicas(), b.num_replicas());
+  for (std::int64_t r = 0; r < a.num_replicas(); ++r) {
+    for (std::int64_t s = 0; s < a.num_synth_devices(); ++s) {
+      if (a.GlobalDevice(s, r) != b.GlobalDevice(s, r)) same_map = false;
+    }
+  }
+  EXPECT_FALSE(same_map);
+}
+
+TEST(Signature, DistinguishesDifferentSynthesisProblems) {
+  EXPECT_NE(IsomorphicA().Signature(), Different().Signature());
+}
+
+TEST(Signature, CoversLevelsAndGoal) {
+  const auto sig = IsomorphicA().Signature();
+  EXPECT_NE(sig.find("levels:"), std::string::npos);
+  EXPECT_NE(sig.find("goal:"), std::string::npos);
+}
+
+TEST(SynthesisCache, HitsOnEqualSignaturesAndReturnsIdenticalPrograms) {
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+  const auto first = cache.GetOrSynthesize(IsomorphicA(), options);
+  const auto second = cache.GetOrSynthesize(IsomorphicB(), options);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(first.get(), second.get());  // the very same memoized result
+  EXPECT_GE(cache.stats().seconds_saved, 0.0);
+
+  // A hit is indistinguishable from a fresh synthesis (determinism).
+  const auto fresh = core::SynthesizePrograms(IsomorphicB(), options);
+  ASSERT_EQ(second->programs.size(), fresh.programs.size());
+  for (std::size_t i = 0; i < fresh.programs.size(); ++i) {
+    EXPECT_EQ(second->programs[i], fresh.programs[i]);
+  }
+}
+
+TEST(SynthesisCache, MissesOnDifferentSignatures) {
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+  cache.GetOrSynthesize(IsomorphicA(), options);
+  cache.GetOrSynthesize(Different(), options);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SynthesisCache, KeyIncludesSynthesisOptions) {
+  SynthesisCache cache;
+  core::SynthesisOptions small;
+  small.max_program_size = 2;
+  core::SynthesisOptions large;
+  large.max_program_size = 4;
+  const auto a = cache.GetOrSynthesize(IsomorphicA(), small);
+  const auto b = cache.GetOrSynthesize(IsomorphicA(), large);
+  EXPECT_EQ(cache.stats().misses, 2);  // different options never alias
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_LE(a->programs.size(), b->programs.size());
+}
+
+TEST(SynthesisCache, ClearResetsEverything) {
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+  cache.GetOrSynthesize(IsomorphicA(), options);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0);
+  cache.GetOrSynthesize(IsomorphicA(), options);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+}  // namespace
+}  // namespace p2::engine

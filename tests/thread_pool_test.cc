@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace p2 {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, InlineModeRunsTasksImmediately) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0);  // no workers: Submit runs inline
+  int count = 0;
+  pool.Submit([&count] { ++count; });
+  EXPECT_EQ(count, 1);
+  pool.Wait();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> seen(257);
+    pool.ParallelFor(257, [&seen](std::int64_t i) {
+      seen[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForWritesSlotsDeterministically) {
+  // The pipeline's contract: iteration i writes slot i, so the merged output
+  // is independent of scheduling.
+  ThreadPool pool(8);
+  std::vector<std::int64_t> out(1000);
+  pool.ParallelFor(1000, [&out](std::int64_t i) { out[static_cast<std::size_t>(i)] = i * i; });
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskError) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.ParallelFor(10,
+                                  [](std::int64_t i) {
+                                    if (i == 3) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+                 std::runtime_error);
+    // The pool survives an error and keeps accepting work.
+    std::atomic<int> count{0};
+    pool.ParallelFor(5, [&count](std::int64_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 5);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    pool.ParallelFor(10, [&sum](std::int64_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 5 * 45);
+}
+
+}  // namespace
+}  // namespace p2
