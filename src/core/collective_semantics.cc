@@ -40,10 +40,16 @@ SemanticsError CheckReducePremise(const StateContext& context,
                                   DeviceState* sum) {
   const DeviceState& first = context[static_cast<std::size_t>(group[0])];
   if (first.IsEmpty()) return SemanticsError::kEmptyRows;
-  DeviceState acc = first;
+  // Allocation-free row-set scan first: the synthesizer tries every alphabet
+  // instruction against every distinct state, and most candidates die here —
+  // before the accumulator below is ever materialized.
   for (std::size_t i = 1; i < group.size(); ++i) {
     const DeviceState& s = context[static_cast<std::size_t>(group[i])];
     if (!first.SameNonEmptyRows(s)) return SemanticsError::kRowSetsDiffer;
+  }
+  DeviceState acc = first;
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const DeviceState& s = context[static_cast<std::size_t>(group[i])];
     if (!acc.ChunksDisjoint(s)) return SemanticsError::kChunksOverlap;
     acc.UnionInPlace(s);
   }
@@ -51,8 +57,11 @@ SemanticsError CheckReducePremise(const StateContext& context,
   return SemanticsError::kNone;
 }
 
+// Every write to context[d] is preceded by undo.Save(d, ...), so `undo`
+// holds exactly the pre-images needed to revert this application.
 SemanticsError ApplyToGroup(Collective op, StateContext& context,
-                            std::span<const std::int64_t> group) {
+                            std::span<const std::int64_t> group,
+                            ApplyUndo& undo) {
   if (group.size() < 2) return SemanticsError::kGroupTooSmall;
   for (std::int64_t d : group) {
     if (d < 0 || d >= static_cast<std::int64_t>(context.size())) {
@@ -67,7 +76,10 @@ SemanticsError ApplyToGroup(Collective op, StateContext& context,
           e != SemanticsError::kNone) {
         return e;
       }
-      for (std::int64_t d : group) context[static_cast<std::size_t>(d)] = sum;
+      for (std::int64_t d : group) {
+        undo.Save(d, context[static_cast<std::size_t>(d)]);
+        context[static_cast<std::size_t>(d)] = sum;
+      }
       return SemanticsError::kNone;
     }
     case Collective::kReduceScatter: {
@@ -83,6 +95,7 @@ SemanticsError ApplyToGroup(Collective op, StateContext& context,
       const std::size_t per_device = rows.size() / group.size();
       for (std::size_t i = 0; i < group.size(); ++i) {
         std::span<const int> share(rows.data() + i * per_device, per_device);
+        undo.Save(group[i], context[static_cast<std::size_t>(group[i])]);
         context[static_cast<std::size_t>(group[i])] =
             sum.RestrictedToRows(share);
       }
@@ -92,20 +105,27 @@ SemanticsError ApplyToGroup(Collective op, StateContext& context,
       const DeviceState& first = context[static_cast<std::size_t>(group[0])];
       const int row_count = first.NumNonEmptyRows();
       if (row_count == 0) return SemanticsError::kEmptyRows;
+      // Allocation-free count scan first (see CheckReducePremise).
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        if (context[static_cast<std::size_t>(group[i])].NumNonEmptyRows() !=
+            row_count) {
+          return SemanticsError::kRowCountsDiffer;
+        }
+      }
       DeviceState sum = first;
       // Track row-set occupancy by folding: overlap with the accumulated
       // union's row set implies overlap with some earlier member.
       for (std::size_t i = 1; i < group.size(); ++i) {
         const DeviceState& s = context[static_cast<std::size_t>(group[i])];
-        if (s.NumNonEmptyRows() != row_count) {
-          return SemanticsError::kRowCountsDiffer;
-        }
         if (!sum.NonEmptyRowSetsDisjoint(s)) {
           return SemanticsError::kRowSetsOverlap;
         }
         sum.UnionInPlace(s);
       }
-      for (std::int64_t d : group) context[static_cast<std::size_t>(d)] = sum;
+      for (std::int64_t d : group) {
+        undo.Save(d, context[static_cast<std::size_t>(d)]);
+        context[static_cast<std::size_t>(d)] = sum;
+      }
       return SemanticsError::kNone;
     }
     case Collective::kReduce: {
@@ -114,8 +134,10 @@ SemanticsError ApplyToGroup(Collective op, StateContext& context,
           e != SemanticsError::kNone) {
         return e;
       }
+      undo.Save(group[0], context[static_cast<std::size_t>(group[0])]);
       context[static_cast<std::size_t>(group[0])] = std::move(sum);
       for (std::size_t i = 1; i < group.size(); ++i) {
+        undo.Save(group[i], context[static_cast<std::size_t>(group[i])]);
         context[static_cast<std::size_t>(group[i])].Clear();
       }
       return SemanticsError::kNone;
@@ -134,7 +156,12 @@ SemanticsError ApplyToGroup(Collective op, StateContext& context,
         if (s == root) return SemanticsError::kBroadcastNoGain;
       }
       const DeviceState copy = root;
-      for (std::int64_t d : group) context[static_cast<std::size_t>(d)] = copy;
+      // The root keeps its value under Broadcast, so only non-root members
+      // are written (and saved).
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        undo.Save(group[i], context[static_cast<std::size_t>(group[i])]);
+        context[static_cast<std::size_t>(group[i])] = copy;
+      }
       return SemanticsError::kNone;
     }
   }
@@ -143,22 +170,43 @@ SemanticsError ApplyToGroup(Collective op, StateContext& context,
 
 }  // namespace
 
+void ApplyUndo::Save(std::int64_t device, const DeviceState& state) {
+  saved_.emplace_back(device, state);
+}
+
+void ApplyUndo::RevertTo(StateContext& context, std::size_t mark) {
+  while (saved_.size() > mark) {
+    auto& [device, state] = saved_.back();
+    context[static_cast<std::size_t>(device)] = std::move(state);
+    saved_.pop_back();
+  }
+}
+
+void ApplyUndo::RevertInto(StateContext& context) { RevertTo(context, 0); }
+
 ApplyResult ApplyCollectiveToGroup(Collective op, StateContext& context,
                                    std::span<const std::int64_t> group) {
-  StateContext backup = context;
-  const SemanticsError e = ApplyToGroup(op, context, group);
-  if (e != SemanticsError::kNone) context = std::move(backup);
+  ApplyUndo undo;
+  const SemanticsError e = ApplyToGroup(op, context, group, undo);
+  if (e != SemanticsError::kNone) undo.RevertInto(context);
   return ApplyResult{e};
 }
 
 ApplyResult ApplyCollectiveToGroups(
     Collective op, StateContext& context,
     std::span<const std::vector<std::int64_t>> groups) {
-  StateContext backup = context;
+  ApplyUndo undo;
+  return ApplyCollectiveToGroups(op, context, groups, undo);
+}
+
+ApplyResult ApplyCollectiveToGroups(
+    Collective op, StateContext& context,
+    std::span<const std::vector<std::int64_t>> groups, ApplyUndo& undo) {
+  const std::size_t mark = undo.size();
   for (const auto& group : groups) {
-    const SemanticsError e = ApplyToGroup(op, context, group);
+    const SemanticsError e = ApplyToGroup(op, context, group, undo);
     if (e != SemanticsError::kNone) {
-      context = std::move(backup);
+      undo.RevertTo(context, mark);
       return ApplyResult{e};
     }
   }

@@ -36,6 +36,36 @@ struct ApplyResult {
   bool ok() const { return error == SemanticsError::kNone; }
 };
 
+/// Pre-images of exactly the devices an application mutated, so a caller
+/// exploring many candidate instructions from one state (the synthesizer's
+/// hot path) can roll back in O(devices touched) instead of copying the
+/// whole k-device context per candidate.
+class ApplyUndo {
+ public:
+  /// Records `state` as the pre-image of `device`. Called by the apply
+  /// functions below immediately before each mutation.
+  void Save(std::int64_t device, const DeviceState& state);
+
+  /// Restores every saved device into `context`, most recent first (so a
+  /// device saved twice ends at its oldest value), and clears the log.
+  void RevertInto(StateContext& context);
+
+  std::size_t size() const { return saved_.size(); }
+  bool empty() const { return saved_.empty(); }
+  void Clear() { saved_.clear(); }
+
+ private:
+  /// Restores entries down to `mark` (a previous size()). Lets a failing
+  /// multi-group application revert only its own writes when the caller
+  /// accumulates several instructions in one log.
+  void RevertTo(StateContext& context, std::size_t mark);
+  friend ApplyResult ApplyCollectiveToGroups(
+      Collective, StateContext&, std::span<const std::vector<std::int64_t>>,
+      ApplyUndo&);
+
+  std::vector<std::pair<std::int64_t, DeviceState>> saved_;
+};
+
 /// Applies collective `op` to the devices listed in `group` (ids into
 /// `context`; group[0] is the root for Reduce/Broadcast, as in the paper).
 /// On success mutates `context`; on failure leaves it untouched.
@@ -48,6 +78,15 @@ ApplyResult ApplyCollectiveToGroup(Collective op, StateContext& context,
 ApplyResult ApplyCollectiveToGroups(
     Collective op, StateContext& context,
     std::span<const std::vector<std::int64_t>> groups);
+
+/// As above, but appends the pre-images of the mutated devices to `undo`
+/// instead of snapshotting the whole context internally: on success the
+/// caller can cheaply roll the instruction back with undo.RevertInto; on
+/// failure this call's own writes are already reverted (entries recorded by
+/// earlier calls on the same log are kept).
+ApplyResult ApplyCollectiveToGroups(
+    Collective op, StateContext& context,
+    std::span<const std::vector<std::int64_t>> groups, ApplyUndo& undo);
 
 }  // namespace p2::core
 

@@ -10,6 +10,17 @@
 
 namespace p2::core {
 
+void LoweredStep::ComputeSortedOrders() {
+  sorted_orders.clear();
+  sorted_orders.reserve(groups.size());
+  for (const auto& group : groups) {
+    std::vector<int>& order = sorted_orders.emplace_back();
+    order.reserve(group.size());
+    for (std::int64_t d : group) order.push_back(static_cast<int>(d));
+    std::sort(order.begin(), order.end());
+  }
+}
+
 LoweredProgram LowerProgram(const SynthesisHierarchy& sh,
                             const Program& program) {
   LoweredProgram out;
@@ -19,6 +30,9 @@ LoweredProgram LowerProgram(const SynthesisHierarchy& sh,
   const std::int64_t k = sh.num_synth_devices();
   StateContext ctx = MakeInitialContext(static_cast<int>(k));
 
+  // Applications are permanent here, so the undo log is only a way to skip
+  // the whole-context backup the legacy overload would take per step.
+  ApplyUndo undo;
   for (const Instruction& instr : program) {
     auto synth_groups = DeriveGroups(sh.levels(), instr);
     // Singleton groups perform no communication; the synthesizer's alphabet
@@ -46,7 +60,9 @@ LoweredProgram LowerProgram(const SynthesisHierarchy& sh,
     }
     step.in_fraction = in_rows / static_cast<double>(k);
 
-    const ApplyResult r = ApplyCollectiveToGroups(instr.op, ctx, synth_groups);
+    const ApplyResult r =
+        ApplyCollectiveToGroups(instr.op, ctx, synth_groups, undo);
+    undo.Clear();
     if (!r.ok()) {
       std::ostringstream os;
       os << "LowerProgram: invalid instruction " << ToString(instr)
@@ -74,6 +90,7 @@ LoweredProgram LowerProgram(const SynthesisHierarchy& sh,
         step.groups.push_back(std::move(global));
       }
     }
+    step.ComputeSortedOrders();
     out.steps.push_back(std::move(step));
   }
   return out;
@@ -84,10 +101,12 @@ bool CheckLoweredOnFullSystem(const SynthesisHierarchy& sh,
                               std::string* error) {
   const int k = static_cast<int>(sh.num_global_devices());
   StateContext ctx = MakeInitialContext(k);
+  ApplyUndo undo;
   for (std::size_t i = 0; i < lowered.steps.size(); ++i) {
     const LoweredStep& step = lowered.steps[i];
     const ApplyResult r =
-        ApplyCollectiveToGroups(step.op, ctx, step.groups);
+        ApplyCollectiveToGroups(step.op, ctx, step.groups, undo);
+    undo.Clear();
     if (!r.ok()) {
       if (error != nullptr) {
         std::ostringstream os;

@@ -3,6 +3,32 @@
 // pruning with the collective semantics, and return every program whose
 // final context is the goal (each device holds exactly its reduction
 // group's data, fully reduced).
+//
+// Two engines produce the same program list:
+//
+//  - SynthesizePrograms: a depth-bounded search over a transposition table.
+//    Redistribution states are interned by DeviceState::Hash()/equality, the
+//    (state, instruction) -> state transition relation is computed once per
+//    distinct state via apply/undo, and the exact-length goal completions of
+//    every (state, length) pair are memoized — so sub-states reached by
+//    different instruction orders are explored once and replayed everywhere
+//    else. The table grows breadth-first: each frontier layer (the
+//    root-level alphabet branches at layer 0) is expanded on a ThreadPool
+//    (SynthesisOptions::threads) and interned by a serial merge in
+//    (discovery, alphabet) order, so state ids, programs and stats are
+//    identical at any thread count. Iterative deepening over the program
+//    size then emits the root's completions directly in increasing size
+//    order.
+//
+//  - SynthesizeProgramsReference: the original blind DFS that copies the
+//    full StateContext per candidate. Kept as the differential-testing
+//    oracle (tests/synth_differential_test.cc asserts byte-identical program
+//    lists) and as the baseline bench_synth measures the search against.
+//
+// The only observable difference is under the max_programs cap: the
+// transposition search keeps the *smallest* max_programs programs (a prefix
+// of the size-ordered list), while the reference DFS keeps an arbitrary
+// DFS-order prefix of the same set.
 #ifndef P2_CORE_SYNTHESIZER_H_
 #define P2_CORE_SYNTHESIZER_H_
 
@@ -18,13 +44,28 @@ struct SynthesisOptions {
   /// The paper uses 5: "we set 5 as the program size limit ... sufficient to
   /// generate interesting reduction patterns".
   int max_program_size = 5;
+  /// Worker threads for the root-level branch fan-out; <= 1 searches inline.
+  /// The program list and all stats are identical at any thread count, which
+  /// is why SynthesisCache::Key deliberately excludes this field.
+  int threads = 1;
   /// Safety cap on emitted programs.
   std::int64_t max_programs = 1 << 20;
 };
 
 struct SynthesisStats {
+  /// Instruction applications attempted / semantically valid. The
+  /// transposition search applies each instruction once per *distinct*
+  /// state, so these count transition-table construction, not tree nodes.
   std::int64_t instructions_tried = 0;
   std::int64_t applications_succeeded = 0;
+  /// Distinct redistribution states interned across all root branches.
+  std::int64_t states_visited = 0;
+  /// Transpositions: state arrivals that hit an already-interned state and
+  /// were collapsed onto it instead of being re-explored.
+  std::int64_t states_deduped = 0;
+  /// Completion-memo hits: subtree walks replayed from the transposition
+  /// table instead of being re-searched.
+  std::int64_t branches_pruned = 0;
   int alphabet_size = 0;  ///< distinct (slice, form) grouping patterns x ops
   double seconds = 0.0;
 };
@@ -55,6 +96,13 @@ std::vector<GroupingPattern> BuildGroupingAlphabet(
 /// deduplicated, and programs are not extended past the goal.
 SynthesisResult SynthesizePrograms(const SynthesisHierarchy& sh,
                                    const SynthesisOptions& options = {});
+
+/// The seed's blind DFS (see the file comment). Same program list as
+/// SynthesizePrograms; exponentially slower on deep hierarchies. The
+/// transposition-table stats (states_visited, states_deduped,
+/// branches_pruned) stay zero, and `threads` is ignored.
+SynthesisResult SynthesizeProgramsReference(const SynthesisHierarchy& sh,
+                                            const SynthesisOptions& options = {});
 
 }  // namespace p2::core
 

@@ -34,8 +34,13 @@ double RingEdgeBytes(Collective op, int n, double s_in, double s_out) {
   return s_in;
 }
 
-// Rounds (latency multiplier) of the schedule.
+// Rounds (latency multiplier) of the schedule. A degenerate single-member
+// group exchanges nothing: without the guard the ring formulas would charge
+// `2*(n-1)`/`n-1` rounds — zero here, but negative garbage for an empty
+// group, and the tree path would charge a phantom round — so latency is
+// pinned to zero for n <= 1.
 int Rounds(Collective op, core::NcclAlgo algo, int n) {
+  if (n <= 1) return 0;
   if (algo == core::NcclAlgo::kTree && op != Collective::kReduceScatter &&
       op != Collective::kAllGather) {
     const int d = CeilLog2(n);
@@ -61,6 +66,11 @@ struct LinkLoads {
 
   explicit LinkLoads(const Network& net)
       : bytes(net.links().size(), 0.0), flows(net.links().size(), 0) {}
+
+  void Reset() {
+    std::fill(bytes.begin(), bytes.end(), 0.0);
+    std::fill(flows.begin(), flows.end(), 0);
+  }
 
   void Charge(const Network& net, int src, int dst, double b) {
     if (src == dst) return;
@@ -89,12 +99,13 @@ struct LinkLoads {
 // The cost model's tree shape: GPUs chain inside each node, node heads form
 // a *chain* across nodes. (The runtime substrate builds a balanced binary
 // tree instead — one of the deliberate fidelity gaps between the two models.)
+// `heads` is caller-owned scratch, reused across groups and steps.
 void ChargeTree(const Network& net, const Cluster& cluster,
                 const std::vector<int>& order, Collective op, double s_in,
-                double s_out, LinkLoads& loads) {
+                double s_out, LinkLoads& loads, std::vector<int>& heads) {
   const double s = op == Collective::kBroadcast ? s_out : s_in;
   const double factor = op == Collective::kAllReduce ? 2.0 : 1.0;
-  std::vector<int> heads;
+  heads.clear();
   int prev = -1;
   int prev_node = -1;
   for (int m : order) {
@@ -142,6 +153,55 @@ double GroupLatency(const Network& net, const std::vector<int>& order) {
   return alpha;
 }
 
+// Scratch buffers of one prediction call. PredictProgram allocates one set
+// and reuses it across every step (and every group), so the per-step hot
+// loop performs no heap allocation; `order` only backs steps whose cached
+// sorted_orders are absent (hand-constructed LoweredSteps).
+struct PredictScratch {
+  LinkLoads loads;
+  std::vector<int> order;
+  std::vector<int> heads;
+
+  explicit PredictScratch(const Network& net) : loads(net) {}
+};
+
+double PredictStepImpl(const Network& net, const Cluster& cluster,
+                       const core::LoweredStep& step, double payload_bytes,
+                       NcclAlgo algo, PredictScratch& scratch) {
+  scratch.loads.Reset();
+  const double s_in = step.in_fraction * payload_bytes;
+  const double s_out = step.out_fraction * payload_bytes;
+  const bool ring_only = step.op == Collective::kReduceScatter ||
+                         step.op == Collective::kAllGather;
+  const bool cached_orders = step.sorted_orders.size() == step.groups.size();
+  double latency = 0.0;
+  for (std::size_t gi = 0; gi < step.groups.size(); ++gi) {
+    const std::vector<int>* order = nullptr;
+    if (cached_orders) {
+      order = &step.sorted_orders[gi];
+    } else {
+      scratch.order.clear();
+      scratch.order.reserve(step.groups[gi].size());
+      for (std::int64_t d : step.groups[gi]) {
+        scratch.order.push_back(static_cast<int>(d));
+      }
+      std::sort(scratch.order.begin(), scratch.order.end());
+      order = &scratch.order;
+    }
+
+    if (algo == NcclAlgo::kRing || ring_only) {
+      ChargeRing(net, *order, step.op, s_in, s_out, scratch.loads);
+    } else {
+      ChargeTree(net, cluster, *order, step.op, s_in, s_out, scratch.loads,
+                 scratch.heads);
+    }
+    const int n = static_cast<int>(order->size());
+    latency = std::max(latency,
+                       Rounds(step.op, algo, n) * GroupLatency(net, *order));
+  }
+  return scratch.loads.BottleneckSeconds(net) + latency;
+}
+
 }  // namespace
 
 
@@ -152,36 +212,18 @@ CostModel::CostModel(topology::Cluster cluster)
 
 double CostModel::PredictStep(const core::LoweredStep& step,
                               double payload_bytes, NcclAlgo algo) const {
-  const Network& net = *network_;
-  LinkLoads loads(net);
-  const double s_in = step.in_fraction * payload_bytes;
-  const double s_out = step.out_fraction * payload_bytes;
-  const bool ring_only = step.op == Collective::kReduceScatter ||
-                         step.op == Collective::kAllGather;
-  double latency = 0.0;
-  for (const auto& group : step.groups) {
-    std::vector<int> order;
-    order.reserve(group.size());
-    for (std::int64_t d : group) order.push_back(static_cast<int>(d));
-    std::sort(order.begin(), order.end());
-
-    if (algo == NcclAlgo::kRing || ring_only) {
-      ChargeRing(net, order, step.op, s_in, s_out, loads);
-    } else {
-      ChargeTree(net, cluster_, order, step.op, s_in, s_out, loads);
-    }
-    const int n = static_cast<int>(order.size());
-    latency = std::max(latency,
-                       Rounds(step.op, algo, n) * GroupLatency(net, order));
-  }
-  return loads.BottleneckSeconds(net) + latency;
+  PredictScratch scratch(*network_);
+  return PredictStepImpl(*network_, cluster_, step, payload_bytes, algo,
+                         scratch);
 }
 
 double CostModel::PredictProgram(const core::LoweredProgram& program,
                                  double payload_bytes, NcclAlgo algo) const {
+  PredictScratch scratch(*network_);
   double total = 0.0;
   for (const auto& step : program.steps) {
-    total += PredictStep(step, payload_bytes, algo);
+    total += PredictStepImpl(*network_, cluster_, step, payload_bytes, algo,
+                             scratch);
   }
   return total;
 }

@@ -42,7 +42,8 @@ std::string CliUsage() {
       "usage: p2_plan --system=a100|v100 --nodes=N --axes=A,B[,C] "
       "--reduce=I[,J]\n"
       "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N] "
-      "[--threads=N] [--fuse]\n"
+      "[--threads=N]\n"
+      "               [--synth-threads=N] [--fuse]\n"
       "\n"
       "  --system      GPU system model (Fig. 9 of the paper)\n"
       "  --nodes       number of nodes\n"
@@ -53,6 +54,8 @@ std::string CliUsage() {
       "  --top-k       measure only the top-k programs by prediction\n"
       "  --threads     evaluate placements with N worker threads (default 1;\n"
       "                the result is identical at any thread count)\n"
+      "  --synth-threads  expand the synthesis search frontier with N worker\n"
+      "                threads (default 1; identical output at any count)\n"
       "  --fuse        fuse consecutive fusible steps before evaluating\n";
 }
 
@@ -135,6 +138,13 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.threads = static_cast<int>(v);
+    } else if (key == "--synth-threads") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 1 || v > 1024) {
+        *error = "--synth-threads must be an integer in [1, 1024]";
+        return std::nullopt;
+      }
+      opts.synth_threads = static_cast<int>(v);
     } else {
       *error = "unrecognized flag: " + key + "\n\n" + CliUsage();
       return std::nullopt;
@@ -184,6 +194,7 @@ int RunCli(const CliOptions& options, std::string* output) {
 
   EngineOptions eng_opts;
   eng_opts.algo = options.algo;
+  eng_opts.synthesis.threads = options.synth_threads;
   if (options.payload_mb > 0) {
     eng_opts.payload_bytes = options.payload_mb * 1e6;
   }

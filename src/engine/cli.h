@@ -26,6 +26,7 @@ struct CliOptions {
   double payload_mb = 0.0;  // 0 => the paper's default
   int top_k = 0;            // 0 => measure everything
   int threads = 1;          // pipeline evaluation threads
+  int synth_threads = 1;    // synthesis frontier-expansion threads
   bool fuse = false;        // apply the fusion pass before evaluation
 };
 

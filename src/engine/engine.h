@@ -49,6 +49,13 @@ struct PipelineStats {
   std::int64_t unique_hierarchies = 0;  ///< distinct synthesis signatures
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  /// Transposition-search totals (core::SynthesisStats) summed over the
+  /// placements, counterfactually like TotalSynthesisSeconds: placements
+  /// served from the signature cache contribute the stats of the shared
+  /// run, so the sums are deterministic regardless of cache state.
+  std::int64_t synth_states_visited = 0;
+  std::int64_t synth_states_deduped = 0;
+  std::int64_t synth_branches_pruned = 0;
   double synthesis_seconds_saved = 0.0;  ///< re-synthesis avoided by the cache
   double synthesis_seconds = 0.0;        ///< wall-clock actually synthesizing
   double evaluation_seconds = 0.0;       ///< lower/predict/measure stage

@@ -51,6 +51,12 @@ std::string ToJson(const PlacementEvaluation& eval) {
   std::ostringstream os;
   os << "{\"matrix\":\"" << JsonEscape(eval.matrix.ToString()) << "\","
      << "\"synthesis_seconds\":" << Num(eval.synthesis_seconds) << ","
+     << "\"synthesis\":{"
+     << "\"states_visited\":" << eval.synthesis_stats.states_visited << ","
+     << "\"states_deduped\":" << eval.synthesis_stats.states_deduped << ","
+     << "\"branches_pruned\":" << eval.synthesis_stats.branches_pruned << ","
+     << "\"instructions_tried\":" << eval.synthesis_stats.instructions_tried
+     << "},"
      << "\"programs\":[";
   for (std::size_t i = 0; i < eval.programs.size(); ++i) {
     const auto& p = eval.programs[i];
@@ -87,6 +93,12 @@ std::string ToJson(const ExperimentResult& result) {
      << "\"unique_hierarchies\":" << result.pipeline.unique_hierarchies << ","
      << "\"cache_hits\":" << result.pipeline.cache_hits << ","
      << "\"cache_misses\":" << result.pipeline.cache_misses << ","
+     << "\"synth_states_visited\":" << result.pipeline.synth_states_visited
+     << ","
+     << "\"synth_states_deduped\":" << result.pipeline.synth_states_deduped
+     << ","
+     << "\"synth_branches_pruned\":" << result.pipeline.synth_branches_pruned
+     << ","
      << "\"synthesis_seconds_saved\":"
      << Num(result.pipeline.synthesis_seconds_saved) << ","
      << "\"threads\":" << result.pipeline.threads << "},"

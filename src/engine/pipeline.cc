@@ -20,17 +20,18 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-}  // namespace
-
-ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
-                                          const core::SynthesisHierarchy& sh,
-                                          const core::Program& program,
-                                          bool measure) {
+// The shared per-program evaluation, taking an already-lowered program so
+// callers holding a lowering (the guided path keeps them for measurement)
+// never lower twice.
+ProgramEvaluation EvaluateLowered(const Engine& engine,
+                                  const core::SynthesisHierarchy& sh,
+                                  const core::Program& program,
+                                  const core::LoweredProgram& lowered,
+                                  bool measure) {
   ProgramEvaluation eval;
   eval.program = program;
   eval.text = core::ToString(program, sh.level_names());
   eval.num_steps = static_cast<int>(program.size());
-  const auto lowered = core::LowerProgram(sh, program);
   eval.predicted_seconds = engine.cost_model().PredictProgram(
       lowered, engine.payload_bytes(), engine.options().algo);
   if (measure) {
@@ -39,6 +40,16 @@ ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
     eval.measured = true;
   }
   return eval;
+}
+
+}  // namespace
+
+ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
+                                          const core::SynthesisHierarchy& sh,
+                                          const core::Program& program,
+                                          bool measure) {
+  return EvaluateLowered(engine, sh, program, core::LowerProgram(sh, program),
+                         measure);
 }
 
 Pipeline::Pipeline(const Engine& engine, PipelineOptions options)
@@ -55,30 +66,39 @@ PlacementEvaluation Pipeline::Evaluate(
   eval.synthesis_seconds = synthesis.stats.seconds;
   eval.synthesis_stats = synthesis.stats;
 
+  // Every program is lowered exactly once: the lowering backs the dedup
+  // check, the prediction, and — kept in `lowered` under guided evaluation —
+  // the top-k measurement pass, which used to re-lower its candidates.
+  std::vector<core::LoweredProgram> lowered;
+  lowered.reserve(synthesis.programs.size() + 1);
+
   // The default AllReduce always comes first; the synthesizer also finds it,
   // so drop the duplicate from the synthesized list.
   const core::Program default_ar = DefaultAllReduceProgram();
-  eval.programs.push_back(
-      EvaluateProgramOnEngine(engine_, sh, default_ar, measure_all));
+  lowered.push_back(core::LowerProgram(sh, default_ar));
+  eval.programs.push_back(EvaluateLowered(engine_, sh, default_ar,
+                                          lowered.front(), measure_all));
   eval.programs.front().is_default_allreduce = true;
 
-  const auto default_lowered = core::LowerProgram(sh, default_ar);
   for (const core::Program& p : synthesis.programs) {
-    if (p.size() == 1) {
+    auto lowered_p = core::LowerProgram(sh, p);
+    // lowered.front() is re-fetched per iteration: the vector grows inside
+    // this loop, so a reference held across iterations could dangle.
+    if (lowered_p.steps.size() == 1 &&
+        lowered_p.steps[0].op == core::Collective::kAllReduce &&
+        lowered_p.steps[0].groups == lowered.front().steps[0].groups) {
       // A one-step program with the same lowered groups *is* the default.
-      const auto lowered = core::LowerProgram(sh, p);
-      if (lowered.steps.size() == 1 &&
-          lowered.steps[0].op == core::Collective::kAllReduce &&
-          lowered.steps[0].groups == default_lowered.steps[0].groups) {
-        continue;
-      }
+      continue;
     }
-    eval.programs.push_back(EvaluateProgramOnEngine(engine_, sh, p, measure_all));
+    eval.programs.push_back(
+        EvaluateLowered(engine_, sh, p, lowered_p, measure_all));
+    lowered.push_back(std::move(lowered_p));
   }
 
   if (guided) {
     // Measure the default AllReduce and the top-k by prediction (stable on
-    // prediction ties, so the measured set is deterministic).
+    // prediction ties, so the measured set is deterministic), reusing the
+    // lowerings from the predict pass above.
     std::vector<int> order(eval.programs.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
       order[i] = static_cast<int>(i);
@@ -90,9 +110,9 @@ PlacementEvaluation Pipeline::Evaluate(
     auto measure = [&](int index) {
       auto& p = eval.programs[static_cast<std::size_t>(index)];
       if (p.measured) return;
-      const auto lowered = core::LowerProgram(sh, p.program);
       p.measured_seconds = engine_.executor().MeasureProgram(
-          lowered, engine_.payload_bytes(), engine_.options().algo);
+          lowered[static_cast<std::size_t>(index)], engine_.payload_bytes(),
+          engine_.options().algo);
       p.measured = true;
     };
     measure(0);  // the baseline is always measured
@@ -200,6 +220,14 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
   result.pipeline.num_placements = static_cast<std::int64_t>(n);
   result.pipeline.unique_hierarchies =
       static_cast<std::int64_t>(members_of.size());
+  for (const auto& placement : result.placements) {
+    result.pipeline.synth_states_visited +=
+        placement.synthesis_stats.states_visited;
+    result.pipeline.synth_states_deduped +=
+        placement.synthesis_stats.states_deduped;
+    result.pipeline.synth_branches_pruned +=
+        placement.synthesis_stats.branches_pruned;
+  }
   result.pipeline.cache_hits = cache_after.hits - cache_before.hits;
   result.pipeline.cache_misses = cache_after.misses - cache_before.misses;
   result.pipeline.synthesis_seconds_saved =

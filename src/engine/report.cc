@@ -70,7 +70,10 @@ std::string RenderPipelineStats(const PipelineStats& stats) {
   std::snprintf(buf, sizeof(buf), " (%.2f s re-synthesis avoided)",
                 stats.synthesis_seconds_saved);
   os << buf << ", " << stats.threads
-     << (stats.threads == 1 ? " thread" : " threads");
+     << (stats.threads == 1 ? " thread" : " threads")
+     << "\nsearch: " << stats.synth_states_visited << " states visited, "
+     << stats.synth_states_deduped << " transpositions collapsed, "
+     << stats.synth_branches_pruned << " subtrees replayed from the table";
   return os.str();
 }
 

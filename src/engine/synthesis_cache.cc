@@ -6,11 +6,16 @@ namespace p2::engine {
 
 std::string SynthesisCache::Key(const core::SynthesisHierarchy& sh,
                                 const core::SynthesisOptions& options) {
-  // Every SynthesisOptions field must appear in the key, or two pipelines
-  // with different options would silently share program sets. The assert
-  // fires when a field is added without updating this function.
+  // Every SynthesisOptions field that can change the program list must
+  // appear in the key, or two pipelines with different options would
+  // silently share program sets. `threads` is deliberately excluded: the
+  // transposition search's output and stats are identical at any thread
+  // count (tests/synth_differential_test.cc proves it), so caching per
+  // thread count would only split the cache. The assert fires when a field
+  // is added without revisiting this function.
   static_assert(sizeof(core::SynthesisOptions) ==
-                    2 * sizeof(std::int64_t),  // int max_program_size (padded)
+                    2 * sizeof(std::int64_t),  // int max_program_size
+                                               // + int threads (excluded)
                                                // + int64 max_programs
                 "new SynthesisOptions field? include it in the cache key");
   return sh.Signature() + ";size<=" + std::to_string(options.max_program_size) +

@@ -85,6 +85,17 @@ TEST(Cli, ParsesThreads) {
   EXPECT_EQ(opts->threads, 8);
 }
 
+TEST(Cli, ParsesSynthThreads) {
+  std::string error;
+  const auto opts = Parse(
+      {"--axes=8,4", "--reduce=0", "--synth-threads=4"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->synth_threads, 4);
+  EXPECT_EQ(opts->threads, 1);
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--synth-threads=0"}, &error)
+                   .has_value());
+}
+
 TEST(Cli, ClusterFromOptions) {
   std::string error;
   const auto a100 = Parse({"--axes=8,4", "--reduce=0", "--nodes=2"}, &error);

@@ -134,6 +134,37 @@ TEST(Synthesizer, StatsPopulated) {
   EXPECT_GT(result.stats.applications_succeeded, 0);
   EXPECT_GT(result.stats.alphabet_size, 0);
   EXPECT_GE(result.stats.seconds, 0.0);
+  // Transposition-table counters: the Fig 2d search revisits shared states
+  // (e.g. RS;AG and the identity-free reorderings) and replays memoized
+  // completions.
+  EXPECT_GT(result.stats.states_visited, 0);
+  EXPECT_GT(result.stats.states_deduped, 0);
+  EXPECT_GT(result.stats.branches_pruned, 0);
+}
+
+TEST(Synthesizer, ReferenceOracleAgreesOnFig2d) {
+  const auto sh = Fig2dHierarchy();
+  const auto fast = SynthesizePrograms(sh);
+  const auto oracle = SynthesizeProgramsReference(sh);
+  EXPECT_EQ(fast.programs, oracle.programs);
+  // The point of the transposition table: far fewer instruction
+  // applications than the blind DFS for the same program list.
+  EXPECT_LT(fast.stats.instructions_tried, oracle.stats.instructions_tried);
+}
+
+TEST(Synthesizer, CapKeepsTheSmallestPrograms) {
+  // Under the cap the transposition search returns a prefix of its own
+  // uncapped size-ordered list (the reference DFS keeps an arbitrary
+  // DFS-order subset instead — the one documented divergence).
+  const auto sh = Fig2dHierarchy();
+  SynthesisOptions capped, full;
+  capped.max_programs = 5;
+  const auto some = SynthesizePrograms(sh, capped);
+  const auto all = SynthesizePrograms(sh, full);
+  ASSERT_EQ(some.programs.size(), 5u);
+  for (std::size_t i = 0; i < some.programs.size(); ++i) {
+    EXPECT_EQ(some.programs[i], all.programs[i]);
+  }
 }
 
 TEST(Synthesizer, DeeperHierarchyFindsRicherPrograms) {
