@@ -1,0 +1,481 @@
+#include "engine/cache_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+
+namespace p2::engine {
+
+namespace {
+
+// FNV-1a 64-bit: tiny, dependency-free, and any single flipped byte changes
+// the digest — all this file needs is corruption *detection*, not security.
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- little-endian primitives ---------------------------------------------
+
+void AppendU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendI32(std::string* out, std::int32_t v) {
+  AppendU32(out, static_cast<std::uint32_t>(v));
+}
+
+void AppendI64(std::string* out, std::int64_t v) {
+  AppendU64(out, static_cast<std::uint64_t>(v));
+}
+
+void AppendF64(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+// Bounds-checked sequential reader over a payload. Every Read* returns false
+// on exhaustion instead of reading past the end, so a truncated or lying
+// length field can never walk off the buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  bool ReadU8(std::uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(std::uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t* v) {
+    if (remaining() < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadI32(std::int32_t* v) {
+    std::uint32_t u = 0;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<std::int32_t>(u);
+    return true;
+  }
+
+  bool ReadI64(std::int64_t* v) {
+    std::uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<std::int64_t>(u);
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    std::uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+
+  bool ReadBytes(std::size_t n, std::string_view* v) {
+    if (remaining() < n) return false;
+    *v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// The entry key always starts with the hierarchy signature
+// ("levels:a,b,c;goal:..."), so the depth the entry's programs were
+// synthesized against is recoverable from the key itself — which lets the
+// decoder bound every slice/ancestor level without trusting the payload.
+bool ParseLevelCount(std::string_view key, int* num_levels) {
+  constexpr std::string_view kPrefix = "levels:";
+  if (key.substr(0, kPrefix.size()) != kPrefix) return false;
+  const std::string_view rest = key.substr(kPrefix.size());
+  const std::size_t end = rest.find(';');
+  if (end == std::string_view::npos || end == 0) return false;
+  int count = 1;
+  for (std::size_t i = 0; i < end; ++i) {
+    const char c = rest[i];
+    if (c == ',') {
+      ++count;
+    } else if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  *num_levels = count;
+  return true;
+}
+
+bool DecodeInstruction(Reader* r, int num_levels, core::Instruction* instr) {
+  std::int32_t slice = 0;
+  std::uint8_t form_kind = 0;
+  std::int32_t ancestor = 0;
+  std::uint8_t op = 0;
+  if (!r->ReadI32(&slice) || !r->ReadU8(&form_kind) ||
+      !r->ReadI32(&ancestor) || !r->ReadU8(&op)) {
+    return false;
+  }
+  // Semantic validation, not just enum bounds: a checksum-valid payload from
+  // a buggy or malicious writer must satisfy every precondition the lowering
+  // path (core::DeriveGroups) would otherwise throw on, or the never-crash
+  // corruption policy is void.
+  if (slice < 0 || slice >= num_levels) return false;
+  if (form_kind > static_cast<std::uint8_t>(core::Form::Kind::kMaster)) {
+    return false;
+  }
+  const auto kind = static_cast<core::Form::Kind>(form_kind);
+  if (kind == core::Form::Kind::kInsideGroup) {
+    if (ancestor != -1) return false;
+  } else if (ancestor < 0 || ancestor >= slice) {
+    return false;  // Parallel/Master need a strict ancestor of the slice
+  }
+  if (op >= core::kAllCollectives.size()) return false;
+  instr->slice_level = slice;
+  instr->form.kind = kind;
+  instr->form.ancestor_level = ancestor;
+  instr->op = static_cast<core::Collective>(op);
+  return true;
+}
+
+void EncodeInstruction(std::string* out, const core::Instruction& instr) {
+  AppendI32(out, instr.slice_level);
+  AppendU8(out, static_cast<std::uint8_t>(instr.form.kind));
+  AppendI32(out, instr.form.ancestor_level);
+  AppendU8(out, static_cast<std::uint8_t>(instr.op));
+}
+
+// Bytes per encoded instruction / minimum bytes per encoded program; used to
+// sanity-bound counts before reserving memory for them.
+constexpr std::size_t kInstructionBytes = 10;
+constexpr std::size_t kMinProgramBytes = 4;
+constexpr std::size_t kEntryFrameBytes = 12;   // payload length u32 + checksum u64
+constexpr std::size_t kHeaderBytes = 16;       // magic + version u32 + count u64
+
+}  // namespace
+
+const char* ToString(CacheLoadStatus status) {
+  switch (status) {
+    case CacheLoadStatus::kNotConfigured:
+      return "not configured";
+    case CacheLoadStatus::kNoFile:
+      return "no cache file";
+    case CacheLoadStatus::kOk:
+      return "ok";
+    case CacheLoadStatus::kBadMagic:
+      return "bad magic";
+    case CacheLoadStatus::kBadVersion:
+      return "unsupported format version";
+    case CacheLoadStatus::kTruncated:
+      return "truncated file";
+    case CacheLoadStatus::kChecksumMismatch:
+      return "checksum mismatch";
+    case CacheLoadStatus::kBadPayload:
+      return "malformed payload";
+    case CacheLoadStatus::kIoError:
+      return "unreadable file";
+  }
+  return "?";
+}
+
+bool IsCorrupt(CacheLoadStatus status) {
+  return status != CacheLoadStatus::kOk &&
+         status != CacheLoadStatus::kNoFile &&
+         status != CacheLoadStatus::kNotConfigured;
+}
+
+CacheStore::CacheStore(std::string path) : path_(std::move(path)) {}
+
+std::string CacheStore::EncodeEntry(const CacheFileEntry& entry) {
+  std::string out;
+  AppendU32(&out, static_cast<std::uint32_t>(entry.key.size()));
+  out += entry.key;
+  const core::SynthesisStats& s = entry.result.stats;
+  AppendI64(&out, s.instructions_tried);
+  AppendI64(&out, s.applications_succeeded);
+  AppendI64(&out, s.states_visited);
+  AppendI64(&out, s.states_deduped);
+  AppendI64(&out, s.branches_pruned);
+  AppendI32(&out, s.alphabet_size);
+  AppendF64(&out, s.seconds);
+  AppendU32(&out, static_cast<std::uint32_t>(entry.result.programs.size()));
+  for (const core::Program& p : entry.result.programs) {
+    AppendU32(&out, static_cast<std::uint32_t>(p.size()));
+    for (const core::Instruction& instr : p) EncodeInstruction(&out, instr);
+  }
+  return out;
+}
+
+bool CacheStore::DecodeEntry(std::string_view payload, CacheFileEntry* entry) {
+  Reader r(payload);
+  std::uint32_t key_len = 0;
+  if (!r.ReadU32(&key_len) || key_len > r.remaining()) return false;
+  std::string_view key;
+  if (!r.ReadBytes(key_len, &key)) return false;
+  entry->key.assign(key);
+  int num_levels = 0;
+  if (!ParseLevelCount(key, &num_levels)) return false;
+
+  core::SynthesisStats& s = entry->result.stats;
+  s = core::SynthesisStats{};
+  std::int32_t alphabet = 0;
+  if (!r.ReadI64(&s.instructions_tried) ||
+      !r.ReadI64(&s.applications_succeeded) || !r.ReadI64(&s.states_visited) ||
+      !r.ReadI64(&s.states_deduped) || !r.ReadI64(&s.branches_pruned) ||
+      !r.ReadI32(&alphabet) || !r.ReadF64(&s.seconds)) {
+    return false;
+  }
+  s.alphabet_size = alphabet;
+
+  std::uint32_t num_programs = 0;
+  if (!r.ReadU32(&num_programs)) return false;
+  // Each remaining program costs at least its own count field, so a count
+  // larger than remaining/4 is a lie — reject before reserving memory for it.
+  if (num_programs > r.remaining() / kMinProgramBytes) return false;
+  entry->result.programs.clear();
+  entry->result.programs.reserve(num_programs);
+  for (std::uint32_t i = 0; i < num_programs; ++i) {
+    std::uint32_t num_instructions = 0;
+    if (!r.ReadU32(&num_instructions)) return false;
+    if (num_instructions > r.remaining() / kInstructionBytes) return false;
+    core::Program program;
+    program.reserve(num_instructions);
+    for (std::uint32_t j = 0; j < num_instructions; ++j) {
+      core::Instruction instr;
+      if (!DecodeInstruction(&r, num_levels, &instr)) return false;
+      program.push_back(instr);
+    }
+    entry->result.programs.push_back(std::move(program));
+  }
+  return r.AtEnd();  // trailing bytes inside a payload are malformed too
+}
+
+std::string CacheStore::EncodeFile(const std::vector<CacheFileEntry>& entries) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kFormatVersion);
+  AppendU64(&out, static_cast<std::uint64_t>(entries.size()));
+  for (const CacheFileEntry& entry : entries) {
+    const std::string payload = EncodeEntry(entry);
+    AppendU32(&out, static_cast<std::uint32_t>(payload.size()));
+    AppendU64(&out, Fnv1a64(payload));
+    out += payload;
+  }
+  return out;
+}
+
+CacheFileContents CacheStore::DecodeFile(std::string_view bytes) {
+  CacheFileContents contents;
+  auto fail = [&contents](CacheLoadStatus status, std::string message) {
+    contents.status = status;
+    contents.message = std::move(message);
+    contents.entries.clear();  // every corruption loads as a cold cache
+    return contents;
+  };
+
+  if (bytes.empty()) return fail(CacheLoadStatus::kTruncated, "empty file");
+  if (bytes.size() >= sizeof(kMagic) &&
+      bytes.substr(0, sizeof(kMagic)) != std::string_view(kMagic, sizeof(kMagic))) {
+    return fail(CacheLoadStatus::kBadMagic,
+                "not a P2 synthesis-cache file (bad magic)");
+  }
+  if (bytes.size() < kHeaderBytes) {
+    return fail(CacheLoadStatus::kTruncated,
+                "file shorter than the header (" +
+                    std::to_string(bytes.size()) + " bytes)");
+  }
+  Reader r(bytes.substr(sizeof(kMagic)));
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  r.ReadU32(&version);
+  r.ReadU64(&count);
+  if (version != kFormatVersion) {
+    return fail(CacheLoadStatus::kBadVersion,
+                "format version " + std::to_string(version) +
+                    " (this build reads version " +
+                    std::to_string(kFormatVersion) + ")");
+  }
+  if (count > r.remaining() / kEntryFrameBytes) {
+    return fail(CacheLoadStatus::kTruncated,
+                "entry count exceeds the file size");
+  }
+
+  contents.entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t payload_len = 0;
+    std::uint64_t checksum = 0;
+    if (!r.ReadU32(&payload_len) || !r.ReadU64(&checksum)) {
+      return fail(CacheLoadStatus::kTruncated,
+                  "entry " + std::to_string(i) + " frame cut short");
+    }
+    std::string_view payload;
+    if (!r.ReadBytes(payload_len, &payload)) {
+      return fail(CacheLoadStatus::kTruncated,
+                  "entry " + std::to_string(i) + " payload cut short");
+    }
+    if (Fnv1a64(payload) != checksum) {
+      return fail(CacheLoadStatus::kChecksumMismatch,
+                  "entry " + std::to_string(i) + " failed its checksum");
+    }
+    CacheFileEntry entry;
+    if (!DecodeEntry(payload, &entry)) {
+      return fail(CacheLoadStatus::kBadPayload,
+                  "entry " + std::to_string(i) + " is malformed");
+    }
+    contents.entries.push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return fail(CacheLoadStatus::kBadPayload,
+                std::to_string(r.remaining()) + " trailing bytes after the " +
+                    "last entry");
+  }
+  contents.status = CacheLoadStatus::kOk;
+  return contents;
+}
+
+CacheFileContents CacheStore::Load() const {
+  std::error_code ec;
+  if (!std::filesystem::exists(path_, ec)) {
+    CacheFileContents contents;
+    contents.status = CacheLoadStatus::kNoFile;
+    contents.message = "no file at " + path_;
+    return contents;
+  }
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) {
+    // Distinct from corruption: the file may be intact but unreadable (e.g.
+    // permissions), so the warning must not invite the operator to delete it.
+    CacheFileContents contents;
+    contents.status = CacheLoadStatus::kIoError;
+    contents.message = "cannot open " + path_;
+    return contents;
+  }
+  // One pre-sized read, not stream buffering: a pipeline constructs a store
+  // on every startup and cache files grow without eviction, so avoid holding
+  // two copies of the image.
+  std::error_code size_ec;
+  const auto size = std::filesystem::file_size(path_, size_ec);
+  std::string bytes;
+  if (!size_ec) bytes.resize(size);
+  if (size_ec ||
+      !in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    CacheFileContents contents;
+    contents.status = CacheLoadStatus::kIoError;
+    contents.message = "cannot read " + path_;
+    return contents;
+  }
+  return DecodeFile(bytes);
+}
+
+CacheLoadStatus CacheStore::LoadInto(SynthesisCache* cache) {
+  CacheFileContents contents = Load();
+  last_load_status_ = contents.status;
+  last_load_message_ = contents.message;
+  entries_loaded_ = 0;
+  if (contents.status == CacheLoadStatus::kOk) {
+    std::vector<std::pair<std::string, core::SynthesisResult>> entries;
+    entries.reserve(contents.entries.size());
+    for (CacheFileEntry& entry : contents.entries) {
+      entries.emplace_back(std::move(entry.key), std::move(entry.result));
+    }
+    entries_loaded_ = cache->Preload(std::move(entries));
+  }
+  return last_load_status_;
+}
+
+bool CacheStore::Save(const SynthesisCache& cache, std::string* error) {
+  // Rewriting is recovery for *corruption* (bad magic, truncation, failed
+  // checksums): those files carry nothing worth keeping. But an unreadable
+  // file may be intact, and a version-mismatched one was written by a newer
+  // binary — overwriting either would destroy a cache other runs
+  // accumulated, so refuse instead.
+  if (last_load_status_ == CacheLoadStatus::kIoError ||
+      last_load_status_ == CacheLoadStatus::kBadVersion) {
+    if (error != nullptr) {
+      *error = "refusing to overwrite " + path_ + ": " +
+               ToString(last_load_status_) +
+               " on load (the existing cache may be intact)";
+    }
+    return false;
+  }
+  std::vector<CacheFileEntry> entries;
+  for (auto& [key, result] : cache.Snapshot()) {
+    entries.push_back(CacheFileEntry{std::move(key), std::move(result)});
+  }
+  const std::string image = EncodeFile(entries);
+
+  // Write-temp + rename: the rename is atomic on POSIX, so a concurrent
+  // planner loading this path sees either the previous file or this one in
+  // full — never a torn mix. The temp name carries the pid plus a
+  // process-wide counter so no two writers — across processes or across
+  // Pipelines/threads within one — ever share a temp file.
+  static std::atomic<std::uint64_t> save_counter{0};
+  const std::string tmp = path_ + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(save_counter.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(image.data(),
+                           static_cast<std::streamsize>(image.size()))) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp + " to " + path_ + ": " + ec.message();
+    }
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  entries_saved_ = static_cast<std::int64_t>(entries.size());
+  return true;
+}
+
+}  // namespace p2::engine

@@ -43,7 +43,8 @@ std::string CliUsage() {
       "--reduce=I[,J]\n"
       "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N] "
       "[--threads=N]\n"
-      "               [--synth-threads=N] [--fuse]\n"
+      "               [--synth-threads=N] [--fuse] [--cache-file=PATH]\n"
+      "               [--cache-readonly]\n"
       "\n"
       "  --system      GPU system model (Fig. 9 of the paper)\n"
       "  --nodes       number of nodes\n"
@@ -56,7 +57,14 @@ std::string CliUsage() {
       "                the result is identical at any thread count)\n"
       "  --synth-threads  expand the synthesis search frontier with N worker\n"
       "                threads (default 1; identical output at any count)\n"
-      "  --fuse        fuse consecutive fusible steps before evaluating\n";
+      "  --fuse        fuse consecutive fusible steps before evaluating\n"
+      "  --cache-file  load/save the persistent synthesis cache at PATH:\n"
+      "                known hierarchies skip synthesis across planner runs;\n"
+      "                a corrupt file starts cold with a warning and is\n"
+      "                rewritten atomically on exit (unreadable or\n"
+      "                newer-format-version files are never overwritten)\n"
+      "  --cache-readonly  use the cache file without creating or\n"
+      "                modifying it (requires --cache-file)\n";
 }
 
 std::optional<CliOptions> ParseCliOptions(
@@ -67,14 +75,23 @@ std::optional<CliOptions> ParseCliOptions(
       *error = CliUsage();
       return std::nullopt;
     }
-    if (arg == "--fuse") {
-      opts.fuse = true;
-      continue;
-    }
-    const auto eq = arg.find('=');
-    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+    if (arg.rfind("--", 0) != 0) {
       *error = "unrecognized argument: " + arg + "\n\n" + CliUsage();
       return std::nullopt;
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      // Bare boolean flags. Anything unknown is an error — silently ignoring
+      // a mistyped flag would quietly change what gets planned.
+      if (arg == "--fuse") {
+        opts.fuse = true;
+      } else if (arg == "--cache-readonly") {
+        opts.cache_readonly = true;
+      } else {
+        *error = "unrecognized flag: " + arg + "\n\n" + CliUsage();
+        return std::nullopt;
+      }
+      continue;
     }
     const std::string key = arg.substr(0, eq);
     const std::string value = arg.substr(eq + 1);
@@ -145,6 +162,12 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.synth_threads = static_cast<int>(v);
+    } else if (key == "--cache-file") {
+      if (value.empty()) {
+        *error = "--cache-file needs a path";
+        return std::nullopt;
+      }
+      opts.cache_file = value;
     } else {
       *error = "unrecognized flag: " + key + "\n\n" + CliUsage();
       return std::nullopt;
@@ -169,6 +192,10 @@ std::optional<CliOptions> ParseCliOptions(
       *error = "--reduce index out of range";
       return std::nullopt;
     }
+  }
+  if (opts.cache_readonly && opts.cache_file.empty()) {
+    *error = "--cache-readonly requires --cache-file";
+    return std::nullopt;
   }
   return opts;
 }
@@ -203,11 +230,32 @@ int RunCli(const CliOptions& options, std::string* output) {
       engine,
       PipelineOptions{.threads = options.threads,
                       .cache_synthesis = true,
-                      .measure_top_k = options.top_k > 0 ? options.top_k : -1});
+                      .measure_top_k = options.top_k > 0 ? options.top_k : -1,
+                      .cache_file = options.cache_file,
+                      .cache_readonly = options.cache_readonly});
+
+  std::ostringstream os;
+  if (IsCorrupt(pipeline.cache_load_status())) {
+    os << "warning: cache file " << options.cache_file << ": "
+       << ToString(pipeline.cache_load_status()) << " ("
+       << pipeline.cache_load_message() << "); starting cold\n";
+  } else if (options.cache_readonly &&
+             pipeline.cache_load_status() == CacheLoadStatus::kNoFile) {
+    // A writable cold start is normal, but readonly names a file the user
+    // expects to exist — running cold here is a silent latency regression.
+    os << "warning: cache file " << options.cache_file
+       << " does not exist; --cache-readonly runs cold\n";
+  }
+
   const ExperimentResult result =
       pipeline.Run(options.axes, options.reduction_axes);
 
-  std::ostringstream os;
+  std::string save_error;
+  if (!pipeline.SaveCache(&save_error)) {
+    os << "warning: could not save cache file " << options.cache_file << ": "
+       << save_error << '\n';
+  }
+
   os << "system: " << cluster.ToString() << ", "
      << core::ToString(options.algo) << ", payload "
      << engine.payload_bytes() / 1e6 << " MB/GPU\n\n";

@@ -3,7 +3,7 @@
 //
 //   p2_plan --system=a100 --nodes=4 --axes=4,16 --reduce=0
 //           [--algo=ring|tree] [--payload-mb=N] [--top-k=N] [--threads=N]
-//           [--fuse]
+//           [--fuse] [--cache-file=PATH] [--cache-readonly]
 #ifndef P2_ENGINE_CLI_H_
 #define P2_ENGINE_CLI_H_
 
@@ -28,6 +28,8 @@ struct CliOptions {
   int threads = 1;          // pipeline evaluation threads
   int synth_threads = 1;    // synthesis frontier-expansion threads
   bool fuse = false;        // apply the fusion pass before evaluation
+  std::string cache_file;   // persistent synthesis cache (empty = off)
+  bool cache_readonly = false;  // load the cache file but never write it
 };
 
 /// Parses argv-style arguments. On error returns std::nullopt and fills

@@ -97,9 +97,13 @@ ProgramEvaluation Engine::EvaluateProgram(const core::SynthesisHierarchy& sh,
 PlacementEvaluation Engine::EvaluatePlacement(
     const core::ParallelismMatrix& matrix,
     std::span<const int> reduction_axes) const {
+  // The trailing fields spell out their defaults because GCC's
+  // -Wextra/-Werror flags omitted members of designated initializers.
   Pipeline pipeline(*this, PipelineOptions{.threads = 1,
                                            .cache_synthesis = false,
-                                           .measure_top_k = -1});
+                                           .measure_top_k = -1,
+                                           .cache_file = {},
+                                           .cache_readonly = false});
   return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
@@ -111,7 +115,9 @@ PlacementEvaluation Engine::EvaluatePlacementGuided(
   Pipeline pipeline(*this,
                     PipelineOptions{.threads = 1,
                                     .cache_synthesis = false,
-                                    .measure_top_k = std::max(0, measure_top_k)});
+                                    .measure_top_k = std::max(0, measure_top_k),
+                                    .cache_file = {},
+                                    .cache_readonly = false});
   return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
@@ -121,7 +127,9 @@ ExperimentResult Engine::RunExperiment(
   Pipeline pipeline(*this,
                     PipelineOptions{.threads = options_.threads,
                                     .cache_synthesis = options_.cache_synthesis,
-                                    .measure_top_k = -1});
+                                    .measure_top_k = -1,
+                                    .cache_file = {},
+                                    .cache_readonly = false});
   return pipeline.Run(axes, reduction_axes);
 }
 

@@ -49,6 +49,13 @@ struct PipelineStats {
   std::int64_t unique_hierarchies = 0;  ///< distinct synthesis signatures
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  /// Persistent-cache figures (engine/cache_store.h); all zero unless the
+  /// pipeline was given a cache file. cache_disk_hits is a per-run delta
+  /// like the counters above; cache_entries_loaded is a property of the
+  /// *pipeline* (its one-time preload), repeated verbatim in every run's
+  /// stats — don't sum it across experiments.
+  std::int64_t cache_disk_hits = 0;       ///< hits served by on-disk entries
+  std::int64_t cache_entries_loaded = 0;  ///< entries preloaded at startup
   /// Transposition-search totals (core::SynthesisStats) summed over the
   /// placements, counterfactually like TotalSynthesisSeconds: placements
   /// served from the signature cache contribute the stats of the shared
@@ -57,6 +64,7 @@ struct PipelineStats {
   std::int64_t synth_states_deduped = 0;
   std::int64_t synth_branches_pruned = 0;
   double synthesis_seconds_saved = 0.0;  ///< re-synthesis avoided by the cache
+  double disk_seconds_saved = 0.0;       ///< portion saved across runs (disk)
   double synthesis_seconds = 0.0;        ///< wall-clock actually synthesizing
   double evaluation_seconds = 0.0;       ///< lower/predict/measure stage
   double total_seconds = 0.0;

@@ -93,6 +93,11 @@ std::string ToJson(const ExperimentResult& result) {
      << "\"unique_hierarchies\":" << result.pipeline.unique_hierarchies << ","
      << "\"cache_hits\":" << result.pipeline.cache_hits << ","
      << "\"cache_misses\":" << result.pipeline.cache_misses << ","
+     << "\"cache_disk_hits\":" << result.pipeline.cache_disk_hits << ","
+     << "\"cache_entries_loaded\":" << result.pipeline.cache_entries_loaded
+     << ","
+     << "\"disk_seconds_saved\":" << Num(result.pipeline.disk_seconds_saved)
+     << ","
      << "\"synth_states_visited\":" << result.pipeline.synth_states_visited
      << ","
      << "\"synth_states_deduped\":" << result.pipeline.synth_states_deduped

@@ -20,8 +20,9 @@ std::string ToJson(const PlacementEvaluation& eval);
 /// {"axes": [4, 16], "reduction_axes": [0], "algo": "Ring",
 ///  "payload_bytes": ...,
 ///  "pipeline": {"placements": N, "unique_hierarchies": U, "cache_hits": H,
-///               "cache_misses": M, "synthesis_seconds_saved": S,
-///               "threads": T},
+///               "cache_misses": M, "cache_disk_hits": D,
+///               "cache_entries_loaded": L, "disk_seconds_saved": DS,
+///               "synthesis_seconds_saved": S, "threads": T},
 ///  "placements": [...]}
 std::string ToJson(const ExperimentResult& result);
 

@@ -53,7 +53,38 @@ ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
 }
 
 Pipeline::Pipeline(const Engine& engine, PipelineOptions options)
-    : engine_(engine), options_(options) {}
+    : engine_(engine), options_(std::move(options)) {
+  if (!options_.cache_file.empty()) {
+    // Persistence is the signature cache on disk, so a cache file implies
+    // the in-memory cache: honouring cache_synthesis=false here would
+    // silently ignore the loaded entries and drop the run's results from
+    // the rewrite on save.
+    options_.cache_synthesis = true;
+    store_.emplace(options_.cache_file);
+    // Any corruption leaves the cache cold and the status queryable; the
+    // pipeline itself never fails over a bad cache file.
+    store_->LoadInto(&cache_);
+  }
+}
+
+CacheLoadStatus Pipeline::cache_load_status() const {
+  return store_.has_value() ? store_->last_load_status()
+                            : CacheLoadStatus::kNotConfigured;
+}
+
+const std::string& Pipeline::cache_load_message() const {
+  static const std::string kEmpty;
+  return store_.has_value() ? store_->last_load_message() : kEmpty;
+}
+
+std::int64_t Pipeline::cache_entries_loaded() const {
+  return store_.has_value() ? store_->entries_loaded() : 0;
+}
+
+bool Pipeline::SaveCache(std::string* error) {
+  if (!store_.has_value() || options_.cache_readonly) return true;
+  return store_->Save(cache_, error);
+}
 
 PlacementEvaluation Pipeline::Evaluate(
     const core::ParallelismMatrix& matrix, const core::SynthesisHierarchy& sh,
@@ -230,8 +261,13 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
   }
   result.pipeline.cache_hits = cache_after.hits - cache_before.hits;
   result.pipeline.cache_misses = cache_after.misses - cache_before.misses;
+  result.pipeline.cache_disk_hits =
+      cache_after.disk_hits - cache_before.disk_hits;
   result.pipeline.synthesis_seconds_saved =
       cache_after.seconds_saved - cache_before.seconds_saved;
+  result.pipeline.disk_seconds_saved =
+      cache_after.disk_seconds_saved - cache_before.disk_seconds_saved;
+  result.pipeline.cache_entries_loaded = cache_entries_loaded();
   result.pipeline.synthesis_seconds = synthesis_seconds;
   result.pipeline.evaluation_seconds = SecondsSince(eval_start);
   result.pipeline.total_seconds = SecondsSince(start);

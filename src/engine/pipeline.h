@@ -15,8 +15,11 @@
 #define P2_ENGINE_PIPELINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 
+#include "engine/cache_store.h"
 #include "engine/engine.h"
 #include "engine/synthesis_cache.h"
 
@@ -33,6 +36,16 @@ struct PipelineOptions {
   /// everything, measure only the default AllReduce plus the top-k programs
   /// by prediction (paper Section 5).
   int measure_top_k = -1;
+  /// Path of a persistent synthesis-cache file (engine/cache_store.h). The
+  /// pipeline loads it at construction — corrupted or version-mismatched
+  /// files fall back to a cold cache, never a crash — and SaveCache()
+  /// atomically rewrites it with the merged in-memory entries. Empty
+  /// disables persistence. A non-empty path forces cache_synthesis on:
+  /// persistence *is* the signature cache on disk.
+  std::string cache_file;
+  /// With cache_file set: load only. SaveCache() becomes a no-op, so the
+  /// file is never created or modified.
+  bool cache_readonly = false;
 };
 
 class Pipeline {
@@ -53,6 +66,21 @@ class Pipeline {
   PlacementEvaluation EvaluatePlacement(const core::ParallelismMatrix& matrix,
                                         std::span<const int> reduction_axes);
 
+  /// How the cache-file load at construction went: kNotConfigured without a
+  /// cache_file, kNoFile on a cold start, kOk, or a corruption status (the
+  /// pipeline still runs — cold — but callers should surface a warning).
+  CacheLoadStatus cache_load_status() const;
+  /// Human-readable detail behind cache_load_status() (for warnings).
+  const std::string& cache_load_message() const;
+  /// Entries preloaded from the cache file at construction.
+  std::int64_t cache_entries_loaded() const;
+
+  /// Atomically rewrites options().cache_file with the merged cache (entries
+  /// loaded from disk plus everything synthesized since). A no-op returning
+  /// true when persistence is unconfigured or cache_readonly is set; returns
+  /// false and fills `error` only on an IO failure.
+  bool SaveCache(std::string* error = nullptr);
+
  private:
   PlacementEvaluation Evaluate(const core::ParallelismMatrix& matrix,
                                const core::SynthesisHierarchy& sh,
@@ -61,6 +89,7 @@ class Pipeline {
   const Engine& engine_;
   PipelineOptions options_;
   SynthesisCache cache_;
+  std::optional<CacheStore> store_;
 };
 
 /// Lowers, predicts and optionally measures one program on the engine's cost

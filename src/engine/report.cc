@@ -70,8 +70,14 @@ std::string RenderPipelineStats(const PipelineStats& stats) {
   std::snprintf(buf, sizeof(buf), " (%.2f s re-synthesis avoided)",
                 stats.synthesis_seconds_saved);
   os << buf << ", " << stats.threads
-     << (stats.threads == 1 ? " thread" : " threads")
-     << "\nsearch: " << stats.synth_states_visited << " states visited, "
+     << (stats.threads == 1 ? " thread" : " threads");
+  if (stats.cache_entries_loaded > 0 || stats.cache_disk_hits > 0) {
+    std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
+                  stats.disk_seconds_saved);
+    os << "\ndisk cache: " << stats.cache_entries_loaded
+       << " entries loaded, " << stats.cache_disk_hits << " disk hits" << buf;
+  }
+  os << "\nsearch: " << stats.synth_states_visited << " states visited, "
      << stats.synth_states_deduped << " transpositions collapsed, "
      << stats.synth_branches_pruned << " subtrees replayed from the table";
   return os.str();

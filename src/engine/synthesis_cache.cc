@@ -1,5 +1,6 @@
 #include "engine/synthesis_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace p2::engine {
@@ -30,8 +31,12 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      stats_.seconds_saved += it->second->stats.seconds;
-      return it->second;
+      stats_.seconds_saved += it->second.original_seconds;
+      if (it->second.from_disk) {
+        ++stats_.disk_hits;
+        stats_.disk_seconds_saved += it->second.original_seconds;
+      }
+      return it->second.result;
     }
   }
   auto result =
@@ -42,10 +47,52 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     // insert (try_emplace keeps the winner); either way we synthesized — the
     // programs are identical — so this call is a miss and no re-synthesis
     // was avoided.
-    const auto it = entries_.try_emplace(key, std::move(result)).first;
+    const double seconds = result->stats.seconds;
+    const auto it =
+        entries_.try_emplace(key, Entry{std::move(result), seconds, false})
+            .first;
     ++stats_.misses;
-    return it->second;
+    return it->second.result;
   }
+}
+
+std::int64_t SynthesisCache::Preload(
+    std::vector<std::pair<std::string, core::SynthesisResult>> entries) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::int64_t inserted = 0;
+  for (auto& [key, result] : entries) {
+    const double original_seconds = result.stats.seconds;
+    // Served results report zero synthesis time: this process never ran the
+    // search. The original wall-clock lives on in Entry::original_seconds
+    // for the savings accounting and for re-persisting.
+    result.stats.seconds = 0.0;
+    auto shared =
+        std::make_shared<const core::SynthesisResult>(std::move(result));
+    if (entries_
+            .try_emplace(std::move(key),
+                         Entry{std::move(shared), original_seconds, true})
+            .second) {
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+std::vector<std::pair<std::string, core::SynthesisResult>>
+SynthesisCache::Snapshot() const {
+  std::vector<std::pair<std::string, core::SynthesisResult>> snapshot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      core::SynthesisResult result = *entry.result;
+      result.stats.seconds = entry.original_seconds;
+      snapshot.emplace_back(key, std::move(result));
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snapshot;
 }
 
 SynthesisCacheStats SynthesisCache::stats() const {

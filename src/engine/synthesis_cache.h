@@ -6,6 +6,8 @@
 // up to lowering, so synthesizing once per signature removes the dominant
 // cost of a multi-placement experiment. Thread-safe; synthesis runs outside
 // the lock so concurrent misses on different signatures do not serialize.
+// The cache can also be warmed from and persisted to disk across processes
+// via engine/cache_store.h (Preload/Snapshot below).
 #ifndef P2_ENGINE_SYNTHESIS_CACHE_H_
 #define P2_ENGINE_SYNTHESIS_CACHE_H_
 
@@ -14,6 +16,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/synthesizer.h"
 
@@ -22,9 +26,15 @@ namespace p2::engine {
 struct SynthesisCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
+  /// Hits served by an entry that was preloaded from a persistent store
+  /// (engine/cache_store.h) rather than synthesized by this process.
+  std::int64_t disk_hits = 0;
   /// Sum of the original synthesis wall-clock of every entry served from the
   /// cache: the time a cacheless run would have spent re-synthesizing.
   double seconds_saved = 0.0;
+  /// The portion of seconds_saved contributed by preloaded entries — the
+  /// cross-run savings a persistent cache adds on top of in-process reuse.
+  double disk_seconds_saved = 0.0;
 };
 
 class SynthesisCache {
@@ -41,14 +51,36 @@ class SynthesisCache {
   static std::string Key(const core::SynthesisHierarchy& sh,
                          const core::SynthesisOptions& options);
 
+  /// Seeds the cache with entries decoded from a persistent store
+  /// (engine/cache_store.h). Keys already present keep their in-memory entry
+  /// (the contents are identical — synthesis is deterministic). Served
+  /// results report stats.seconds == 0, because this process spent nothing
+  /// synthesizing them; the persisted wall-clock is retained internally so
+  /// the seconds-saved accounting still reflects the cross-run savings.
+  /// Returns the number of entries inserted.
+  std::int64_t Preload(
+      std::vector<std::pair<std::string, core::SynthesisResult>> entries);
+
+  /// Key-sorted copy of every entry for persistence. Each result carries its
+  /// *original* synthesis wall-clock (even for entries that were themselves
+  /// preloaded), so save/load round trips preserve the counterfactual cost.
+  std::vector<std::pair<std::string, core::SynthesisResult>> Snapshot() const;
+
   SynthesisCacheStats stats() const;
   std::size_t size() const;
   void Clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<const core::SynthesisResult> result;
+    /// stats.seconds as originally synthesized; differs from
+    /// result->stats.seconds only for preloaded entries (zeroed on serve).
+    double original_seconds = 0.0;
+    bool from_disk = false;
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const core::SynthesisResult>>
-      entries_;
+  std::unordered_map<std::string, Entry> entries_;
   SynthesisCacheStats stats_;
 };
 

@@ -2,8 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include "test_temp_path.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
 namespace p2::engine {
 namespace {
+
+std::string TempPath(const std::string& tag) {
+  return p2::test::TempPath("p2_cli_test", tag);
+}
 
 std::optional<CliOptions> Parse(std::initializer_list<const char*> args,
                                 std::string* error) {
@@ -96,6 +108,53 @@ TEST(Cli, ParsesSynthThreads) {
                    .has_value());
 }
 
+TEST(Cli, ParsesCacheFlags) {
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0",
+                           "--cache-file=/tmp/p2.cache", "--cache-readonly"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->cache_file, "/tmp/p2.cache");
+  EXPECT_TRUE(opts->cache_readonly);
+
+  const auto defaults = Parse({"--axes=8,4", "--reduce=0"}, &error);
+  ASSERT_TRUE(defaults.has_value()) << error;
+  EXPECT_TRUE(defaults->cache_file.empty());
+  EXPECT_FALSE(defaults->cache_readonly);
+}
+
+TEST(Cli, CacheReadonlyRequiresCacheFile) {
+  std::string error;
+  EXPECT_FALSE(
+      Parse({"--axes=8,4", "--reduce=0", "--cache-readonly"}, &error)
+          .has_value());
+  EXPECT_NE(error.find("--cache-file"), std::string::npos);
+}
+
+TEST(Cli, RejectsEmptyCacheFilePath) {
+  std::string error;
+  EXPECT_FALSE(
+      Parse({"--axes=8,4", "--reduce=0", "--cache-file="}, &error)
+          .has_value());
+  EXPECT_NE(error.find("--cache-file"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagsErrorInsteadOfBeingIgnored) {
+  std::string error;
+  // Keyed form.
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--bogus=1"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("unrecognized flag: --bogus"), std::string::npos);
+  // Bare form — a mistyped boolean flag must not silently change the plan.
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--fusee"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("unrecognized flag: --fusee"), std::string::npos);
+  // Non-flag junk keeps its own message.
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "fuse"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("unrecognized argument: fuse"), std::string::npos);
+}
+
 TEST(Cli, ClusterFromOptions) {
   std::string error;
   const auto a100 = Parse({"--axes=8,4", "--reduce=0", "--nodes=2"}, &error);
@@ -128,6 +187,82 @@ TEST(Cli, RunProducesRankedTable) {
   EXPECT_NE(output.find("Placement"), std::string::npos);
   EXPECT_NE(output.find("[[1 8] [2 2]]"), std::string::npos);
   EXPECT_NE(output.find("Speedup"), std::string::npos);
+}
+
+TEST(Cli, RunWarmStartsFromACacheFile) {
+  const std::string path = TempPath("warm");
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0", "--nodes=2",
+                           "--payload-mb=100", "--top-k=3",
+                           ("--cache-file=" + path).c_str()},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+
+  std::string cold_output;
+  ASSERT_EQ(RunCli(*opts, &cold_output), 0);
+  EXPECT_EQ(cold_output.find("disk hits"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  std::string warm_output;
+  ASSERT_EQ(RunCli(*opts, &warm_output), 0);
+  EXPECT_NE(warm_output.find("entries loaded"), std::string::npos);
+  // The reported disk-hit count must be a nonzero integer (parsed, not a
+  // substring check — "10 disk hits" contains "0 disk hits").
+  const auto marker = warm_output.find(" disk hits");
+  ASSERT_NE(marker, std::string::npos);
+  auto digits_begin = marker;
+  while (digits_begin > 0 &&
+         std::isdigit(static_cast<unsigned char>(warm_output[digits_begin - 1]))) {
+    --digits_begin;
+  }
+  ASSERT_LT(digits_begin, marker);
+  EXPECT_GT(std::stoll(warm_output.substr(digits_begin, marker - digits_begin)),
+            0);
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, RunReadonlyNeverCreatesTheCacheFile) {
+  const std::string path = TempPath("readonly");
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0", "--nodes=2",
+                           "--payload-mb=100", "--top-k=3",
+                           ("--cache-file=" + path).c_str(),
+                           "--cache-readonly"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  std::string output;
+  EXPECT_EQ(RunCli(*opts, &output), 0);  // cold but successful
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // Readonly names a file the user expects to exist: running cold must not
+  // be silent.
+  EXPECT_NE(output.find("warning"), std::string::npos);
+  EXPECT_NE(output.find("runs cold"), std::string::npos);
+}
+
+TEST(Cli, RunWarnsOnCorruptCacheFileAndStillPlans) {
+  const std::string path = TempPath("corrupt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a cache file";
+  }
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0", "--nodes=2",
+                           "--payload-mb=100", "--top-k=3",
+                           ("--cache-file=" + path).c_str()},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  std::string output;
+  EXPECT_EQ(RunCli(*opts, &output), 0);
+  EXPECT_NE(output.find("warning"), std::string::npos);
+  EXPECT_NE(output.find("starting cold"), std::string::npos);
+  EXPECT_NE(output.find("Placement"), std::string::npos);  // still planned
+
+  // The save-over-corrupt rewrite left a loadable file behind.
+  std::string warm_output;
+  EXPECT_EQ(RunCli(*opts, &warm_output), 0);
+  EXPECT_EQ(warm_output.find("warning"), std::string::npos);
+  EXPECT_NE(warm_output.find("disk hits"), std::string::npos);
+  std::filesystem::remove(path);
 }
 
 TEST(Cli, FuseAnnotatesFusiblePrograms) {

@@ -1,0 +1,282 @@
+// Differential test for cross-run cache persistence (ISSUE 3): a cold
+// experiment grid is run, saved, and re-run warm from disk by a fresh
+// Pipeline (standing in for a second planner process). The warm run must be
+// byte-identical modulo wall-clock — same programs, predictions and
+// measurements, same report table — while reporting synthesis_seconds == 0
+// for every cached signature and serving every hierarchy as a disk hit.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "test_temp_path.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/cli.h"
+#include "engine/json_export.h"
+#include "engine/pipeline.h"
+#include "topology/presets.h"
+
+namespace p2::engine {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return p2::test::TempPath("p2_pipeline_persistence_test", tag);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+EngineOptions FastOptions() {
+  EngineOptions opts;
+  opts.payload_bytes = 1e8;
+  return opts;
+}
+
+// A small grid whose experiments share synthesis hierarchies, exercising
+// in-run dedup and cross-run persistence together.
+struct GridConfig {
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+};
+
+std::vector<GridConfig> SmallGrid() {
+  return {{{8, 2, 2}, {0}}, {{8, 4}, {0}}, {{4, 8}, {1}}};
+}
+
+// Strips the wall-clock fields (the only run-to-run nondeterminism, plus the
+// cache-state-dependent hit counters) so cold and warm runs can be compared
+// byte for byte via their JSON form.
+ExperimentResult WithoutTimings(ExperimentResult result) {
+  for (auto& p : result.placements) {
+    p.synthesis_seconds = 0.0;
+    p.synthesis_stats.seconds = 0.0;
+  }
+  result.pipeline = PipelineStats{};
+  return result;
+}
+
+PipelineOptions PersistentOptions(const std::string& path,
+                                  bool readonly = false) {
+  PipelineOptions options;
+  options.threads = 2;
+  options.cache_file = path;
+  options.cache_readonly = readonly;
+  return options;
+}
+
+TEST(PipelinePersistence, WarmRunIsByteIdenticalWithZeroSynthesisSeconds) {
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  const std::string path = TempPath("differential");
+  const auto grid = SmallGrid();
+
+  // Cold run: nothing on disk yet.
+  std::vector<ExperimentResult> cold;
+  {
+    Pipeline pipeline(engine, PersistentOptions(path));
+    EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kNoFile);
+    EXPECT_EQ(pipeline.cache_entries_loaded(), 0);
+    for (const auto& cfg : grid) {
+      cold.push_back(pipeline.Run(cfg.axes, cfg.reduction_axes));
+    }
+    for (const auto& result : cold) {
+      EXPECT_EQ(result.pipeline.cache_disk_hits, 0);
+    }
+    ASSERT_TRUE(pipeline.SaveCache());
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Warm run: a fresh Pipeline — a different "process" — reads the file.
+  Pipeline pipeline(engine, PersistentOptions(path));
+  EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kOk);
+  EXPECT_GT(pipeline.cache_entries_loaded(), 0);
+  std::vector<ExperimentResult> warm;
+  for (const auto& cfg : grid) {
+    warm.push_back(pipeline.Run(cfg.axes, cfg.reduction_axes));
+  }
+
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t e = 0; e < warm.size(); ++e) {
+    // Byte-identical results once wall-clock is stripped.
+    EXPECT_EQ(ToJson(WithoutTimings(warm[e])), ToJson(WithoutTimings(cold[e])))
+        << "experiment " << e;
+    // Every signature came off disk: no synthesis ran at all...
+    EXPECT_EQ(warm[e].pipeline.cache_misses, 0) << "experiment " << e;
+    EXPECT_EQ(warm[e].pipeline.cache_disk_hits,
+              warm[e].pipeline.cache_hits)
+        << "experiment " << e;
+    EXPECT_GT(warm[e].pipeline.cache_disk_hits, 0) << "experiment " << e;
+    EXPECT_GE(warm[e].pipeline.disk_seconds_saved, 0.0);
+    EXPECT_EQ(warm[e].pipeline.cache_entries_loaded,
+              pipeline.cache_entries_loaded());
+    // ...so every cached placement reports zero synthesis time.
+    for (const auto& p : warm[e].placements) {
+      EXPECT_EQ(p.synthesis_seconds, 0.0) << "experiment " << e;
+      EXPECT_EQ(p.synthesis_stats.seconds, 0.0) << "experiment " << e;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PipelinePersistence, ReportTableIsByteIdenticalColdVsWarm) {
+  const std::string path = TempPath("report");
+  std::string error;
+  const std::vector<std::string> args = {
+      "--axes=8,4",    "--reduce=0",
+      "--nodes=2",     "--payload-mb=100",
+      "--top-k=3",     "--cache-file=" + path};
+  const auto options = ParseCliOptions(args, &error);
+  ASSERT_TRUE(options.has_value()) << error;
+
+  std::string cold_output;
+  ASSERT_EQ(RunCli(*options, &cold_output), 0);
+  std::string warm_output;
+  ASSERT_EQ(RunCli(*options, &warm_output), 0);
+
+  // The ranked table (everything before the pipeline-stats footer) is fully
+  // deterministic and must not change when synthesis is skipped.
+  const auto table_of = [](const std::string& output) {
+    const auto footer = output.find("\npipeline:");
+    return output.substr(0, footer);
+  };
+  EXPECT_EQ(table_of(warm_output), table_of(cold_output));
+  // The warm footer reports the disk hits the cold run could not have had.
+  EXPECT_EQ(cold_output.find("disk hits"), std::string::npos);
+  EXPECT_NE(warm_output.find("disk hits"), std::string::npos);
+  EXPECT_NE(warm_output.find("entries loaded"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(PipelinePersistence, ReadonlyNeverCreatesOrModifiesTheFile) {
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<int> reduce = {0};
+
+  // Readonly against a missing file: runs cold, never creates the file.
+  const std::string missing = TempPath("readonly_missing");
+  {
+    Pipeline pipeline(engine, PersistentOptions(missing, /*readonly=*/true));
+    EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kNoFile);
+    const auto result = pipeline.Run(axes, reduce);
+    EXPECT_GT(result.pipeline.cache_misses, 0);
+    EXPECT_TRUE(pipeline.SaveCache());  // a successful no-op
+  }
+  EXPECT_FALSE(std::filesystem::exists(missing));
+
+  // Readonly against an existing file: serves disk hits, leaves the bytes
+  // untouched even though the run synthesized nothing new to add.
+  const std::string path = TempPath("readonly");
+  {
+    Pipeline writer(engine, PersistentOptions(path));
+    writer.Run(axes, reduce);
+    ASSERT_TRUE(writer.SaveCache());
+  }
+  const std::string bytes_before = ReadFile(path);
+  {
+    Pipeline reader(engine, PersistentOptions(path, /*readonly=*/true));
+    EXPECT_EQ(reader.cache_load_status(), CacheLoadStatus::kOk);
+    const auto result = reader.Run(axes, reduce);
+    EXPECT_EQ(result.pipeline.cache_misses, 0);
+    EXPECT_GT(result.pipeline.cache_disk_hits, 0);
+    // Even new synthesis results must not leak to disk under readonly.
+    const std::vector<std::int64_t> other_axes = {4, 8};
+    const std::vector<int> other_reduce = {1};
+    reader.Run(other_axes, other_reduce);
+    EXPECT_TRUE(reader.SaveCache());
+  }
+  EXPECT_EQ(ReadFile(path), bytes_before);
+  std::filesystem::remove(path);
+}
+
+TEST(PipelinePersistence, CorruptFileRunsColdAndIsRepairedOnSave) {
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  const std::string path = TempPath("corrupt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a cache file";
+  }
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<int> reduce = {0};
+  {
+    Pipeline pipeline(engine, PersistentOptions(path));
+    EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kBadMagic);
+    EXPECT_TRUE(IsCorrupt(pipeline.cache_load_status()));
+    EXPECT_FALSE(pipeline.cache_load_message().empty());
+    const auto result = pipeline.Run(axes, reduce);  // cold, not a crash
+    EXPECT_GT(result.pipeline.cache_misses, 0);
+    ASSERT_TRUE(pipeline.SaveCache());  // save-over-corrupt recovers
+  }
+  Pipeline pipeline(engine, PersistentOptions(path));
+  EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kOk);
+  const auto result = pipeline.Run(axes, reduce);
+  EXPECT_EQ(result.pipeline.cache_misses, 0);
+  EXPECT_GT(result.pipeline.cache_disk_hits, 0);
+  std::filesystem::remove(path);
+}
+
+TEST(PipelinePersistence, CacheFileImpliesTheSignatureCache) {
+  // cache_synthesis=false with a cache file would silently ignore the
+  // loaded entries and drop the run's results from the save; the pipeline
+  // forces the signature cache on instead.
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  const std::string path = TempPath("implies");
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<int> reduce = {0};
+  {
+    PipelineOptions options = PersistentOptions(path);
+    options.cache_synthesis = false;
+    Pipeline pipeline(engine, options);
+    pipeline.Run(axes, reduce);
+    ASSERT_TRUE(pipeline.SaveCache());
+  }
+  PipelineOptions options = PersistentOptions(path);
+  options.cache_synthesis = false;
+  Pipeline pipeline(engine, options);
+  EXPECT_GT(pipeline.cache_entries_loaded(), 0);  // the run was persisted
+  const auto result = pipeline.Run(axes, reduce);
+  EXPECT_EQ(result.pipeline.cache_misses, 0);
+  EXPECT_GT(result.pipeline.cache_disk_hits, 0);  // and the entries served
+  std::filesystem::remove(path);
+}
+
+TEST(PipelinePersistence, SecondsSavedAccumulateAcrossRuns) {
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  const std::string path = TempPath("accounting");
+  const std::vector<std::int64_t> axes = {8, 2, 2};
+  const std::vector<int> reduce = {0};
+
+  // Serial, so the savings accumulate in a deterministic order.
+  PipelineOptions options = PersistentOptions(path);
+  options.threads = 1;
+
+  double cold_counterfactual = 0.0;
+  {
+    Pipeline pipeline(engine, options);
+    const auto result = pipeline.Run(axes, reduce);
+    cold_counterfactual = result.TotalSynthesisSeconds();
+    ASSERT_TRUE(pipeline.SaveCache());
+  }
+  Pipeline pipeline(engine, options);
+  const auto result = pipeline.Run(axes, reduce);
+  // The warm run's cross-run savings equal the cold run's counterfactual
+  // synthesis cost: each placement's hit re-credits its persisted seconds.
+  // NEAR, not DOUBLE_EQ: the two sides sum the same doubles but in
+  // different orders (placement order vs. stage-3 group order), so they can
+  // differ by reassociation rounding.
+  EXPECT_NEAR(result.pipeline.disk_seconds_saved, cold_counterfactual, 1e-9);
+  // These two accumulate in the same statements, so they are bitwise equal.
+  EXPECT_DOUBLE_EQ(result.pipeline.synthesis_seconds_saved,
+                   result.pipeline.disk_seconds_saved);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace p2::engine

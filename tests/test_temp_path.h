@@ -1,0 +1,25 @@
+// Shared helper for tests that write temp files: a collision-free path per
+// (test binary, tag, call), so parallel ctest runs never race on a file.
+#ifndef P2_TESTS_TEST_TEMP_PATH_H_
+#define P2_TESTS_TEST_TEMP_PATH_H_
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace p2::test {
+
+/// "<tmpdir>/<prefix>_<pid>_<tag>_<n>.bin", unique per call.
+inline std::string TempPath(const std::string& prefix,
+                            const std::string& tag) {
+  static int counter = 0;
+  return (std::filesystem::temp_directory_path() /
+          (prefix + "_" + std::to_string(::getpid()) + "_" + tag + "_" +
+           std::to_string(counter++) + ".bin"))
+      .string();
+}
+
+}  // namespace p2::test
+
+#endif  // P2_TESTS_TEST_TEMP_PATH_H_
