@@ -1,21 +1,30 @@
 // Benchmarks the staged evaluation pipeline (ISSUE 1) against the serial
 // monolith it replaced, on a Table-3-style grid: one A100 system, several
-// axis configurations, every reduction axis of each. Three variants:
+// axis configurations, every reduction axis of each. Five variants, all
+// running through a PlannerService (ISSUE 4) — the process-wide owner of the
+// shared synthesis cache, worker pool and persistent store:
 //
-//   serial      — per-placement re-synthesis, one thread (the seed's
-//                 Engine::RunExperiment monolith)
-//   cached      — synthesize once per hierarchy signature, one thread
-//   cached+par  — signature cache plus a worker pool for evaluation
-//   warm(disk)  — second planner process (ISSUE 3): the whole grid served
-//                 from a cache file a previous run persisted, so synthesis
-//                 wall-clock collapses to the cost of map lookups
+//   serial        — per-placement re-synthesis, one thread (the seed's
+//                   Engine::RunExperiment monolith)
+//   cached        — synthesize once per hierarchy signature, one thread
+//   cached+par    — signature cache plus a shared worker pool
+//   warm(disk)    — second planner process (ISSUE 3): the whole grid served
+//                   from a cache file a previous run persisted, so synthesis
+//                   wall-clock collapses to the cost of map lookups
+//   concurrent(N) — ISSUE 4: N overlapping queries Submit()ted to one shared
+//                   service, their work items interleaved on one pool, with
+//                   cross-query signature dedup (including in-flight dedup:
+//                   two queries racing on one uncached signature synthesize
+//                   it once)
 //
 // Reported per variant: wall-clock, placements evaluated, unique synthesis
 // hierarchies, cache hit rate and the re-synthesis time the cache avoided.
 // Prediction-only (like the paper's simulator-guided sweep): the grid's cost
 // is dominated by syntax-guided synthesis, which is exactly what the cache
-// removes. Exits non-zero if any variant's output diverges from serial or if
-// the warm run fails to cut synthesis wall-clock by >= 90%.
+// removes. Exits non-zero if any variant's output diverges from serial, if
+// the warm run fails to cut synthesis wall-clock by >= 90%, or if the
+// concurrent variant fails its dedup gate (strictly fewer total synthesis
+// runs than the same queries on independent services).
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,23 +32,27 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/format.h"
-#include "engine/pipeline.h"
 #include "engine/report.h"
+#include "engine/service.h"
 #include "topology/presets.h"
 
 namespace {
 
 using p2::FormatSeconds;
 using p2::TextTable;
+using p2::engine::CanonicalResultText;
 using p2::engine::Engine;
 using p2::engine::EngineOptions;
 using p2::engine::ExperimentResult;
-using p2::engine::Pipeline;
-using p2::engine::PipelineOptions;
+using p2::engine::PlannerService;
+using p2::engine::PlannerServiceOptions;
+using p2::engine::PlanRequest;
 
 struct GridConfig {
   std::vector<std::int64_t> axes;
@@ -50,7 +63,9 @@ struct GridConfig {
 // configurations, all reducing over a 16-wide axis. Under kReductionAxes the
 // synthesis hierarchy of a placement is the reduction axis's factorization
 // over the [rack node gpu] levels — the same four signatures recur across
-// every experiment of the grid, which is exactly the reuse the cache mines.
+// every experiment of the grid, which is exactly the reuse the cache mines
+// (and, for the concurrent variant, the cross-query dedup the shared
+// service mines).
 std::vector<GridConfig> MakeGrid() {
   return {
       {{16, 4}, {0}},    {{16, 2, 2}, {0}}, {{4, 16}, {1}},
@@ -69,24 +84,34 @@ struct VariantResult {
   double saved_seconds = 0.0;
 };
 
-VariantResult RunGrid(const Engine& engine, const PipelineOptions& options,
+void Accumulate(const ExperimentResult& result, VariantResult* v) {
+  v->placements += result.pipeline.num_placements;
+  v->unique += result.pipeline.unique_hierarchies;
+  v->hits += result.pipeline.cache_hits;
+  v->misses += result.pipeline.cache_misses;
+  v->disk_hits += result.pipeline.cache_disk_hits;
+  v->saved_seconds += result.pipeline.synthesis_seconds_saved;
+  v->synth_seconds += result.pipeline.synthesis_seconds;
+}
+
+VariantResult RunGrid(const Engine& engine,
+                      const PlannerServiceOptions& options,
+                      bool cache_synthesis,
                       const std::vector<GridConfig>& grid,
                       std::vector<ExperimentResult>* results) {
   VariantResult v;
-  // One Pipeline for the whole grid: the signature cache also carries
-  // synthesis results across experiments (e.g. reduce=0 of [8 2 2 2] and of
-  // [16 2 2] can share hierarchies).
-  Pipeline pipeline(engine, options);
+  // One service for the whole grid: the shared cache carries synthesis
+  // results across experiments (e.g. reduce=0 of [8 2 2 2] and of [16 2 2]
+  // can share hierarchies).
+  PlannerService service(engine, options);
   const auto start = std::chrono::steady_clock::now();
   for (const auto& cfg : grid) {
-    ExperimentResult result = pipeline.Run(cfg.axes, cfg.reduction_axes);
-    v.placements += result.pipeline.num_placements;
-    v.unique += result.pipeline.unique_hierarchies;
-    v.hits += result.pipeline.cache_hits;
-    v.misses += result.pipeline.cache_misses;
-    v.disk_hits += result.pipeline.cache_disk_hits;
-    v.saved_seconds += result.pipeline.synthesis_seconds_saved;
-    v.synth_seconds += result.pipeline.synthesis_seconds;
+    PlanRequest request;
+    request.axes = cfg.axes;
+    request.reduction_axes = cfg.reduction_axes;
+    request.cache_synthesis = cache_synthesis;
+    ExperimentResult result = service.Plan(std::move(request));
+    Accumulate(result, &v);
     if (results != nullptr) results->push_back(std::move(result));
   }
   v.seconds =
@@ -95,9 +120,41 @@ VariantResult RunGrid(const Engine& engine, const PipelineOptions& options,
   // No-op unless options.cache_file is set (and not readonly): persists the
   // grid's synthesis results for the warm-from-disk variant.
   std::string error;
-  if (!pipeline.SaveCache(&error)) {
+  if (!service.SaveCache(&error)) {
     std::fprintf(stderr, "cache save failed: %s\n", error.c_str());
   }
+  return v;
+}
+
+// The concurrent-queries variant: all configs Submit()ted at once to one
+// shared service, collected in submission order.
+VariantResult RunGridConcurrently(const Engine& engine, int threads,
+                                  const std::vector<GridConfig>& grid,
+                                  std::vector<ExperimentResult>* results,
+                                  std::int64_t* total_misses) {
+  VariantResult v;
+  PlannerService service(engine,
+                         PlannerServiceOptions{.threads = threads,
+                                               .cache_file = {},
+                                               .cache_readonly = false});
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<ExperimentResult>> futures;
+  futures.reserve(grid.size());
+  for (const auto& cfg : grid) {
+    PlanRequest request;
+    request.axes = cfg.axes;
+    request.reduction_axes = cfg.reduction_axes;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    ExperimentResult result = future.get();
+    Accumulate(result, &v);
+    if (results != nullptr) results->push_back(std::move(result));
+  }
+  v.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  *total_misses = service.stats().cache.misses;
   return v;
 }
 
@@ -105,24 +162,10 @@ bool SameResults(const std::vector<ExperimentResult>& a,
                  const std::vector<ExperimentResult>& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t e = 0; e < a.size(); ++e) {
-    if (a[e].placements.size() != b[e].placements.size()) return false;
-    for (std::size_t p = 0; p < a[e].placements.size(); ++p) {
-      const auto& pa = a[e].placements[p];
-      const auto& pb = b[e].placements[p];
-      if (!(pa.matrix == pb.matrix)) return false;
-      if (pa.programs.size() != pb.programs.size()) return false;
-      for (std::size_t g = 0; g < pa.programs.size(); ++g) {
-        if (pa.programs[g].program != pb.programs[g].program) return false;
-        if (pa.programs[g].predicted_seconds !=
-            pb.programs[g].predicted_seconds) {
-          return false;
-        }
-        if (pa.programs[g].measured_seconds !=
-            pb.programs[g].measured_seconds) {
-          return false;
-        }
-      }
-    }
+    // Byte-identity over the deterministic portion (programs, predictions,
+    // measurements) — the very contract the service's deterministic merge
+    // promises at any thread count and under any request overlap.
+    if (CanonicalResultText(a[e]) != CanonicalResultText(b[e])) return false;
   }
   return true;
 }
@@ -145,36 +188,57 @@ int main(int argc, char** argv) {
       grid.size(), engine.cluster().ToString().c_str());
 
   std::vector<ExperimentResult> serial_results;
-  const auto serial =
-      RunGrid(engine,
-              PipelineOptions{.threads = 1, .cache_synthesis = false},
-              grid, &serial_results);
+  const auto serial = RunGrid(engine, PlannerServiceOptions{},
+                              /*cache_synthesis=*/false, grid, &serial_results);
 
-  // The cached variant doubles as the warm variant's seeder: its Pipeline
+  // The cached variant doubles as the warm variant's seeder: its service
   // persists the grid's synthesis results on exit (load and save both sit
-  // outside RunGrid's timed region, so the timing is unaffected).
+  // outside the timed region, so the timing is unaffected).
   const std::string cache_path =
       (std::filesystem::temp_directory_path() /
        ("p2_bench_pipeline_cache_" + std::to_string(::getpid()) + ".bin"))
           .string();
-  PipelineOptions cached_options{.threads = 1, .cache_synthesis = true};
+  PlannerServiceOptions cached_options;
   cached_options.cache_file = cache_path;
   std::vector<ExperimentResult> cached_results;
-  const auto cached = RunGrid(engine, cached_options, grid, &cached_results);
+  const auto cached = RunGrid(engine, cached_options, /*cache_synthesis=*/true,
+                              grid, &cached_results);
 
   std::vector<ExperimentResult> parallel_results;
   const auto parallel =
-      RunGrid(engine,
-              PipelineOptions{.threads = threads, .cache_synthesis = true},
-              grid, &parallel_results);
+      RunGrid(engine, PlannerServiceOptions{.threads = threads},
+              /*cache_synthesis=*/true, grid, &parallel_results);
 
-  // Warm-from-disk: a fresh Pipeline (standing in for a second planner
+  // Warm-from-disk: a fresh service (standing in for a second planner
   // process) replays the grid from the file the cached variant persisted.
-  PipelineOptions warm_options = cached_options;
+  PlannerServiceOptions warm_options = cached_options;
   warm_options.cache_readonly = true;
   std::vector<ExperimentResult> warm_results;
-  const auto warm = RunGrid(engine, warm_options, grid, &warm_results);
+  const auto warm = RunGrid(engine, warm_options, /*cache_synthesis=*/true,
+                            grid, &warm_results);
   std::filesystem::remove(cache_path);
+
+  // ISSUE 4 acceptance setup: N overlapping queries on one shared service
+  // vs the same N queries on N independent single-query services. The
+  // shared run must synthesize strictly fewer times in total — every
+  // signature two queries share is synthesized once between them instead of
+  // once each.
+  constexpr std::size_t kConcurrentQueries = 4;
+  const std::vector<GridConfig> queries(grid.begin(),
+                                        grid.begin() + kConcurrentQueries);
+  std::int64_t independent_misses = 0;
+  for (const auto& cfg : queries) {
+    PlannerService service(engine, PlannerServiceOptions{});
+    PlanRequest request;
+    request.axes = cfg.axes;
+    request.reduction_axes = cfg.reduction_axes;
+    const auto result = service.Plan(std::move(request));
+    independent_misses += result.pipeline.cache_misses;
+  }
+  std::vector<ExperimentResult> concurrent_results;
+  std::int64_t shared_misses = 0;
+  const auto concurrent = RunGridConcurrently(
+      engine, threads, queries, &concurrent_results, &shared_misses);
 
   TextTable table({"Variant", "Wall(s)", "Synth(s)", "Placements", "Unique",
                    "Cache", "Disk", "Saved(s)", "Speedup"});
@@ -195,11 +259,16 @@ int main(int argc, char** argv) {
   std::snprintf(label, sizeof(label), "cached+par(%d)", threads);
   row(label, parallel);
   row("warm(disk)", warm);
+  std::snprintf(label, sizeof(label), "concurrent(%zu)", kConcurrentQueries);
+  row(label, concurrent);
   std::printf("%s\n", table.Render().c_str());
 
+  const std::vector<ExperimentResult> serial_queries(
+      serial_results.begin(), serial_results.begin() + kConcurrentQueries);
   const bool identical = SameResults(serial_results, cached_results) &&
                          SameResults(serial_results, parallel_results) &&
-                         SameResults(serial_results, warm_results);
+                         SameResults(serial_results, warm_results) &&
+                         SameResults(serial_queries, concurrent_results);
   std::printf("outputs identical across variants: %s\n",
               identical ? "yes" : "NO — BUG");
   std::printf("cached+parallel speedup over serial: %.2fx\n",
@@ -222,5 +291,16 @@ int main(int argc, char** argv) {
       warm.synth_seconds, cached.synth_seconds, 100.0 * reduction,
       static_cast<long long>(warm.disk_hits),
       warm_ok ? "ok" : "NO — BUG");
-  return identical && warm_ok ? 0 : 1;
+
+  // ISSUE 4 acceptance: overlapping queries through one shared service must
+  // synthesize strictly fewer times in total than independent services —
+  // the shared-signature dedup across queries.
+  const bool concurrent_ok = shared_misses < independent_misses;
+  std::printf(
+      "concurrent(%zu) total synthesis runs: %lld shared vs %lld "
+      "independent: %s\n",
+      kConcurrentQueries, static_cast<long long>(shared_misses),
+      static_cast<long long>(independent_misses),
+      concurrent_ok ? "ok" : "NO — BUG");
+  return identical && warm_ok && concurrent_ok ? 0 : 1;
 }

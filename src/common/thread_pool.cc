@@ -13,6 +13,14 @@ ThreadPool::ThreadPool(int num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Members (default_group_ included) are destroyed only after this body,
+  // so queued tasks may still exist here. The workers drain them: the wait
+  // predicate below lets a worker exit only once ready_ is empty, so every
+  // queued task of every surviving group runs before the joins return, and
+  // default_group_'s destructor (the first member teardown) finds nothing
+  // left to wait for. The pool must outlive caller-owned groups — their
+  // destructors touch pool state — so destroy every group before its pool
+  // (as PlannerService does by declaring request_tasks_ after pool_).
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
@@ -21,80 +29,131 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::RunTask(const std::function<void()>& task) {
-  try {
-    task();
-  } catch (...) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (first_error_ == nullptr) first_error_ = std::current_exception();
+void ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
+  TaskGroup* group = ready_.front();
+  ready_.pop_front();
+  std::function<void()> task = std::move(group->queue_.front());
+  group->queue_.pop_front();
+  if (group->queue_.empty()) {
+    group->scheduled_ = false;
+  } else {
+    // Round-robin: the group goes to the back so other groups' tasks
+    // interleave with its remaining backlog.
+    ready_.push_back(group);
   }
+  // Fail fast *within the group*: once one of its tasks has thrown, drain
+  // the rest of that group unrun — its Wait() is about to rethrow anyway.
+  const bool skip = group->first_error_ != nullptr;
+  lock.unlock();
+  if (!skip) {
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> error_lock(mu_);
+      if (group->first_error_ == nullptr) {
+        group->first_error_ = std::current_exception();
+      }
+    }
+  }
+  lock.lock();
+  --group->in_flight_;
+  // Wake group waiters: either their group just completed, or (if this task
+  // submitted work) there is something new to help with.
+  progress_.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::function<void()> task;
-    bool skip = false;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      // Fail fast: once a task has thrown, drain the remaining queue without
-      // running it — Wait() is about to rethrow anyway.
-      skip = first_error_ != nullptr;
-    }
-    if (!skip) RunTask(task);
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
+    work_available_.wait(lock,
+                         [this] { return shutting_down_ || !ready_.empty(); });
+    if (ready_.empty()) return;  // shutting down and fully drained
+    RunOneTask(lock);
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
-  if (workers_.empty()) {
-    RunTask(task);
+ThreadPool::TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // A group destroyed without Wait() drops its error; destructors must
+    // not throw.
+  }
+}
+
+void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
+  if (pool_.workers_.empty()) {
+    // Inline mode: run immediately, honouring the same per-group fail-fast
+    // and first-error-wins contracts as the workers.
+    {
+      std::unique_lock<std::mutex> lock(pool_.mu_);
+      if (first_error_ != nullptr) return;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(pool_.mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(pool_.mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    if (!scheduled_) {
+      scheduled_ = true;
+      pool_.ready_.push_back(this);
+    }
   }
-  work_available_.notify_one();
+  pool_.work_available_.notify_one();
+  // Helping waiters sleep on progress_, not work_available_.
+  pool_.progress_.notify_all();
 }
 
-void ThreadPool::Wait() {
+void ThreadPool::TaskGroup::Wait() {
   std::exception_ptr error;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (pool_.workers_.empty()) {
+    // Inline mode already ran everything at Submit time.
+    std::unique_lock<std::mutex> lock(pool_.mu_);
+    error = std::exchange(first_error_, nullptr);
+  } else {
+    std::unique_lock<std::mutex> lock(pool_.mu_);
+    while (in_flight_ > 0) {
+      if (!pool_.ready_.empty()) {
+        // Help instead of sleeping: run the next round-robin task (possibly
+        // another group's). This is what lets a pool task wait on a group
+        // it populated without idling a worker — or deadlocking when every
+        // worker is itself a waiter.
+        pool_.RunOneTask(lock);
+        continue;
+      }
+      pool_.progress_.wait(lock, [this] {
+        return in_flight_ == 0 || !pool_.ready_.empty();
+      });
+    }
     error = std::exchange(first_error_, nullptr);
   }
   if (error != nullptr) std::rethrow_exception(error);
 }
 
-void ThreadPool::ParallelFor(std::int64_t n,
-                             const std::function<void(std::int64_t)>& fn) {
-  if (workers_.empty()) {
-    // Inline mode still honours the first-error-wins contract of Wait(),
-    // and fails fast like the workers do.
-    for (std::int64_t i = 0; i < n; ++i) {
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        if (first_error_ != nullptr) break;
-      }
-      RunTask([&fn, i] { fn(i); });
-    }
-    Wait();
-    return;
-  }
+void ThreadPool::TaskGroup::ParallelFor(
+    std::int64_t n, const std::function<void(std::int64_t)>& fn) {
   for (std::int64_t i = 0; i < n; ++i) {
     Submit([&fn, i] { fn(i); });
   }
   Wait();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  default_group_.Submit(std::move(task));
+}
+
+void ThreadPool::Wait() { default_group_.Wait(); }
+
+void ThreadPool::ParallelFor(std::int64_t n,
+                             const std::function<void(std::int64_t)>& fn) {
+  default_group_.ParallelFor(n, fn);
 }
 
 }  // namespace p2

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <charconv>
+#include <future>
 #include <sstream>
+#include <utility>
 
 #include "common/format.h"
 #include "core/fusion.h"
 #include "engine/engine.h"
-#include "engine/pipeline.h"
+#include "engine/experiment_grid.h"
 #include "engine/report.h"
+#include "engine/service.h"
 #include "topology/presets.h"
 
 namespace p2::engine {
@@ -33,6 +36,45 @@ bool ParseList(const std::string& s, std::vector<std::int64_t>* out) {
   return !out->empty();
 }
 
+// The best measured program of a finished experiment together with the
+// placement holding it (used by both report paths).
+struct BestOfExperiment {
+  const PlacementEvaluation* placement = nullptr;
+  const ProgramEvaluation* program = nullptr;
+};
+
+BestOfExperiment FindBest(const ExperimentResult& result) {
+  BestOfExperiment best;
+  for (const auto& eval : result.placements) {
+    const int index = eval.BestMeasuredIndex();
+    if (index < 0) continue;
+    const auto& program = eval.programs[static_cast<std::size_t>(index)];
+    if (best.program == nullptr ||
+        program.measured_seconds < best.program->measured_seconds) {
+      best.placement = &eval;
+      best.program = &program;
+    }
+  }
+  return best;
+}
+
+std::string MaybeFused(const CliOptions& options,
+                       const PlacementEvaluation& eval,
+                       const ProgramEvaluation& best,
+                       const std::vector<int>& reduction_axes) {
+  std::string text = best.text;
+  if (!options.fuse) return text;
+  const auto sh = core::SynthesisHierarchy::Build(
+      eval.matrix, reduction_axes,
+      core::SynthesisHierarchyKind::kReductionAxes);
+  const auto fused = core::FuseProgram(sh, best.program);
+  if (fused.steps_removed > 0) {
+    text += "  [fused to " + core::ToString(fused.program, sh.level_names()) +
+            "]";
+  }
+  return text;
+}
+
 }  // namespace
 
 std::string CliUsage() {
@@ -41,20 +83,26 @@ std::string CliUsage() {
       "\n"
       "usage: p2_plan --system=a100|v100 --nodes=N --axes=A,B[,C] "
       "--reduce=I[,J]\n"
-      "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N] "
-      "[--threads=N]\n"
-      "               [--synth-threads=N] [--fuse] [--cache-file=PATH]\n"
-      "               [--cache-readonly]\n"
+      "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N]\n"
+      "               [--service-threads=N] [--synth-threads=N] [--fuse]\n"
+      "               [--cache-file=PATH] [--cache-readonly]\n"
+      "       p2_plan --system=a100|v100 --nodes=N --grid [...]\n"
       "\n"
       "  --system      GPU system model (Fig. 9 of the paper)\n"
       "  --nodes       number of nodes\n"
       "  --axes        parallelism axis sizes (product must equal #GPUs)\n"
       "  --reduce      reduction axis indices\n"
+      "  --grid        plan the paper's full experiment grid for the system\n"
+      "                instead of one --axes/--reduce config; every config\n"
+      "                is submitted concurrently to one shared planning\n"
+      "                service, so configs with isomorphic hierarchies\n"
+      "                synthesize once between them\n"
       "  --algo        NCCL algorithm (default ring)\n"
       "  --payload-mb  per-GPU payload in MB (default: 2^29*nodes floats)\n"
       "  --top-k       measure only the top-k programs by prediction\n"
-      "  --threads     evaluate placements with N worker threads (default 1;\n"
-      "                the result is identical at any thread count)\n"
+      "  --service-threads  size of the planning service's shared worker\n"
+      "                pool (default 1; results are identical at any count;\n"
+      "                --threads is accepted as a legacy alias)\n"
       "  --synth-threads  expand the synthesis search frontier with N worker\n"
       "                threads (default 1; identical output at any count)\n"
       "  --fuse        fuse consecutive fusible steps before evaluating\n"
@@ -85,6 +133,8 @@ std::optional<CliOptions> ParseCliOptions(
       // a mistyped flag would quietly change what gets planned.
       if (arg == "--fuse") {
         opts.fuse = true;
+      } else if (arg == "--grid") {
+        opts.grid = true;
       } else if (arg == "--cache-readonly") {
         opts.cache_readonly = true;
       } else {
@@ -146,15 +196,19 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.top_k = static_cast<int>(v);
-    } else if (key == "--threads") {
+    } else if (key == "--threads" || key == "--service-threads") {
       std::int64_t v = 0;
       // Bounded: an absurd count would die in std::thread creation with an
       // unhandled std::system_error instead of a usage message.
       if (!ParseInt(value, &v) || v < 1 || v > 1024) {
-        *error = "--threads must be an integer in [1, 1024]";
+        *error = key + " must be an integer in [1, 1024]";
         return std::nullopt;
       }
-      opts.threads = static_cast<int>(v);
+      if (key == "--threads") {
+        opts.threads = static_cast<int>(v);
+      } else {
+        opts.service_threads = static_cast<int>(v);
+      }
     } else if (key == "--synth-threads") {
       std::int64_t v = 0;
       if (!ParseInt(value, &v) || v < 1 || v > 1024) {
@@ -173,24 +227,39 @@ std::optional<CliOptions> ParseCliOptions(
       return std::nullopt;
     }
   }
-  if (opts.axes.empty()) {
-    *error = "missing --axes\n\n" + CliUsage();
-    return std::nullopt;
-  }
-  for (std::int64_t a : opts.axes) {
-    if (a < 1) {
-      *error = "--axes entries must be positive";
+  if (opts.grid) {
+    if (!opts.axes.empty() || !opts.reduction_axes.empty()) {
+      *error = "--grid chooses the configs itself; drop --axes/--reduce";
       return std::nullopt;
     }
-  }
-  if (opts.reduction_axes.empty()) {
-    *error = "missing --reduce\n\n" + CliUsage();
-    return std::nullopt;
-  }
-  for (int a : opts.reduction_axes) {
-    if (a < 0 || a >= static_cast<int>(opts.axes.size())) {
-      *error = "--reduce index out of range";
+    if (opts.fuse) {
+      // The grid report is a per-config summary with no program column to
+      // annotate; silently accepting --fuse would let the user believe
+      // fused programs were evaluated.
+      *error = "--fuse is not supported with --grid (the grid report has no "
+               "per-program detail to annotate); run the config standalone";
       return std::nullopt;
+    }
+  } else {
+    if (opts.axes.empty()) {
+      *error = "missing --axes\n\n" + CliUsage();
+      return std::nullopt;
+    }
+    for (std::int64_t a : opts.axes) {
+      if (a < 1) {
+        *error = "--axes entries must be positive";
+        return std::nullopt;
+      }
+    }
+    if (opts.reduction_axes.empty()) {
+      *error = "missing --reduce\n\n" + CliUsage();
+      return std::nullopt;
+    }
+    for (int a : opts.reduction_axes) {
+      if (a < 0 || a >= static_cast<int>(opts.axes.size())) {
+        *error = "--reduce index out of range";
+        return std::nullopt;
+      }
     }
   }
   if (opts.cache_readonly && opts.cache_file.empty()) {
@@ -209,14 +278,16 @@ topology::Cluster ClusterFromOptions(const CliOptions& options) {
 int RunCli(const CliOptions& options, std::string* output) {
   const topology::Cluster cluster = ClusterFromOptions(options);
 
-  std::int64_t axis_product = 1;
-  for (std::int64_t a : options.axes) axis_product *= a;
-  if (axis_product != cluster.num_devices()) {
-    std::ostringstream os;
-    os << "error: axes multiply to " << axis_product << " but the system has "
-       << cluster.num_devices() << " GPUs\n";
-    *output = os.str();
-    return 1;
+  if (!options.grid) {
+    std::int64_t axis_product = 1;
+    for (std::int64_t a : options.axes) axis_product *= a;
+    if (axis_product != cluster.num_devices()) {
+      std::ostringstream os;
+      os << "error: axes multiply to " << axis_product
+         << " but the system has " << cluster.num_devices() << " GPUs\n";
+      *output = os.str();
+      return 1;
+    }
   }
 
   EngineOptions eng_opts;
@@ -226,32 +297,52 @@ int RunCli(const CliOptions& options, std::string* output) {
     eng_opts.payload_bytes = options.payload_mb * 1e6;
   }
   const Engine engine(cluster, eng_opts);
-  Pipeline pipeline(
+  // One service per invocation: the single owner of the shared cache, the
+  // worker pool and the optional persistent store; every config below is a
+  // query against it.
+  PlannerService service(
       engine,
-      PipelineOptions{.threads = options.threads,
-                      .cache_synthesis = true,
-                      .measure_top_k = options.top_k > 0 ? options.top_k : -1,
-                      .cache_file = options.cache_file,
-                      .cache_readonly = options.cache_readonly});
+      PlannerServiceOptions{.threads = options.EffectiveServiceThreads(),
+                            .cache_file = options.cache_file,
+                            .cache_readonly = options.cache_readonly});
 
   std::ostringstream os;
-  if (IsCorrupt(pipeline.cache_load_status())) {
+  if (IsCorrupt(service.cache_load_status())) {
     os << "warning: cache file " << options.cache_file << ": "
-       << ToString(pipeline.cache_load_status()) << " ("
-       << pipeline.cache_load_message() << "); starting cold\n";
+       << ToString(service.cache_load_status()) << " ("
+       << service.cache_load_message() << "); starting cold\n";
   } else if (options.cache_readonly &&
-             pipeline.cache_load_status() == CacheLoadStatus::kNoFile) {
+             service.cache_load_status() == CacheLoadStatus::kNoFile) {
     // A writable cold start is normal, but readonly names a file the user
     // expects to exist — running cold here is a silent latency regression.
     os << "warning: cache file " << options.cache_file
        << " does not exist; --cache-readonly runs cold\n";
   }
 
-  const ExperimentResult result =
-      pipeline.Run(options.axes, options.reduction_axes);
+  // Decide the queries, submit them all, then collect in config order: with
+  // --grid the requests overlap on the shared pool and dedup against each
+  // other's synthesis, while the reported order stays deterministic.
+  std::vector<ExperimentConfig> configs;
+  if (options.grid) {
+    configs = FullGrid(cluster);
+  } else {
+    configs.push_back(ExperimentConfig{options.axes, options.reduction_axes});
+  }
+  std::vector<std::future<ExperimentResult>> futures;
+  futures.reserve(configs.size());
+  for (const auto& config : configs) {
+    PlanRequest request;
+    request.axes = config.axes;
+    request.reduction_axes = config.reduction_axes;
+    request.measure_top_k = options.top_k > 0 ? options.top_k : -1;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  std::vector<ExperimentResult> results;
+  results.reserve(configs.size());
+  for (auto& future : futures) results.push_back(future.get());
 
   std::string save_error;
-  if (!pipeline.SaveCache(&save_error)) {
+  if (!service.SaveCache(&save_error)) {
     os << "warning: could not save cache file " << options.cache_file << ": "
        << save_error << '\n';
   }
@@ -260,31 +351,49 @@ int RunCli(const CliOptions& options, std::string* output) {
      << core::ToString(options.algo) << ", payload "
      << engine.payload_bytes() / 1e6 << " MB/GPU\n\n";
 
-  TextTable table({"Placement", "Programs", "AllReduce(s)", "Best(s)",
-                   "Speedup", "Best program"});
-  for (const auto& eval : result.placements) {
-    const auto& best =
-        eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
-    std::string best_text = best.text;
-    if (options.fuse) {
-      const auto sh = core::SynthesisHierarchy::Build(
-          eval.matrix, options.reduction_axes,
-          core::SynthesisHierarchyKind::kReductionAxes);
-      const auto fused = core::FuseProgram(sh, best.program);
-      if (fused.steps_removed > 0) {
-        best_text += "  [fused to " +
-                     core::ToString(fused.program, sh.level_names()) + "]";
-      }
+  if (options.grid) {
+    // One summary row per config; the full per-placement detail of a config
+    // is what the single-config invocation is for.
+    TextTable table({"Config", "Placements", "AllReduce(s)", "Best(s)",
+                     "Speedup", "Best placement"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& result = results[i];
+      const BestOfExperiment best = FindBest(result);
+      if (best.program == nullptr) continue;
+      const double baseline =
+          best.placement->DefaultAllReduce().measured_seconds;
+      table.AddRow({configs[i].ToString(),
+                    std::to_string(result.placements.size()),
+                    FormatSeconds(baseline),
+                    FormatSeconds(best.program->measured_seconds),
+                    FormatSpeedup(baseline / best.program->measured_seconds),
+                    best.placement->matrix.ToString()});
     }
-    table.AddRow({eval.matrix.ToString(), std::to_string(eval.programs.size()),
-                  FormatSeconds(eval.DefaultAllReduce().measured_seconds),
-                  FormatSeconds(best.measured_seconds),
-                  FormatSpeedup(eval.DefaultAllReduce().measured_seconds /
-                                best.measured_seconds),
-                  best_text});
+    os << table.Render();
+  } else {
+    const ExperimentResult& result = results.front();
+    TextTable table({"Placement", "Programs", "AllReduce(s)", "Best(s)",
+                     "Speedup", "Best program"});
+    for (const auto& eval : result.placements) {
+      const auto& best =
+          eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+      table.AddRow(
+          {eval.matrix.ToString(), std::to_string(eval.programs.size()),
+           FormatSeconds(eval.DefaultAllReduce().measured_seconds),
+           FormatSeconds(best.measured_seconds),
+           FormatSpeedup(eval.DefaultAllReduce().measured_seconds /
+                         best.measured_seconds),
+           MaybeFused(options, eval, best, result.reduction_axes)});
+    }
+    os << table.Render();
+    os << '\n' << RenderPipelineStats(result.pipeline) << '\n';
   }
-  os << table.Render();
-  os << '\n' << RenderPipelineStats(result.pipeline) << '\n';
+  // Service-wide figures render exactly once per invocation — in particular
+  // the one-time disk preload, which the per-experiment stats used to
+  // repeat verbatim for every config of a sequential multi-config run.
+  if (options.grid || !options.cache_file.empty()) {
+    os << '\n' << RenderServiceStats(service.stats()) << '\n';
+  }
   *output = os.str();
   return 0;
 }

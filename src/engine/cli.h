@@ -2,8 +2,15 @@
 // the library so it is unit-testable.
 //
 //   p2_plan --system=a100 --nodes=4 --axes=4,16 --reduce=0
-//           [--algo=ring|tree] [--payload-mb=N] [--top-k=N] [--threads=N]
-//           [--fuse] [--cache-file=PATH] [--cache-readonly]
+//           [--algo=ring|tree] [--payload-mb=N] [--top-k=N]
+//           [--service-threads=N] [--synth-threads=N] [--fuse]
+//           [--cache-file=PATH] [--cache-readonly]
+//   p2_plan --system=a100 --nodes=4 --grid [...]
+//
+// All planning goes through one PlannerService (engine/service.h) per
+// invocation: --grid submits every experiment-grid config concurrently to
+// the shared service instead of looping sequentially, so configs sharing
+// synthesis hierarchies are synthesized once between them.
 #ifndef P2_ENGINE_CLI_H_
 #define P2_ENGINE_CLI_H_
 
@@ -25,11 +32,18 @@ struct CliOptions {
   core::NcclAlgo algo = core::NcclAlgo::kRing;
   double payload_mb = 0.0;  // 0 => the paper's default
   int top_k = 0;            // 0 => measure everything
-  int threads = 1;          // pipeline evaluation threads
+  int threads = 1;          // legacy alias for service_threads
+  int service_threads = 0;  // shared service pool; 0 => use `threads`
   int synth_threads = 1;    // synthesis frontier-expansion threads
   bool fuse = false;        // apply the fusion pass before evaluation
+  bool grid = false;        // run the full experiment grid concurrently
   std::string cache_file;   // persistent synthesis cache (empty = off)
   bool cache_readonly = false;  // load the cache file but never write it
+
+  /// The shared pool size the service actually gets.
+  int EffectiveServiceThreads() const {
+    return service_threads > 0 ? service_threads : threads;
+  }
 };
 
 /// Parses argv-style arguments. On error returns std::nullopt and fills

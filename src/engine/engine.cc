@@ -5,6 +5,7 @@
 
 #include "core/placement.h"
 #include "engine/pipeline.h"
+#include "engine/service.h"
 
 namespace p2::engine {
 
@@ -97,13 +98,11 @@ ProgramEvaluation Engine::EvaluateProgram(const core::SynthesisHierarchy& sh,
 PlacementEvaluation Engine::EvaluatePlacement(
     const core::ParallelismMatrix& matrix,
     std::span<const int> reduction_axes) const {
-  // The trailing fields spell out their defaults because GCC's
-  // -Wextra/-Werror flags omitted members of designated initializers.
-  Pipeline pipeline(*this, PipelineOptions{.threads = 1,
-                                           .cache_synthesis = false,
-                                           .measure_top_k = -1,
-                                           .cache_file = {},
-                                           .cache_readonly = false});
+  // A throwaway single-query service: this entry point predates the
+  // long-lived PlannerService and keeps its one-shot, cacheless semantics.
+  PlannerService service(*this);
+  Pipeline pipeline(service, PipelineOptions{.cache_synthesis = false,
+                                             .measure_top_k = -1});
   return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
@@ -112,25 +111,28 @@ PlacementEvaluation Engine::EvaluatePlacementGuided(
     std::span<const int> reduction_axes, int measure_top_k) const {
   // Clamp: negative k means "measure nothing beyond the baseline" here,
   // while a negative PipelineOptions::measure_top_k would mean "not guided".
-  Pipeline pipeline(*this,
-                    PipelineOptions{.threads = 1,
-                                    .cache_synthesis = false,
-                                    .measure_top_k = std::max(0, measure_top_k),
-                                    .cache_file = {},
-                                    .cache_readonly = false});
+  PlannerService service(*this);
+  Pipeline pipeline(service,
+                    PipelineOptions{.cache_synthesis = false,
+                                    .measure_top_k =
+                                        std::max(0, measure_top_k)});
   return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
 ExperimentResult Engine::RunExperiment(
     std::span<const std::int64_t> axes,
     std::span<const int> reduction_axes) const {
-  Pipeline pipeline(*this,
-                    PipelineOptions{.threads = options_.threads,
-                                    .cache_synthesis = options_.cache_synthesis,
-                                    .measure_top_k = -1,
-                                    .cache_file = {},
-                                    .cache_readonly = false});
-  return pipeline.Run(axes, reduction_axes);
+  // A transient service per call: callers that want cross-query sharing
+  // (one cache, one pool) hold a PlannerService themselves and Submit.
+  PlannerService service(
+      *this, PlannerServiceOptions{.threads = options_.threads,
+                                   .cache_file = {},
+                                   .cache_readonly = false});
+  PlanRequest request;
+  request.axes.assign(axes.begin(), axes.end());
+  request.reduction_axes.assign(reduction_axes.begin(), reduction_axes.end());
+  request.cache_synthesis = options_.cache_synthesis;
+  return service.Plan(std::move(request));
 }
 
 }  // namespace p2::engine

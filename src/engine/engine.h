@@ -43,19 +43,26 @@ struct EngineOptions {
 
 /// Stage and cache statistics of the evaluation pipeline run that produced
 /// an ExperimentResult (engine/pipeline.h). Wall-clock fields vary run to
-/// run; everything else is deterministic.
+/// run; the placements, programs and predictions are deterministic. The
+/// cache counters are *this request's own lookups* — under concurrent
+/// requests sharing one PlannerService, which request takes the miss for a
+/// shared signature depends on arrival order, so sums across requests are
+/// stable but the per-request split can vary. Service-wide figures (entries
+/// preloaded from disk, totals across requests) live in
+/// PlannerServiceStats, reported once per service instead of being repeated
+/// per experiment.
 struct PipelineStats {
   std::int64_t num_placements = 0;
   std::int64_t unique_hierarchies = 0;  ///< distinct synthesis signatures
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;
+  /// Lookups that blocked on another request's in-flight synthesis of the
+  /// same signature instead of re-synthesizing (each still counts as a hit
+  /// or, if the finished entry could not serve this cap, a miss).
+  std::int64_t cache_dedup_waits = 0;
   /// Persistent-cache figures (engine/cache_store.h); all zero unless the
-  /// pipeline was given a cache file. cache_disk_hits is a per-run delta
-  /// like the counters above; cache_entries_loaded is a property of the
-  /// *pipeline* (its one-time preload), repeated verbatim in every run's
-  /// stats — don't sum it across experiments.
-  std::int64_t cache_disk_hits = 0;       ///< hits served by on-disk entries
-  std::int64_t cache_entries_loaded = 0;  ///< entries preloaded at startup
+  /// service was given a cache file.
+  std::int64_t cache_disk_hits = 0;  ///< hits served by on-disk entries
   /// Transposition-search totals (core::SynthesisStats) summed over the
   /// placements, counterfactually like TotalSynthesisSeconds: placements
   /// served from the signature cache contribute the stats of the shared

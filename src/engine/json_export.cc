@@ -93,9 +93,8 @@ std::string ToJson(const ExperimentResult& result) {
      << "\"unique_hierarchies\":" << result.pipeline.unique_hierarchies << ","
      << "\"cache_hits\":" << result.pipeline.cache_hits << ","
      << "\"cache_misses\":" << result.pipeline.cache_misses << ","
+     << "\"cache_dedup_waits\":" << result.pipeline.cache_dedup_waits << ","
      << "\"cache_disk_hits\":" << result.pipeline.cache_disk_hits << ","
-     << "\"cache_entries_loaded\":" << result.pipeline.cache_entries_loaded
-     << ","
      << "\"disk_seconds_saved\":" << Num(result.pipeline.disk_seconds_saved)
      << ","
      << "\"synth_states_visited\":" << result.pipeline.synth_states_visited
@@ -113,6 +112,23 @@ std::string ToJson(const ExperimentResult& result) {
     os << ToJson(result.placements[i]);
   }
   os << "]}";
+  return os.str();
+}
+
+std::string ToJson(const PlannerServiceStats& stats) {
+  std::ostringstream os;
+  os << "{\"requests\":" << stats.requests << ","
+     << "\"cache_entries_loaded\":" << stats.cache_entries_loaded << ","
+     << "\"cache\":{"
+     << "\"hits\":" << stats.cache.hits << ","
+     << "\"misses\":" << stats.cache.misses << ","
+     << "\"disk_hits\":" << stats.cache.disk_hits << ","
+     << "\"subsumed_hits\":" << stats.cache.subsumed_hits << ","
+     << "\"dedup_waits\":" << stats.cache.dedup_waits << ","
+     << "\"seconds_saved\":" << Num(stats.cache.seconds_saved) << ","
+     << "\"disk_seconds_saved\":" << Num(stats.cache.disk_seconds_saved)
+     << "},"
+     << "\"threads\":" << stats.threads << '}';
   return os.str();
 }
 

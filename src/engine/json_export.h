@@ -8,6 +8,7 @@
 #include <string>
 
 #include "engine/engine.h"
+#include "engine/service.h"
 
 namespace p2::engine {
 
@@ -20,11 +21,24 @@ std::string ToJson(const PlacementEvaluation& eval);
 /// {"axes": [4, 16], "reduction_axes": [0], "algo": "Ring",
 ///  "payload_bytes": ...,
 ///  "pipeline": {"placements": N, "unique_hierarchies": U, "cache_hits": H,
-///               "cache_misses": M, "cache_disk_hits": D,
-///               "cache_entries_loaded": L, "disk_seconds_saved": DS,
+///               "cache_misses": M, "cache_dedup_waits": W,
+///               "cache_disk_hits": D, "disk_seconds_saved": DS,
 ///               "synthesis_seconds_saved": S, "threads": T},
 ///  "placements": [...]}
+/// The pipeline counters are the request's own share of the shared cache's
+/// activity; service-wide figures (entries loaded from disk, totals across
+/// requests) are exported once per service by the overload below.
 std::string ToJson(const ExperimentResult& result);
+
+/// {"requests": N, "cache_entries_loaded": L,
+///  "cache": {"hits": H, "misses": M, "disk_hits": D, "subsumed_hits": SH,
+///            "dedup_waits": W, "seconds_saved": S,
+///            "disk_seconds_saved": DS},
+///  "threads": T}
+/// Emit this exactly once per PlannerService: cache_entries_loaded is the
+/// service's one-time preload, so repeating it per experiment (the old
+/// PipelineStats field) double-counted it in multi-config runs.
+std::string ToJson(const PlannerServiceStats& stats);
 
 /// Escapes a string for embedding in JSON output.
 std::string JsonEscape(const std::string& s);

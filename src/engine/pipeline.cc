@@ -10,6 +10,8 @@
 #include "common/thread_pool.h"
 #include "core/placement.h"
 #include "engine/baselines.h"
+#include "engine/service.h"
+#include "engine/synthesis_cache.h"
 
 namespace p2::engine {
 
@@ -52,39 +54,8 @@ ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
                          measure);
 }
 
-Pipeline::Pipeline(const Engine& engine, PipelineOptions options)
-    : engine_(engine), options_(std::move(options)) {
-  if (!options_.cache_file.empty()) {
-    // Persistence is the signature cache on disk, so a cache file implies
-    // the in-memory cache: honouring cache_synthesis=false here would
-    // silently ignore the loaded entries and drop the run's results from
-    // the rewrite on save.
-    options_.cache_synthesis = true;
-    store_.emplace(options_.cache_file);
-    // Any corruption leaves the cache cold and the status queryable; the
-    // pipeline itself never fails over a bad cache file.
-    store_->LoadInto(&cache_);
-  }
-}
-
-CacheLoadStatus Pipeline::cache_load_status() const {
-  return store_.has_value() ? store_->last_load_status()
-                            : CacheLoadStatus::kNotConfigured;
-}
-
-const std::string& Pipeline::cache_load_message() const {
-  static const std::string kEmpty;
-  return store_.has_value() ? store_->last_load_message() : kEmpty;
-}
-
-std::int64_t Pipeline::cache_entries_loaded() const {
-  return store_.has_value() ? store_->entries_loaded() : 0;
-}
-
-bool Pipeline::SaveCache(std::string* error) {
-  if (!store_.has_value() || options_.cache_readonly) return true;
-  return store_->Save(cache_, error);
-}
+Pipeline::Pipeline(PlannerService& service, PipelineOptions options)
+    : service_(service), engine_(service.engine()), options_(options) {}
 
 PlacementEvaluation Pipeline::Evaluate(
     const core::ParallelismMatrix& matrix, const core::SynthesisHierarchy& sh,
@@ -164,17 +135,17 @@ PlacementEvaluation Pipeline::EvaluatePlacement(
       engine_.options().collapse_hierarchy);
   if (options_.cache_synthesis) {
     const auto synthesis =
-        cache_.GetOrSynthesize(sh, engine_.options().synthesis);
+        service_.cache().GetOrSynthesize(sh, engine_.options().synthesis);
     return Evaluate(matrix, sh, *synthesis);
   }
-  const auto synthesis = core::SynthesizePrograms(sh, engine_.options().synthesis);
+  const auto synthesis =
+      core::SynthesizePrograms(sh, engine_.options().synthesis);
   return Evaluate(matrix, sh, synthesis);
 }
 
 ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
                                std::span<const int> reduction_axes) {
   const auto start = std::chrono::steady_clock::now();
-  const SynthesisCacheStats cache_before = cache_.stats();
 
   ExperimentResult result;
   result.axes.assign(axes.begin(), axes.end());
@@ -202,7 +173,7 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
     std::unordered_map<std::string, std::size_t> group_of_signature;
     for (std::size_t i = 0; i < n; ++i) {
       const auto [it, inserted] = group_of_signature.try_emplace(
-          SynthesisCache::Key(hierarchies[i], engine_.options().synthesis),
+          SynthesisCache::BaseKey(hierarchies[i], engine_.options().synthesis),
           members_of.size());
       if (inserted) members_of.emplace_back();
       members_of[it->second].push_back(i);
@@ -213,23 +184,33 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
     for (std::size_t i = 0; i < n; ++i) members_of[i].push_back(i);
   }
 
-  ThreadPool pool(options_.threads);
+  // This request's work items. Other in-flight requests have their own
+  // groups on the same pool; the scheduler interleaves them round-robin and
+  // Wait (inside ParallelFor) helps execute instead of idling a worker, so
+  // requests running *as* pool tasks make progress too.
+  ThreadPool::TaskGroup group(service_.pool());
 
   // Stage 3: synthesize once per unique signature, in parallel. Duplicate
-  // members resolve through the cache (counted as hits with the seconds the
-  // cacheless path would have spent).
+  // members resolve through the shared cache (counted as hits with the
+  // seconds the cacheless path would have spent); signatures another
+  // request is synthesizing right now are waited on, not re-synthesized.
+  // Each placement's lookup outcome lands in its own slot, so this
+  // request's cache accounting below is deterministic in placement order
+  // and never includes other requests' activity.
   const auto synth_start = std::chrono::steady_clock::now();
   std::vector<std::shared_ptr<const core::SynthesisResult>> synthesis(n);
-  pool.ParallelFor(
+  std::vector<CacheLookupOutcome> outcomes(n);
+  group.ParallelFor(
       static_cast<std::int64_t>(members_of.size()), [&](std::int64_t g) {
         const auto& members = members_of[static_cast<std::size_t>(g)];
         for (std::size_t i : members) {
           if (options_.cache_synthesis) {
-            synthesis[i] =
-                cache_.GetOrSynthesize(hierarchies[i], engine_.options().synthesis);
+            synthesis[i] = service_.cache().GetOrSynthesize(
+                hierarchies[i], engine_.options().synthesis, &outcomes[i]);
           } else {
             synthesis[i] = std::make_shared<const core::SynthesisResult>(
-                SynthesizePrograms(hierarchies[i], engine_.options().synthesis));
+                SynthesizePrograms(hierarchies[i],
+                                   engine_.options().synthesis));
           }
         }
       });
@@ -239,7 +220,7 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
   // its slot...
   const auto eval_start = std::chrono::steady_clock::now();
   result.placements.resize(n);
-  pool.ParallelFor(static_cast<std::int64_t>(n), [&](std::int64_t i) {
+  group.ParallelFor(static_cast<std::int64_t>(n), [&](std::int64_t i) {
     const auto idx = static_cast<std::size_t>(i);
     result.placements[idx] =
         Evaluate(placements[idx], hierarchies[idx], *synthesis[idx]);
@@ -247,7 +228,6 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
   // ...which *is* the deterministic merge: slot order equals placement order,
   // so the output matches the serial path byte for byte.
 
-  const SynthesisCacheStats cache_after = cache_.stats();
   result.pipeline.num_placements = static_cast<std::int64_t>(n);
   result.pipeline.unique_hierarchies =
       static_cast<std::int64_t>(members_of.size());
@@ -259,19 +239,29 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
     result.pipeline.synth_branches_pruned +=
         placement.synthesis_stats.branches_pruned;
   }
-  result.pipeline.cache_hits = cache_after.hits - cache_before.hits;
-  result.pipeline.cache_misses = cache_after.misses - cache_before.misses;
-  result.pipeline.cache_disk_hits =
-      cache_after.disk_hits - cache_before.disk_hits;
-  result.pipeline.synthesis_seconds_saved =
-      cache_after.seconds_saved - cache_before.seconds_saved;
-  result.pipeline.disk_seconds_saved =
-      cache_after.disk_seconds_saved - cache_before.disk_seconds_saved;
-  result.pipeline.cache_entries_loaded = cache_entries_loaded();
+  // Cache accounting from this request's own lookups, summed in placement
+  // order (deterministic and double-reproducible — unlike global cache
+  // deltas, which under concurrent requests would absorb everyone else's
+  // hits and misses). The cacheless path leaves all of it zero.
+  if (options_.cache_synthesis) {
+    for (const CacheLookupOutcome& o : outcomes) {
+      if (o.hit) {
+        ++result.pipeline.cache_hits;
+        result.pipeline.synthesis_seconds_saved += o.seconds_saved;
+        if (o.from_disk) {
+          ++result.pipeline.cache_disk_hits;
+          result.pipeline.disk_seconds_saved += o.seconds_saved;
+        }
+      } else {
+        ++result.pipeline.cache_misses;
+      }
+      if (o.waited) ++result.pipeline.cache_dedup_waits;
+    }
+  }
   result.pipeline.synthesis_seconds = synthesis_seconds;
   result.pipeline.evaluation_seconds = SecondsSince(eval_start);
   result.pipeline.total_seconds = SecondsSince(start);
-  result.pipeline.threads = std::max(1, options_.threads);
+  result.pipeline.threads = std::max(1, service_.options().threads);
   return result;
 }
 

@@ -1,95 +1,74 @@
-// The staged evaluation pipeline behind Engine::RunExperiment:
+// The staged per-query executor behind the planning service
+// (engine/service.h) and Engine::RunExperiment:
 //
 //   enumerate placements -> dedup by synthesis-hierarchy signature
-//     -> synthesize once per signature (memoized in a SynthesisCache)
+//     -> synthesize once per signature (memoized in the service's shared
+//        SynthesisCache, with cross-request in-flight dedup)
 //     -> lower / predict / (guided-)measure every placement, in parallel
 //     -> merge in placement order
 //
-// Placements are independent once their synthesis hierarchies are shared, so
-// stage 4 runs on a common::ThreadPool; results are written into
-// preallocated slots and merged in enumeration order, which makes the
-// parallel output byte-identical to the serial path (modulo wall-clock
-// timing fields). A Pipeline owns its cache, so running several experiments
-// through one Pipeline reuses synthesis results across experiments too.
+// A Pipeline is stateless: it borrows the process-wide cache and worker
+// pool from its PlannerService and holds only per-query options, so any
+// number of pipelines (one per in-flight request) share synthesis results
+// and threads. Placements are independent once their synthesis hierarchies
+// are shared, so stages 3-4 run as work items on a ThreadPool::TaskGroup of
+// the shared pool — concurrent requests' items interleave fairly — and
+// results are written into preallocated slots and merged in enumeration
+// order, which makes the parallel output byte-identical to the serial path
+// (modulo wall-clock timing fields).
 #ifndef P2_ENGINE_PIPELINE_H_
 #define P2_ENGINE_PIPELINE_H_
 
 #include <cstdint>
-#include <optional>
 #include <span>
-#include <string>
 
-#include "engine/cache_store.h"
 #include "engine/engine.h"
-#include "engine/synthesis_cache.h"
 
 namespace p2::engine {
 
+class PlannerService;
+
+/// Per-query knobs. Process-wide concerns — thread count, cache
+/// persistence — live in PlannerServiceOptions.
 struct PipelineOptions {
-  /// Worker threads for the per-placement evaluation stage; <= 1 is serial.
-  int threads = 1;
-  /// Memoize synthesis by hierarchy signature (stage 2/3). Off re-synthesizes
-  /// per placement like the original monolith (the bench's baseline).
+  /// Memoize synthesis by hierarchy signature in the service's shared cache
+  /// (stage 2/3). Off re-synthesizes per placement like the original
+  /// monolith (the bench's baseline).
   bool cache_synthesis = true;
   /// < 0: measure every program iff the engine's options say so (the classic
   /// full-evaluation path). >= 0: simulator-guided evaluation — predict
   /// everything, measure only the default AllReduce plus the top-k programs
   /// by prediction (paper Section 5).
   int measure_top_k = -1;
-  /// Path of a persistent synthesis-cache file (engine/cache_store.h). The
-  /// pipeline loads it at construction — corrupted or version-mismatched
-  /// files fall back to a cold cache, never a crash — and SaveCache()
-  /// atomically rewrites it with the merged in-memory entries. Empty
-  /// disables persistence. A non-empty path forces cache_synthesis on:
-  /// persistence *is* the signature cache on disk.
-  std::string cache_file;
-  /// With cache_file set: load only. SaveCache() becomes a no-op, so the
-  /// file is never created or modified.
-  bool cache_readonly = false;
 };
 
 class Pipeline {
  public:
-  explicit Pipeline(const Engine& engine, PipelineOptions options = {});
+  /// The service must outlive the pipeline (it supplies the cache and the
+  /// pool; typically the service itself constructs one per request).
+  explicit Pipeline(PlannerService& service, PipelineOptions options = {});
 
-  const Engine& engine() const { return engine_; }
   const PipelineOptions& options() const { return options_; }
-  const SynthesisCache& cache() const { return cache_; }
 
   /// Runs the full pipeline over every placement of `axes`. The result's
-  /// `pipeline` field carries this run's stage and cache statistics.
+  /// `pipeline` field carries this run's stage statistics and this
+  /// *request's* share of the cache activity (see PipelineStats).
   ExperimentResult Run(std::span<const std::int64_t> axes,
                        std::span<const int> reduction_axes);
 
-  /// Single-placement entry point (stages 3-4 only); shares the cache with
-  /// previous calls on this Pipeline.
+  /// Single-placement entry point (stages 3-4 only, inline on the calling
+  /// thread); shares the service's cache like any other query.
   PlacementEvaluation EvaluatePlacement(const core::ParallelismMatrix& matrix,
                                         std::span<const int> reduction_axes);
-
-  /// How the cache-file load at construction went: kNotConfigured without a
-  /// cache_file, kNoFile on a cold start, kOk, or a corruption status (the
-  /// pipeline still runs — cold — but callers should surface a warning).
-  CacheLoadStatus cache_load_status() const;
-  /// Human-readable detail behind cache_load_status() (for warnings).
-  const std::string& cache_load_message() const;
-  /// Entries preloaded from the cache file at construction.
-  std::int64_t cache_entries_loaded() const;
-
-  /// Atomically rewrites options().cache_file with the merged cache (entries
-  /// loaded from disk plus everything synthesized since). A no-op returning
-  /// true when persistence is unconfigured or cache_readonly is set; returns
-  /// false and fills `error` only on an IO failure.
-  bool SaveCache(std::string* error = nullptr);
 
  private:
   PlacementEvaluation Evaluate(const core::ParallelismMatrix& matrix,
                                const core::SynthesisHierarchy& sh,
                                const core::SynthesisResult& synthesis) const;
 
+  PlannerService& service_;
   const Engine& engine_;
   PipelineOptions options_;
-  SynthesisCache cache_;
-  std::optional<CacheStore> store_;
 };
 
 /// Lowers, predicts and optionally measures one program on the engine's cost

@@ -71,15 +71,67 @@ std::string RenderPipelineStats(const PipelineStats& stats) {
                 stats.synthesis_seconds_saved);
   os << buf << ", " << stats.threads
      << (stats.threads == 1 ? " thread" : " threads");
-  if (stats.cache_entries_loaded > 0 || stats.cache_disk_hits > 0) {
+  if (stats.cache_dedup_waits > 0) {
+    os << ", " << stats.cache_dedup_waits << " in-flight waits";
+  }
+  if (stats.cache_disk_hits > 0) {
     std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
                   stats.disk_seconds_saved);
-    os << "\ndisk cache: " << stats.cache_entries_loaded
-       << " entries loaded, " << stats.cache_disk_hits << " disk hits" << buf;
+    os << "\ndisk cache: " << stats.cache_disk_hits << " disk hits" << buf;
   }
   os << "\nsearch: " << stats.synth_states_visited << " states visited, "
      << stats.synth_states_deduped << " transpositions collapsed, "
      << stats.synth_branches_pruned << " subtrees replayed from the table";
+  return os.str();
+}
+
+std::string RenderServiceStats(const PlannerServiceStats& stats) {
+  std::ostringstream os;
+  os << "service: " << stats.requests
+     << (stats.requests == 1 ? " request" : " requests") << ", cache "
+     << stats.cache.hits << " hits / " << stats.cache.misses << " misses";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (%.2f s re-synthesis avoided)",
+                stats.cache.seconds_saved);
+  os << buf;
+  if (stats.cache.subsumed_hits > 0) {
+    os << ", " << stats.cache.subsumed_hits << " served by subsumption";
+  }
+  if (stats.cache.dedup_waits > 0) {
+    os << ", " << stats.cache.dedup_waits << " in-flight waits";
+  }
+  os << ", " << stats.threads
+     << (stats.threads == 1 ? " thread" : " threads");
+  if (stats.cache_entries_loaded > 0 || stats.cache.disk_hits > 0) {
+    std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
+                  stats.cache.disk_seconds_saved);
+    os << "\nservice disk cache: " << stats.cache_entries_loaded
+       << " entries loaded, " << stats.cache.disk_hits << " disk hits" << buf;
+  }
+  return os.str();
+}
+
+std::string CanonicalResultText(const ExperimentResult& result) {
+  std::ostringstream os;
+  os << "axes";
+  for (std::int64_t a : result.axes) os << ' ' << a;
+  os << "; reduce";
+  for (int a : result.reduction_axes) os << ' ' << a;
+  os << "; " << core::ToString(result.algo) << '\n';
+  char buf[64];
+  for (const auto& placement : result.placements) {
+    os << placement.matrix.ToString() << '\n';
+    for (const auto& p : placement.programs) {
+      // %.17g: doubles round-trip exactly, so equal outputs really are
+      // bit-equal predictions and measurements.
+      std::snprintf(buf, sizeof(buf), "%.17g", p.predicted_seconds);
+      os << "  " << p.text << " | steps=" << p.num_steps
+         << " | predicted=" << buf;
+      std::snprintf(buf, sizeof(buf), "%.17g", p.measured_seconds);
+      os << " | measured=" << (p.measured ? buf : "-")
+         << (p.is_default_allreduce ? " | default" : "") << '\n';
+    }
+  }
   return os.str();
 }
 

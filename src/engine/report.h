@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/service.h"
 
 namespace p2::engine {
 
@@ -55,6 +56,21 @@ std::string FormatSpeedup(double speedup);
 /// "pipeline: 6 placements, 3 unique hierarchies, cache 3 hits / 3 misses
 ///  (1.20 s re-synthesis avoided), 2 threads".
 std::string RenderPipelineStats(const PipelineStats& stats);
+
+/// Once-per-service summary (engine/service.h): requests served, cache
+/// totals across them, and the one-time disk preload — figures that must
+/// not be repeated per experiment (summing cache_entries_loaded across a
+/// multi-config run used to double-count the single preload).
+std::string RenderServiceStats(const PlannerServiceStats& stats);
+
+/// The deterministic portion of an ExperimentResult, serialized for
+/// byte-identity gates: placements with their program texts, predictions
+/// and measurements — no wall-clock fields, no cache-attribution counters,
+/// no search statistics (a subsumption-served placement legitimately
+/// carries the stats of the larger-cap run that produced its entry). Two
+/// runs of the same query agree on this text regardless of thread count,
+/// cache state, or what other queries were in flight.
+std::string CanonicalResultText(const ExperimentResult& result);
 
 /// Classifies a program's shape for the Fig. 10 analysis: "AR", "AR-AR",
 /// "RD-AR-BC", "RS-AR-AG", or the generic short-op chain.

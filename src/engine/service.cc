@@ -1,0 +1,96 @@
+#include "engine/service.h"
+
+#include <memory>
+#include <utility>
+
+#include "engine/pipeline.h"
+
+namespace p2::engine {
+
+PlannerService::PlannerService(const Engine& engine,
+                               PlannerServiceOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      pool_(options_.threads) {
+  if (!options_.cache_file.empty()) {
+    store_.emplace(options_.cache_file);
+    // Any corruption leaves the cache cold and the status queryable; the
+    // service itself never fails over a bad cache file.
+    store_->LoadInto(&cache_);
+  }
+}
+
+PlannerService::~PlannerService() {
+  // request_tasks_ (declared last) drains outstanding requests first; the
+  // pool then joins its workers. Nothing to do explicitly.
+}
+
+std::future<ExperimentResult> PlannerService::Submit(PlanRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!options_.cache_file.empty()) {
+    // Persistence is the signature cache on disk: bypassing it would
+    // silently ignore the loaded entries and drop this request's results
+    // from the rewrite on save.
+    request.cache_synthesis = true;
+  }
+  // The request runs as a pool task so Submit returns immediately; the
+  // pipeline's own work items join the pool through a separate TaskGroup,
+  // and the orchestrating task *helps* execute them while waiting (see
+  // ThreadPool::TaskGroup::Wait), so request tasks never deadlock the pool
+  // they occupy. packaged_task routes the result — or the first exception —
+  // into the future.
+  auto task = std::make_shared<std::packaged_task<ExperimentResult()>>(
+      [this, request = std::move(request)]() {
+        Pipeline pipeline(*this,
+                          PipelineOptions{
+                              .cache_synthesis = request.cache_synthesis,
+                              .measure_top_k = request.measure_top_k,
+                          });
+        return pipeline.Run(request.axes, request.reduction_axes);
+      });
+  auto future = task->get_future();
+  request_tasks_.Submit([task] { (*task)(); });
+  return future;
+}
+
+ExperimentResult PlannerService::Plan(PlanRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+ExperimentResult PlannerService::Plan(std::span<const std::int64_t> axes,
+                                      std::span<const int> reduction_axes) {
+  PlanRequest request;
+  request.axes.assign(axes.begin(), axes.end());
+  request.reduction_axes.assign(reduction_axes.begin(), reduction_axes.end());
+  return Plan(std::move(request));
+}
+
+CacheLoadStatus PlannerService::cache_load_status() const {
+  return store_.has_value() ? store_->last_load_status()
+                            : CacheLoadStatus::kNotConfigured;
+}
+
+const std::string& PlannerService::cache_load_message() const {
+  static const std::string kEmpty;
+  return store_.has_value() ? store_->last_load_message() : kEmpty;
+}
+
+std::int64_t PlannerService::cache_entries_loaded() const {
+  return store_.has_value() ? store_->entries_loaded() : 0;
+}
+
+bool PlannerService::SaveCache(std::string* error) {
+  if (!store_.has_value() || options_.cache_readonly) return true;
+  return store_->Save(cache_, error);
+}
+
+PlannerServiceStats PlannerService::stats() const {
+  PlannerServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.cache_entries_loaded = cache_entries_loaded();
+  stats.cache = cache_.stats();
+  stats.threads = options_.threads > 1 ? options_.threads : 1;
+  return stats;
+}
+
+}  // namespace p2::engine

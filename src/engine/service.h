@@ -1,0 +1,151 @@
+// The long-lived planning service (the ROADMAP's "batch/async planning
+// service"): one process-wide owner of everything P2's interactive workflow
+// shares across queries.
+//
+//   PlannerService
+//     ├─ SynthesisCache      one per process: every query's placements dedup
+//     │                      against every other query's, with in-flight
+//     │                      synthesis dedup so two queries racing on the
+//     │                      same uncached hierarchy synthesize it once
+//     ├─ ThreadPool          one shared worker pool; concurrent requests'
+//     │                      work items interleave fairly (round-robin per
+//     │                      TaskGroup), no per-query thread spawning
+//     └─ CacheStore          optional warm-start/persistence of the cache
+//
+//   Pipeline (engine/pipeline.h) is the stateless per-query executor that
+//   borrows cache + pool from the service.
+//
+// Two entry points: Submit(PlanRequest) returns a std::future immediately
+// and runs the request as pool tasks (requests overlap: their placements
+// are decomposed into work items scheduled round-robin across requests),
+// while Plan(...) blocks. Either way a request's placements are merged in
+// placement order, so its ExperimentResult is byte-identical to a serial
+// run regardless of thread count or what else is in flight (modulo
+// wall-clock fields and cache-attribution counters; the program lists,
+// predictions and measurements never change).
+#ifndef P2_ENGINE_SERVICE_H_
+#define P2_ENGINE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/cache_store.h"
+#include "engine/engine.h"
+#include "engine/synthesis_cache.h"
+
+namespace p2::engine {
+
+struct PlannerServiceOptions {
+  /// Worker threads of the shared pool; <= 1 runs every request inline on
+  /// the submitting thread (Submit still returns a — ready — future).
+  int threads = 1;
+  /// Path of a persistent synthesis-cache file (engine/cache_store.h). The
+  /// service loads it at construction — corrupted or version-mismatched
+  /// files fall back to a cold cache, never a crash — and SaveCache()
+  /// atomically rewrites it with the merged in-memory entries. Empty
+  /// disables persistence.
+  std::string cache_file;
+  /// With cache_file set: load only. SaveCache() becomes a no-op, so the
+  /// file is never created or modified.
+  bool cache_readonly = false;
+};
+
+/// One planning query: evaluate every placement of `axes` on the service's
+/// engine, reducing over `reduction_axes`.
+struct PlanRequest {
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+  /// < 0: measure every program iff the engine's options say so. >= 0:
+  /// simulator-guided evaluation — predict everything, measure only the
+  /// default AllReduce plus the top-k programs by prediction.
+  int measure_top_k = -1;
+  /// Memoize synthesis in the service's shared cache. Off re-synthesizes
+  /// per placement like the original monolith (the bench's baseline); a
+  /// service with a cache_file forces it on for its requests.
+  bool cache_synthesis = true;
+};
+
+/// Service-wide figures, aggregated exactly once per service — unlike the
+/// per-request PipelineStats, which under concurrency can only attribute
+/// cache activity approximately (whichever request got there first takes
+/// the miss). cache_entries_loaded in particular is a property of the
+/// service's one-time preload: summing it per experiment (as the stats of
+/// sequential multi-config runs once invited) double-counts it.
+struct PlannerServiceStats {
+  std::int64_t requests = 0;  ///< queries submitted so far
+  std::int64_t cache_entries_loaded = 0;
+  SynthesisCacheStats cache;  ///< shared-cache totals across all requests
+  int threads = 1;
+};
+
+class PlannerService {
+ public:
+  /// The engine must outlive the service. A non-empty cache_file is loaded
+  /// here; see cache_load_status() for how that went.
+  explicit PlannerService(const Engine& engine,
+                          PlannerServiceOptions options = {});
+  /// Drains every outstanding Submit()ted request, then joins the pool.
+  ~PlannerService();
+
+  PlannerService(const PlannerService&) = delete;
+  PlannerService& operator=(const PlannerService&) = delete;
+
+  const Engine& engine() const { return engine_; }
+  const PlannerServiceOptions& options() const { return options_; }
+  /// The process-wide signature cache shared by every request.
+  SynthesisCache& cache() { return cache_; }
+  const SynthesisCache& cache() const { return cache_; }
+  /// The shared worker pool (per-query executors borrow it via TaskGroups).
+  ThreadPool& pool() { return pool_; }
+
+  /// Enqueues a request and returns immediately. The request runs as tasks
+  /// on the shared pool, interleaved fairly with other in-flight requests;
+  /// the future carries its ExperimentResult (or the first exception its
+  /// evaluation threw). With threads <= 1 the request runs synchronously
+  /// here and the future is already ready.
+  std::future<ExperimentResult> Submit(PlanRequest request);
+
+  /// Blocking single query (Submit + get).
+  ExperimentResult Plan(PlanRequest request);
+  ExperimentResult Plan(std::span<const std::int64_t> axes,
+                        std::span<const int> reduction_axes);
+
+  /// How the cache-file load at construction went: kNotConfigured without a
+  /// cache_file, kNoFile on a cold start, kOk, or a corruption status (the
+  /// service still runs — cold — but callers should surface a warning).
+  CacheLoadStatus cache_load_status() const;
+  /// Human-readable detail behind cache_load_status() (for warnings).
+  const std::string& cache_load_message() const;
+  /// Entries preloaded from the cache file at construction.
+  std::int64_t cache_entries_loaded() const;
+
+  /// Atomically rewrites options().cache_file with the merged cache (entries
+  /// loaded from disk plus everything synthesized since). A no-op returning
+  /// true when persistence is unconfigured or cache_readonly is set; returns
+  /// false and fills `error` only on an IO failure.
+  bool SaveCache(std::string* error = nullptr);
+
+  /// Once-per-service aggregates (see PlannerServiceStats).
+  PlannerServiceStats stats() const;
+
+ private:
+  const Engine& engine_;
+  PlannerServiceOptions options_;
+  SynthesisCache cache_;
+  std::optional<CacheStore> store_;
+  ThreadPool pool_;
+  std::atomic<std::int64_t> requests_{0};
+  /// The orchestration tasks of Submit()ted requests. Declared last: its
+  /// destructor drains them while cache_ and pool_ are still alive.
+  ThreadPool::TaskGroup request_tasks_{pool_};
+};
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_SERVICE_H_

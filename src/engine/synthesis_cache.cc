@@ -1,59 +1,164 @@
 #include "engine/synthesis_cache.h"
 
 #include <algorithm>
+#include <charconv>
 #include <utility>
 
 namespace p2::engine {
 
-std::string SynthesisCache::Key(const core::SynthesisHierarchy& sh,
-                                const core::SynthesisOptions& options) {
+namespace {
+
+constexpr std::string_view kCapMarker = ";cap=";
+
+/// Recovers the max_programs cap a persisted Key() embeds. False when the
+/// key was not produced by Key() (e.g. a hand-forged cache file).
+bool ParseCapFromKey(const std::string& key, std::string* base,
+                     std::int64_t* cap) {
+  const auto pos = key.rfind(kCapMarker);
+  if (pos == std::string::npos) return false;
+  const char* begin = key.data() + pos + kCapMarker.size();
+  const char* end = key.data() + key.size();
+  if (begin == end) return false;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || value < 0) return false;
+  base->assign(key, 0, pos);
+  *cap = value;
+  return true;
+}
+
+}  // namespace
+
+std::string SynthesisCache::BaseKey(const core::SynthesisHierarchy& sh,
+                                    const core::SynthesisOptions& options) {
   // Every SynthesisOptions field that can change the program list must
-  // appear in the key, or two pipelines with different options would
-  // silently share program sets. `threads` is deliberately excluded: the
-  // transposition search's output and stats are identical at any thread
-  // count (tests/synth_differential_test.cc proves it), so caching per
-  // thread count would only split the cache. The assert fires when a field
-  // is added without revisiting this function.
+  // appear in the key or be bridged by subsumption, or two queries with
+  // different options would silently share program sets. `threads` is
+  // deliberately excluded: the transposition search's output and stats are
+  // identical at any thread count (tests/synth_differential_test.cc proves
+  // it), so caching per thread count would only split the cache.
+  // `max_programs` is excluded *here* because entries record the cap they
+  // were synthesized under and smaller caps are served by truncation (the
+  // size-ordered program list makes the truncation exact); it still appears
+  // in the full Key() so persisted entries keep their cap. The assert fires
+  // when a field is added without revisiting this function.
   static_assert(sizeof(core::SynthesisOptions) ==
                     2 * sizeof(std::int64_t),  // int max_program_size
                                                // + int threads (excluded)
                                                // + int64 max_programs
                 "new SynthesisOptions field? include it in the cache key");
-  return sh.Signature() + ";size<=" + std::to_string(options.max_program_size) +
-         ";cap=" + std::to_string(options.max_programs);
+  return sh.Signature() + ";size<=" + std::to_string(options.max_program_size);
+}
+
+std::string SynthesisCache::Key(const core::SynthesisHierarchy& sh,
+                                const core::SynthesisOptions& options) {
+  return BaseKey(sh, options) + std::string(kCapMarker) +
+         std::to_string(options.max_programs);
 }
 
 std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
-    const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options) {
-  const std::string key = Key(sh, options);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
+    CacheLookupOutcome* outcome) {
+  if (outcome != nullptr) *outcome = CacheLookupOutcome{};
+  const std::string base = BaseKey(sh, options);
+  // Clamp like the synthesizer does: a non-positive cap means "no programs"
+  // (core::SynthesizePrograms returns an empty list for it), so it is
+  // served from any entry as an empty prefix — never as a negative
+  // iterator offset.
+  const std::int64_t cap = std::max<std::int64_t>(0, options.max_programs);
+  bool waited = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto it = entries_.find(base);
+    if (it != entries_.end() && it->second.CanServe(cap)) {
+      const Entry& entry = it->second;
       ++stats_.hits;
-      stats_.seconds_saved += it->second.original_seconds;
-      if (it->second.from_disk) {
+      stats_.seconds_saved += entry.original_seconds;
+      if (entry.from_disk) {
         ++stats_.disk_hits;
-        stats_.disk_seconds_saved += it->second.original_seconds;
+        stats_.disk_seconds_saved += entry.original_seconds;
       }
-      return it->second.result;
+      if (waited) ++stats_.dedup_waits;
+      const bool subsumed =
+          cap < static_cast<std::int64_t>(entry.result->programs.size());
+      if (subsumed) ++stats_.subsumed_hits;
+      if (outcome != nullptr) {
+        outcome->hit = true;
+        outcome->from_disk = entry.from_disk;
+        outcome->subsumed = subsumed;
+        outcome->waited = waited;
+        outcome->seconds_saved = entry.original_seconds;
+      }
+      auto result = entry.result;
+      // The truncation copies up to `cap` programs — do it outside the
+      // lock, off the snapshotted shared_ptr, so concurrent lookups on
+      // other signatures never stall behind it. Truncating to a smaller
+      // cap is exact: the entry's program list is the smallest-first
+      // prefix of the full solution set, so its own prefix is precisely
+      // what a fresh synthesis under `cap` would return. The stats (and
+      // the counterfactual seconds) stay those of the run that produced
+      // the entry, like any other hit.
+      lock.unlock();
+      if (!subsumed) return result;
+      auto truncated = std::make_shared<core::SynthesisResult>();
+      truncated->stats = result->stats;
+      truncated->programs.assign(
+          result->programs.begin(),
+          result->programs.begin() + static_cast<std::ptrdiff_t>(cap));
+      return truncated;
     }
+    // Not servable from the table. If someone is synthesizing this
+    // signature right now, wait for them and re-check: their result usually
+    // serves us (same cap), though a truncated smaller-cap result sends us
+    // around the loop into our own synthesis.
+    const auto fit = inflight_.find(base);
+    if (fit == inflight_.end()) break;
+    const auto flight = fit->second;
+    waited = true;
+    lock.unlock();
+    flight->done.wait();
+    lock.lock();
   }
-  auto result =
-      std::make_shared<const core::SynthesisResult>(SynthesizePrograms(sh, options));
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    // A concurrent miss on the same signature may have beaten us to the
-    // insert (try_emplace keeps the winner); either way we synthesized — the
-    // programs are identical — so this call is a miss and no re-synthesis
-    // was avoided.
-    const double seconds = result->stats.seconds;
-    const auto it =
-        entries_.try_emplace(key, Entry{std::move(result), seconds, false})
-            .first;
-    ++stats_.misses;
-    return it->second.result;
+
+  // Miss: announce the in-flight synthesis, run it outside the lock, then
+  // publish. Concurrent queries on other signatures proceed in parallel;
+  // concurrent queries on this one block above.
+  auto flight = std::make_shared<InFlight>();
+  flight->done = flight->promise.get_future().share();
+  inflight_.emplace(base, flight);
+  lock.unlock();
+
+  std::shared_ptr<const core::SynthesisResult> result;
+  try {
+    result = std::make_shared<const core::SynthesisResult>(
+        SynthesizePrograms(sh, options));
+  } catch (...) {
+    // Withdraw the announcement and wake the waiters; each retries the
+    // lookup and (finding no entry and no flight) synthesizes itself.
+    lock.lock();
+    inflight_.erase(base);
+    lock.unlock();
+    flight->promise.set_value();
+    throw;
   }
+
+  lock.lock();
+  // Replace any existing entry: we only reach here when it could not serve
+  // this cap, i.e. it was truncated below `cap` — the new result strictly
+  // extends it (determinism: both are prefixes of the same ordered list).
+  const double seconds = result->stats.seconds;
+  entries_[base] = Entry{result, seconds, /*from_disk=*/false, cap};
+  ++stats_.misses;
+  // stats_.dedup_waits counts only waits that *avoided* a synthesis (a
+  // subset of hits, per the header); a wait that ended here — the finished
+  // entry could not serve this cap — ran its own synthesis after all, so
+  // it is recorded only in the caller's outcome.
+  if (outcome != nullptr) outcome->waited = waited;
+  inflight_.erase(base);
+  lock.unlock();
+  flight->promise.set_value();
+  return result;
 }
 
 std::int64_t SynthesisCache::Preload(
@@ -61,6 +166,15 @@ std::int64_t SynthesisCache::Preload(
   std::unique_lock<std::mutex> lock(mu_);
   std::int64_t inserted = 0;
   for (auto& [key, result] : entries) {
+    std::string base;
+    std::int64_t cap = 0;
+    if (!ParseCapFromKey(key, &base, &cap)) {
+      // Not a Key()-shaped key (foreign writer): assume the entry holds
+      // exactly its program count, so it serves caps up to that count and
+      // never fabricates completeness.
+      base = key;
+      cap = static_cast<std::int64_t>(result.programs.size());
+    }
     const double original_seconds = result.stats.seconds;
     // Served results report zero synthesis time: this process never ran the
     // search. The original wall-clock lives on in Entry::original_seconds
@@ -69,8 +183,9 @@ std::int64_t SynthesisCache::Preload(
     auto shared =
         std::make_shared<const core::SynthesisResult>(std::move(result));
     if (entries_
-            .try_emplace(std::move(key),
-                         Entry{std::move(shared), original_seconds, true})
+            .try_emplace(std::move(base),
+                         Entry{std::move(shared), original_seconds,
+                               /*from_disk=*/true, cap})
             .second) {
       ++inserted;
     }
@@ -84,10 +199,12 @@ SynthesisCache::Snapshot() const {
   {
     std::unique_lock<std::mutex> lock(mu_);
     snapshot.reserve(entries_.size());
-    for (const auto& [key, entry] : entries_) {
+    for (const auto& [base, entry] : entries_) {
       core::SynthesisResult result = *entry.result;
       result.stats.seconds = entry.original_seconds;
-      snapshot.emplace_back(key, std::move(result));
+      snapshot.emplace_back(base + std::string(kCapMarker) +
+                                std::to_string(entry.max_programs),
+                            std::move(result));
     }
   }
   std::sort(snapshot.begin(), snapshot.end(),

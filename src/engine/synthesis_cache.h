@@ -4,14 +4,35 @@
 // many placements of one experiment induce isomorphic hierarchies — same
 // level cardinalities, same goal groups — whose program sets are identical
 // up to lowering, so synthesizing once per signature removes the dominant
-// cost of a multi-placement experiment. Thread-safe; synthesis runs outside
-// the lock so concurrent misses on different signatures do not serialize.
+// cost of a multi-placement experiment.
+//
+// The cache is the process-wide shared core of the planning service
+// (engine/service.h), so it is built for concurrent queries:
+//
+//  - In-flight deduplication: when two threads miss the same signature
+//    simultaneously, exactly one runs the synthesis; the others block on it
+//    and are then served the finished entry (one miss total, the rest are
+//    hits that `waited`). Known tradeoff: a waiter blocks its thread — a
+//    pool worker waiting here does not pick up other queued work the way
+//    ThreadPool::TaskGroup::Wait does. A non-blocking "defer this member"
+//    lookup would let the pipeline reorder around in-flight signatures; see
+//    the ROADMAP's service item.
+//  - max_programs subsumption: an entry synthesized under a larger
+//    max_programs cap serves smaller-cap queries by truncating its program
+//    list. That is exact, not approximate: SynthesizePrograms keeps the
+//    *smallest* max_programs programs — a prefix of the size-ordered list —
+//    so the prefix of a big-cap run IS the small-cap result. An entry that
+//    never hit its cap (programs.size() < cap) is complete and serves every
+//    cap. A truncated entry cannot serve a larger cap; such a query
+//    re-synthesizes and the bigger result replaces the entry.
+//
 // The cache can also be warmed from and persisted to disk across processes
 // via engine/cache_store.h (Preload/Snapshot below).
 #ifndef P2_ENGINE_SYNTHESIS_CACHE_H_
 #define P2_ENGINE_SYNTHESIS_CACHE_H_
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +50,12 @@ struct SynthesisCacheStats {
   /// Hits served by an entry that was preloaded from a persistent store
   /// (engine/cache_store.h) rather than synthesized by this process.
   std::int64_t disk_hits = 0;
+  /// Hits served by truncating an entry synthesized under a larger
+  /// max_programs cap (a subset of `hits`).
+  std::int64_t subsumed_hits = 0;
+  /// Lookups that blocked on a concurrent in-flight synthesis of the same
+  /// signature instead of running their own (a subset of `hits`).
+  std::int64_t dedup_waits = 0;
   /// Sum of the original synthesis wall-clock of every entry served from the
   /// cache: the time a cacheless run would have spent re-synthesizing.
   double seconds_saved = 0.0;
@@ -37,33 +64,60 @@ struct SynthesisCacheStats {
   double disk_seconds_saved = 0.0;
 };
 
+/// How a single GetOrSynthesize call was resolved, from the caller's
+/// perspective. Concurrent queries sharing one cache cannot attribute the
+/// global stats() deltas to themselves; this per-call outcome is what the
+/// pipeline sums into its per-request PipelineStats instead.
+struct CacheLookupOutcome {
+  bool hit = false;        ///< served without synthesizing in this call
+  bool from_disk = false;  ///< the serving entry was preloaded from disk
+  bool subsumed = false;   ///< served by truncating a larger-cap entry
+  bool waited = false;     ///< blocked on a concurrent in-flight synthesis
+  /// Original synthesis wall-clock of the serving entry (0.0 on a miss):
+  /// what this call would have spent without the cache.
+  double seconds_saved = 0.0;
+};
+
 class SynthesisCache {
  public:
-  /// Returns the memoized synthesis result for `sh`'s signature, running
-  /// core::SynthesizePrograms on a miss. Safe to call concurrently; if two
-  /// threads miss the same signature simultaneously the first insert wins
-  /// (both return the same programs — synthesis is deterministic — and both
-  /// count as misses, since both actually synthesized).
+  /// Returns the memoized synthesis result for `sh`'s signature under
+  /// `options`, running core::SynthesizePrograms on a miss. Safe to call
+  /// concurrently; see the file comment for the in-flight-dedup and
+  /// max_programs-subsumption semantics. `outcome`, when non-null, receives
+  /// how this particular call was resolved.
   std::shared_ptr<const core::SynthesisResult> GetOrSynthesize(
-      const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options);
+      const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
+      CacheLookupOutcome* outcome = nullptr);
 
-  /// Cache key for a hierarchy under the given options.
+  /// Full cache key for a hierarchy under the given options — the
+  /// persistence identity (engine/cache_store.h stores entries under it).
+  /// Equal to BaseKey(sh, options) + ";cap=" + max_programs.
   static std::string Key(const core::SynthesisHierarchy& sh,
                          const core::SynthesisOptions& options);
 
+  /// Lookup identity: the signature plus every option that subsumption
+  /// cannot bridge (max_program_size). Queries differing only in
+  /// max_programs share a base key and can serve each other by truncation.
+  static std::string BaseKey(const core::SynthesisHierarchy& sh,
+                             const core::SynthesisOptions& options);
+
   /// Seeds the cache with entries decoded from a persistent store
-  /// (engine/cache_store.h). Keys already present keep their in-memory entry
-  /// (the contents are identical — synthesis is deterministic). Served
-  /// results report stats.seconds == 0, because this process spent nothing
-  /// synthesizing them; the persisted wall-clock is retained internally so
-  /// the seconds-saved accounting still reflects the cross-run savings.
+  /// (engine/cache_store.h), keyed by Key() strings; the max_programs cap
+  /// each entry was synthesized under is parsed back out of its key (an
+  /// unparsable cap is conservatively taken to be the entry's program count,
+  /// so the entry never claims programs beyond the ones it holds). Bases
+  /// already present keep their in-memory entry. Served results report
+  /// stats.seconds == 0, because this process spent nothing synthesizing
+  /// them; the persisted wall-clock is retained internally so the
+  /// seconds-saved accounting still reflects the cross-run savings.
   /// Returns the number of entries inserted.
   std::int64_t Preload(
       std::vector<std::pair<std::string, core::SynthesisResult>> entries);
 
-  /// Key-sorted copy of every entry for persistence. Each result carries its
-  /// *original* synthesis wall-clock (even for entries that were themselves
-  /// preloaded), so save/load round trips preserve the counterfactual cost.
+  /// Key-sorted copy of every entry for persistence, under full Key()
+  /// strings. Each result carries its *original* synthesis wall-clock (even
+  /// for entries that were themselves preloaded), so save/load round trips
+  /// preserve the counterfactual cost.
   std::vector<std::pair<std::string, core::SynthesisResult>> Snapshot() const;
 
   SynthesisCacheStats stats() const;
@@ -77,10 +131,29 @@ class SynthesisCache {
     /// result->stats.seconds only for preloaded entries (zeroed on serve).
     double original_seconds = 0.0;
     bool from_disk = false;
+    /// The max_programs cap the entry was synthesized under.
+    std::int64_t max_programs = 0;
+
+    /// True when the synthesis finished below its cap: the program list is
+    /// the whole solution set, so any cap can be served from it.
+    bool complete() const {
+      return static_cast<std::int64_t>(result->programs.size()) < max_programs;
+    }
+    bool CanServe(std::int64_t cap) const {
+      return complete() || cap <= max_programs;
+    }
+  };
+
+  /// One signature currently being synthesized; later arrivals block on
+  /// `done` instead of synthesizing again.
+  struct InFlight {
+    std::promise<void> promise;
+    std::shared_future<void> done;
   };
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Entry> entries_;  ///< by BaseKey
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
   SynthesisCacheStats stats_;
 };
 

@@ -97,6 +97,62 @@ TEST(Cli, ParsesThreads) {
   EXPECT_EQ(opts->threads, 8);
 }
 
+TEST(Cli, ParsesServiceThreads) {
+  std::string error;
+  const auto opts = Parse(
+      {"--axes=8,4", "--reduce=0", "--service-threads=6"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->service_threads, 6);
+  EXPECT_EQ(opts->EffectiveServiceThreads(), 6);
+  // --threads stays accepted as the legacy alias...
+  const auto legacy = Parse({"--axes=8,4", "--reduce=0", "--threads=3"},
+                            &error);
+  ASSERT_TRUE(legacy.has_value()) << error;
+  EXPECT_EQ(legacy->EffectiveServiceThreads(), 3);
+  // ...and --service-threads wins when both are given.
+  const auto both = Parse({"--axes=8,4", "--reduce=0", "--threads=3",
+                           "--service-threads=6"},
+                          &error);
+  ASSERT_TRUE(both.has_value()) << error;
+  EXPECT_EQ(both->EffectiveServiceThreads(), 6);
+  EXPECT_FALSE(
+      Parse({"--axes=8,4", "--reduce=0", "--service-threads=0"}, &error)
+          .has_value());
+}
+
+TEST(Cli, GridExcludesExplicitConfig) {
+  std::string error;
+  const auto opts = Parse({"--grid", "--nodes=1"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;  // --grid needs no --axes/--reduce
+  EXPECT_TRUE(opts->grid);
+  EXPECT_FALSE(Parse({"--grid", "--axes=8,4", "--reduce=0"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("--grid"), std::string::npos);
+  // --fuse has no effect on the grid summary; silently accepting it would
+  // mislead.
+  EXPECT_FALSE(Parse({"--grid", "--fuse"}, &error).has_value());
+  EXPECT_NE(error.find("--fuse"), std::string::npos);
+}
+
+TEST(Cli, GridRunPlansEveryConfigThroughOneService) {
+  std::string error;
+  const auto opts = Parse({"--grid", "--nodes=1", "--payload-mb=100",
+                           "--top-k=2", "--service-threads=4"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  std::string output;
+  EXPECT_EQ(RunCli(*opts, &output), 0);
+  EXPECT_NE(output.find("Config"), std::string::npos);
+  // Single-axis, two-axis and three-axis configs all present.
+  EXPECT_NE(output.find("[16] reduce 0"), std::string::npos);
+  EXPECT_NE(output.find("[2 8] reduce 1"), std::string::npos);
+  EXPECT_NE(output.find("[2 2 4] reduce 0 2"), std::string::npos);
+  // The service footer renders exactly once, with the cross-query totals.
+  const auto first = output.find("\nservice:");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(output.find("\nservice:", first + 1), std::string::npos);
+}
+
 TEST(Cli, ParsesSynthThreads) {
   std::string error;
   const auto opts = Parse(

@@ -1,9 +1,10 @@
-// Differential test for cross-run cache persistence (ISSUE 3): a cold
-// experiment grid is run, saved, and re-run warm from disk by a fresh
-// Pipeline (standing in for a second planner process). The warm run must be
-// byte-identical modulo wall-clock — same programs, predictions and
-// measurements, same report table — while reporting synthesis_seconds == 0
-// for every cached signature and serving every hierarchy as a disk hit.
+// Differential test for cross-run cache persistence (ISSUE 3, re-homed
+// under the planning service in ISSUE 4): a cold experiment grid is run,
+// saved, and re-run warm from disk by a fresh PlannerService (standing in
+// for a second planner process). The warm run must be byte-identical modulo
+// wall-clock — same programs, predictions and measurements, same report
+// table — while reporting synthesis_seconds == 0 for every cached signature
+// and serving every hierarchy as a disk hit.
 #include <gtest/gtest.h>
 
 #include <unistd.h>
@@ -18,7 +19,7 @@
 
 #include "engine/cli.h"
 #include "engine/json_export.h"
-#include "engine/pipeline.h"
+#include "engine/service.h"
 #include "topology/presets.h"
 
 namespace p2::engine {
@@ -64,9 +65,9 @@ ExperimentResult WithoutTimings(ExperimentResult result) {
   return result;
 }
 
-PipelineOptions PersistentOptions(const std::string& path,
-                                  bool readonly = false) {
-  PipelineOptions options;
+PlannerServiceOptions PersistentOptions(const std::string& path,
+                                        bool readonly = false) {
+  PlannerServiceOptions options;
   options.threads = 2;
   options.cache_file = path;
   options.cache_readonly = readonly;
@@ -81,26 +82,26 @@ TEST(PipelinePersistence, WarmRunIsByteIdenticalWithZeroSynthesisSeconds) {
   // Cold run: nothing on disk yet.
   std::vector<ExperimentResult> cold;
   {
-    Pipeline pipeline(engine, PersistentOptions(path));
-    EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kNoFile);
-    EXPECT_EQ(pipeline.cache_entries_loaded(), 0);
+    PlannerService service(engine, PersistentOptions(path));
+    EXPECT_EQ(service.cache_load_status(), CacheLoadStatus::kNoFile);
+    EXPECT_EQ(service.cache_entries_loaded(), 0);
     for (const auto& cfg : grid) {
-      cold.push_back(pipeline.Run(cfg.axes, cfg.reduction_axes));
+      cold.push_back(service.Plan(cfg.axes, cfg.reduction_axes));
     }
     for (const auto& result : cold) {
       EXPECT_EQ(result.pipeline.cache_disk_hits, 0);
     }
-    ASSERT_TRUE(pipeline.SaveCache());
+    ASSERT_TRUE(service.SaveCache());
   }
   ASSERT_TRUE(std::filesystem::exists(path));
 
-  // Warm run: a fresh Pipeline — a different "process" — reads the file.
-  Pipeline pipeline(engine, PersistentOptions(path));
-  EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kOk);
-  EXPECT_GT(pipeline.cache_entries_loaded(), 0);
+  // Warm run: a fresh service — a different "process" — reads the file.
+  PlannerService service(engine, PersistentOptions(path));
+  EXPECT_EQ(service.cache_load_status(), CacheLoadStatus::kOk);
+  EXPECT_GT(service.cache_entries_loaded(), 0);
   std::vector<ExperimentResult> warm;
   for (const auto& cfg : grid) {
-    warm.push_back(pipeline.Run(cfg.axes, cfg.reduction_axes));
+    warm.push_back(service.Plan(cfg.axes, cfg.reduction_axes));
   }
 
   ASSERT_EQ(warm.size(), cold.size());
@@ -115,14 +116,16 @@ TEST(PipelinePersistence, WarmRunIsByteIdenticalWithZeroSynthesisSeconds) {
         << "experiment " << e;
     EXPECT_GT(warm[e].pipeline.cache_disk_hits, 0) << "experiment " << e;
     EXPECT_GE(warm[e].pipeline.disk_seconds_saved, 0.0);
-    EXPECT_EQ(warm[e].pipeline.cache_entries_loaded,
-              pipeline.cache_entries_loaded());
     // ...so every cached placement reports zero synthesis time.
     for (const auto& p : warm[e].placements) {
       EXPECT_EQ(p.synthesis_seconds, 0.0) << "experiment " << e;
       EXPECT_EQ(p.synthesis_stats.seconds, 0.0) << "experiment " << e;
     }
   }
+  // The preload is a property of the service, reported once — not repeated
+  // per experiment like the old PipelineStats field.
+  EXPECT_EQ(service.stats().cache_entries_loaded,
+            service.cache_entries_loaded());
   std::filesystem::remove(path);
 }
 
@@ -163,11 +166,12 @@ TEST(PipelinePersistence, ReadonlyNeverCreatesOrModifiesTheFile) {
   // Readonly against a missing file: runs cold, never creates the file.
   const std::string missing = TempPath("readonly_missing");
   {
-    Pipeline pipeline(engine, PersistentOptions(missing, /*readonly=*/true));
-    EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kNoFile);
-    const auto result = pipeline.Run(axes, reduce);
+    PlannerService service(engine,
+                           PersistentOptions(missing, /*readonly=*/true));
+    EXPECT_EQ(service.cache_load_status(), CacheLoadStatus::kNoFile);
+    const auto result = service.Plan(axes, reduce);
     EXPECT_GT(result.pipeline.cache_misses, 0);
-    EXPECT_TRUE(pipeline.SaveCache());  // a successful no-op
+    EXPECT_TRUE(service.SaveCache());  // a successful no-op
   }
   EXPECT_FALSE(std::filesystem::exists(missing));
 
@@ -175,21 +179,21 @@ TEST(PipelinePersistence, ReadonlyNeverCreatesOrModifiesTheFile) {
   // untouched even though the run synthesized nothing new to add.
   const std::string path = TempPath("readonly");
   {
-    Pipeline writer(engine, PersistentOptions(path));
-    writer.Run(axes, reduce);
+    PlannerService writer(engine, PersistentOptions(path));
+    writer.Plan(axes, reduce);
     ASSERT_TRUE(writer.SaveCache());
   }
   const std::string bytes_before = ReadFile(path);
   {
-    Pipeline reader(engine, PersistentOptions(path, /*readonly=*/true));
+    PlannerService reader(engine, PersistentOptions(path, /*readonly=*/true));
     EXPECT_EQ(reader.cache_load_status(), CacheLoadStatus::kOk);
-    const auto result = reader.Run(axes, reduce);
+    const auto result = reader.Plan(axes, reduce);
     EXPECT_EQ(result.pipeline.cache_misses, 0);
     EXPECT_GT(result.pipeline.cache_disk_hits, 0);
     // Even new synthesis results must not leak to disk under readonly.
     const std::vector<std::int64_t> other_axes = {4, 8};
     const std::vector<int> other_reduce = {1};
-    reader.Run(other_axes, other_reduce);
+    reader.Plan(other_axes, other_reduce);
     EXPECT_TRUE(reader.SaveCache());
   }
   EXPECT_EQ(ReadFile(path), bytes_before);
@@ -206,42 +210,40 @@ TEST(PipelinePersistence, CorruptFileRunsColdAndIsRepairedOnSave) {
   const std::vector<std::int64_t> axes = {8, 4};
   const std::vector<int> reduce = {0};
   {
-    Pipeline pipeline(engine, PersistentOptions(path));
-    EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kBadMagic);
-    EXPECT_TRUE(IsCorrupt(pipeline.cache_load_status()));
-    EXPECT_FALSE(pipeline.cache_load_message().empty());
-    const auto result = pipeline.Run(axes, reduce);  // cold, not a crash
+    PlannerService service(engine, PersistentOptions(path));
+    EXPECT_EQ(service.cache_load_status(), CacheLoadStatus::kBadMagic);
+    EXPECT_TRUE(IsCorrupt(service.cache_load_status()));
+    EXPECT_FALSE(service.cache_load_message().empty());
+    const auto result = service.Plan(axes, reduce);  // cold, not a crash
     EXPECT_GT(result.pipeline.cache_misses, 0);
-    ASSERT_TRUE(pipeline.SaveCache());  // save-over-corrupt recovers
+    ASSERT_TRUE(service.SaveCache());  // save-over-corrupt recovers
   }
-  Pipeline pipeline(engine, PersistentOptions(path));
-  EXPECT_EQ(pipeline.cache_load_status(), CacheLoadStatus::kOk);
-  const auto result = pipeline.Run(axes, reduce);
+  PlannerService service(engine, PersistentOptions(path));
+  EXPECT_EQ(service.cache_load_status(), CacheLoadStatus::kOk);
+  const auto result = service.Plan(axes, reduce);
   EXPECT_EQ(result.pipeline.cache_misses, 0);
   EXPECT_GT(result.pipeline.cache_disk_hits, 0);
   std::filesystem::remove(path);
 }
 
 TEST(PipelinePersistence, CacheFileImpliesTheSignatureCache) {
-  // cache_synthesis=false with a cache file would silently ignore the
-  // loaded entries and drop the run's results from the save; the pipeline
-  // forces the signature cache on instead.
+  // cache_synthesis=false on a request against a persistent service would
+  // silently ignore the loaded entries and drop the run's results from the
+  // save; Submit forces the signature cache on instead.
   const Engine engine(topology::MakeA100Cluster(2), FastOptions());
   const std::string path = TempPath("implies");
-  const std::vector<std::int64_t> axes = {8, 4};
-  const std::vector<int> reduce = {0};
+  PlanRequest request;
+  request.axes = {8, 4};
+  request.reduction_axes = {0};
+  request.cache_synthesis = false;
   {
-    PipelineOptions options = PersistentOptions(path);
-    options.cache_synthesis = false;
-    Pipeline pipeline(engine, options);
-    pipeline.Run(axes, reduce);
-    ASSERT_TRUE(pipeline.SaveCache());
+    PlannerService service(engine, PersistentOptions(path));
+    service.Plan(request);
+    ASSERT_TRUE(service.SaveCache());
   }
-  PipelineOptions options = PersistentOptions(path);
-  options.cache_synthesis = false;
-  Pipeline pipeline(engine, options);
-  EXPECT_GT(pipeline.cache_entries_loaded(), 0);  // the run was persisted
-  const auto result = pipeline.Run(axes, reduce);
+  PlannerService service(engine, PersistentOptions(path));
+  EXPECT_GT(service.cache_entries_loaded(), 0);  // the run was persisted
+  const auto result = service.Plan(request);
   EXPECT_EQ(result.pipeline.cache_misses, 0);
   EXPECT_GT(result.pipeline.cache_disk_hits, 0);  // and the entries served
   std::filesystem::remove(path);
@@ -254,23 +256,22 @@ TEST(PipelinePersistence, SecondsSavedAccumulateAcrossRuns) {
   const std::vector<int> reduce = {0};
 
   // Serial, so the savings accumulate in a deterministic order.
-  PipelineOptions options = PersistentOptions(path);
+  PlannerServiceOptions options = PersistentOptions(path);
   options.threads = 1;
 
   double cold_counterfactual = 0.0;
   {
-    Pipeline pipeline(engine, options);
-    const auto result = pipeline.Run(axes, reduce);
+    PlannerService service(engine, options);
+    const auto result = service.Plan(axes, reduce);
     cold_counterfactual = result.TotalSynthesisSeconds();
-    ASSERT_TRUE(pipeline.SaveCache());
+    ASSERT_TRUE(service.SaveCache());
   }
-  Pipeline pipeline(engine, options);
-  const auto result = pipeline.Run(axes, reduce);
+  PlannerService service(engine, options);
+  const auto result = service.Plan(axes, reduce);
   // The warm run's cross-run savings equal the cold run's counterfactual
   // synthesis cost: each placement's hit re-credits its persisted seconds.
-  // NEAR, not DOUBLE_EQ: the two sides sum the same doubles but in
-  // different orders (placement order vs. stage-3 group order), so they can
-  // differ by reassociation rounding.
+  // NEAR, not DOUBLE_EQ, out of caution: both sides sum the same doubles,
+  // but via differently-ordered accumulations they could reassociate.
   EXPECT_NEAR(result.pipeline.disk_seconds_saved, cold_counterfactual, 1e-9);
   // These two accumulate in the same statements, so they are bitwise equal.
   EXPECT_DOUBLE_EQ(result.pipeline.synthesis_seconds_saved,

@@ -1,6 +1,7 @@
-// The staged evaluation pipeline (ISSUE 1): dedup-by-signature synthesis
-// reuse, parallel placement evaluation with deterministic merge, and the
-// unmeasured-program safety fixes in PlacementEvaluation.
+// The staged evaluation pipeline (ISSUE 1, re-homed under the planning
+// service in ISSUE 4): dedup-by-signature synthesis reuse, parallel
+// placement evaluation with deterministic merge, and the unmeasured-program
+// safety fixes in PlacementEvaluation.
 #include "engine/pipeline.h"
 
 #include <gtest/gtest.h>
@@ -8,6 +9,7 @@
 #include <algorithm>
 
 #include "engine/json_export.h"
+#include "engine/service.h"
 #include "topology/presets.h"
 
 namespace p2::engine {
@@ -37,30 +39,37 @@ ExperimentResult WithoutTimings(ExperimentResult result) {
 
 TEST(Pipeline, ResultIsIdenticalAtAnyThreadCount) {
   const Engine eng(topology::MakeA100Cluster(2), FastOptions());
-  Pipeline serial(eng, PipelineOptions{.threads = 1});
+  PlannerService serial(eng, PlannerServiceOptions{.threads = 1});
   const std::string reference =
-      ToJson(WithoutTimings(serial.Run(kAxes, kReduce)));
+      ToJson(WithoutTimings(serial.Plan(kAxes, kReduce)));
   EXPECT_NE(reference.find("\"placements\":["), std::string::npos);
   for (int threads : {4, 8}) {
-    Pipeline parallel(eng, PipelineOptions{.threads = threads});
-    EXPECT_EQ(ToJson(WithoutTimings(parallel.Run(kAxes, kReduce))), reference)
+    PlannerService parallel(eng, PlannerServiceOptions{.threads = threads});
+    EXPECT_EQ(ToJson(WithoutTimings(parallel.Plan(kAxes, kReduce))),
+              reference)
         << "threads=" << threads;
   }
 }
 
 TEST(Pipeline, MatchesTheCachelessSerialPath) {
   const Engine eng(topology::MakeA100Cluster(2), FastOptions());
-  Pipeline cached(eng, PipelineOptions{.threads = 4, .cache_synthesis = true});
-  Pipeline monolith(eng,
-                    PipelineOptions{.threads = 1, .cache_synthesis = false});
-  EXPECT_EQ(ToJson(WithoutTimings(cached.Run(kAxes, kReduce))),
-            ToJson(WithoutTimings(monolith.Run(kAxes, kReduce))));
+  PlannerService cached_service(eng, PlannerServiceOptions{.threads = 4});
+  PlannerService monolith_service(eng, PlannerServiceOptions{.threads = 1});
+  PlanRequest cached;
+  cached.axes = kAxes;
+  cached.reduction_axes = kReduce;
+  cached.cache_synthesis = true;
+  PlanRequest monolith = cached;
+  monolith.cache_synthesis = false;
+  EXPECT_EQ(
+      ToJson(WithoutTimings(cached_service.Plan(std::move(cached)))),
+      ToJson(WithoutTimings(monolith_service.Plan(std::move(monolith)))));
 }
 
 TEST(Pipeline, DedupsIsomorphicHierarchies) {
   const Engine eng(topology::MakeA100Cluster(2), FastOptions());
-  Pipeline pipeline(eng, PipelineOptions{.threads = 2});
-  const auto result = pipeline.Run(kAxes, kReduce);
+  PlannerService service(eng, PlannerServiceOptions{.threads = 2});
+  const auto result = service.Plan(kAxes, kReduce);
   ASSERT_EQ(result.placements.size(), 3u);
   EXPECT_EQ(result.pipeline.num_placements, 3);
   EXPECT_EQ(result.pipeline.unique_hierarchies, 2);
@@ -75,15 +84,20 @@ TEST(Pipeline, DedupsIsomorphicHierarchies) {
   }
 }
 
-TEST(Pipeline, CachePersistsAcrossRunsOfOnePipeline) {
+TEST(Pipeline, CachePersistsAcrossRequestsOfOneService) {
   const Engine eng(topology::MakeA100Cluster(2), FastOptions());
-  Pipeline pipeline(eng, PipelineOptions{.threads = 1});
-  const auto first = pipeline.Run(kAxes, kReduce);
+  PlannerService service(eng, PlannerServiceOptions{.threads = 1});
+  const auto first = service.Plan(kAxes, kReduce);
   EXPECT_EQ(first.pipeline.cache_misses, 2);
-  const auto second = pipeline.Run(kAxes, kReduce);
+  const auto second = service.Plan(kAxes, kReduce);
   EXPECT_EQ(second.pipeline.cache_misses, 0);  // everything served from cache
   EXPECT_EQ(second.pipeline.cache_hits, 3);
   EXPECT_EQ(ToJson(WithoutTimings(first)), ToJson(WithoutTimings(second)));
+  // The service-wide totals aggregate both requests.
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.cache.misses, 2);
+  EXPECT_EQ(stats.cache.hits, 4);
 }
 
 TEST(Pipeline, EngineRunExperimentHonoursThreadOption) {

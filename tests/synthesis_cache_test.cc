@@ -109,6 +109,149 @@ TEST(SynthesisCache, KeyIncludesSynthesisOptions) {
   EXPECT_LE(a->programs.size(), b->programs.size());
 }
 
+TEST(SynthesisCache, LargerCapEntriesServeSmallerCapQueries) {
+  // max_programs-aware subsumption: an entry synthesized under a larger cap
+  // serves a smaller-cap query by truncation — a hit, not a miss — and the
+  // truncated list equals what a fresh small-cap synthesis would return
+  // (the synthesizer keeps the smallest programs, a size-ordered prefix).
+  SynthesisCache cache;
+  core::SynthesisOptions unbounded;  // default cap 2^20: effectively complete
+  const auto full = cache.GetOrSynthesize(IsomorphicA(), unbounded);
+  ASSERT_GT(full->programs.size(), 2u);
+
+  core::SynthesisOptions capped = unbounded;
+  capped.max_programs = 2;
+  CacheLookupOutcome outcome;
+  const auto served = cache.GetOrSynthesize(IsomorphicA(), capped, &outcome);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_TRUE(outcome.subsumed);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().subsumed_hits, 1);
+  EXPECT_EQ(cache.size(), 1u);  // one entry serves both caps
+
+  const auto fresh = core::SynthesizePrograms(IsomorphicA(), capped);
+  ASSERT_EQ(served->programs.size(), fresh.programs.size());
+  for (std::size_t i = 0; i < fresh.programs.size(); ++i) {
+    EXPECT_EQ(served->programs[i], fresh.programs[i]);
+  }
+}
+
+TEST(SynthesisCache, CompleteEntriesServeAnyCap) {
+  // An entry that finished below its cap holds the whole solution set, so
+  // even a *larger*-cap query is a hit.
+  SynthesisCache cache;
+  core::SynthesisOptions small_cap;
+  small_cap.max_programs = 1 << 10;  // far above the real program count
+  const auto first = cache.GetOrSynthesize(IsomorphicA(), small_cap);
+  ASSERT_LT(static_cast<std::int64_t>(first->programs.size()),
+            small_cap.max_programs);
+
+  core::SynthesisOptions big_cap = small_cap;
+  big_cap.max_programs = 1 << 20;
+  CacheLookupOutcome outcome;
+  const auto served = cache.GetOrSynthesize(IsomorphicA(), big_cap, &outcome);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_FALSE(outcome.subsumed);  // nothing was truncated
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(served.get(), first.get());
+}
+
+TEST(SynthesisCache, TruncatedEntriesAreUpgradedByLargerCapQueries) {
+  SynthesisCache cache;
+  core::SynthesisOptions tiny;
+  tiny.max_programs = 1;  // truncated: programs.size() == cap
+  const auto truncated = cache.GetOrSynthesize(IsomorphicA(), tiny);
+  ASSERT_EQ(truncated->programs.size(), 1u);
+
+  // A larger cap cannot be served by a truncated entry: it re-synthesizes
+  // and the richer result replaces the entry...
+  core::SynthesisOptions bigger = tiny;
+  bigger.max_programs = 1 << 20;
+  CacheLookupOutcome outcome;
+  const auto full = cache.GetOrSynthesize(IsomorphicA(), bigger, &outcome);
+  EXPECT_FALSE(outcome.hit);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_GT(full->programs.size(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // ...after which the original tiny cap is served by subsumption.
+  const auto again = cache.GetOrSynthesize(IsomorphicA(), tiny, &outcome);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_TRUE(outcome.subsumed);
+  EXPECT_EQ(again->programs.size(), 1u);
+  EXPECT_EQ(again->programs[0], truncated->programs[0]);
+}
+
+TEST(SynthesisCache, SubsumptionWorksAcrossSnapshotPreloadRoundTrips) {
+  // The persisted key embeds the cap the entry was synthesized under, so a
+  // disk-warmed cache still serves smaller caps by truncation — as disk
+  // hits.
+  SynthesisCache cache;
+  const core::SynthesisOptions unbounded;
+  cache.GetOrSynthesize(IsomorphicA(), unbounded);
+
+  SynthesisCache warmed;
+  EXPECT_EQ(warmed.Preload(cache.Snapshot()), 1);
+  core::SynthesisOptions capped = unbounded;
+  capped.max_programs = 2;
+  CacheLookupOutcome outcome;
+  const auto served = warmed.GetOrSynthesize(IsomorphicA(), capped, &outcome);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_TRUE(outcome.from_disk);
+  EXPECT_TRUE(outcome.subsumed);
+  EXPECT_EQ(served->programs.size(), 2u);
+  EXPECT_EQ(warmed.stats().disk_hits, 1);
+  EXPECT_EQ(warmed.stats().misses, 0);
+}
+
+TEST(SynthesisCache, NonPositiveCapsAreServedAsEmptyPrefixes) {
+  // A cap <= 0 means "no programs" to the synthesizer; through the cache it
+  // must mean the same — an empty truncation of any existing entry, never a
+  // negative iterator offset.
+  SynthesisCache cache;
+  const core::SynthesisOptions unbounded;
+  cache.GetOrSynthesize(IsomorphicA(), unbounded);
+  for (const std::int64_t cap : {std::int64_t{0}, std::int64_t{-1}}) {
+    core::SynthesisOptions capped = unbounded;
+    capped.max_programs = cap;
+    CacheLookupOutcome outcome;
+    const auto served = cache.GetOrSynthesize(IsomorphicA(), capped, &outcome);
+    EXPECT_TRUE(outcome.hit) << cap;
+    EXPECT_TRUE(served->programs.empty()) << cap;
+    const auto fresh = core::SynthesizePrograms(IsomorphicA(), capped);
+    EXPECT_TRUE(fresh.programs.empty()) << cap;
+  }
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(SynthesisCache, PreloadWithoutACapMarkerIsConservative) {
+  // A key not produced by Key() (foreign writer) carries no cap; the entry
+  // is assumed to hold exactly its program count, so it serves caps up to
+  // that count and re-synthesizes beyond it instead of claiming
+  // completeness it cannot prove.
+  SynthesisCache donor;
+  const core::SynthesisOptions options;
+  donor.GetOrSynthesize(IsomorphicA(), options);
+  auto snapshot = donor.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const std::size_t num_programs = snapshot[0].second.programs.size();
+  // Strip the ";cap=..." suffix Key() appends.
+  const auto marker = snapshot[0].first.rfind(";cap=");
+  ASSERT_NE(marker, std::string::npos);
+  snapshot[0].first.resize(marker);
+
+  SynthesisCache warmed;
+  EXPECT_EQ(warmed.Preload(std::move(snapshot)), 1);
+  core::SynthesisOptions beyond = options;
+  beyond.max_programs =
+      static_cast<std::int64_t>(num_programs) + 1;  // beyond what it holds
+  CacheLookupOutcome outcome;
+  warmed.GetOrSynthesize(IsomorphicA(), beyond, &outcome);
+  EXPECT_FALSE(outcome.hit);  // conservatively re-synthesized
+  EXPECT_EQ(warmed.stats().misses, 1);
+}
+
 TEST(SynthesisCache, ClearResetsEverything) {
   SynthesisCache cache;
   const core::SynthesisOptions options;

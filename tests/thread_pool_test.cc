@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace p2 {
@@ -75,6 +79,124 @@ TEST(ThreadPool, ReusableAcrossWaves) {
     pool.ParallelFor(10, [&sum](std::int64_t i) { sum.fetch_add(i); });
   }
   EXPECT_EQ(sum.load(), 5 * 45);
+}
+
+TEST(TaskGroup, WaitCoversOnlyItsOwnSubset) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup slow(pool);
+  ThreadPool::TaskGroup fast(pool);
+  std::atomic<int> slow_done{0};
+  std::atomic<int> fast_done{0};
+  for (int i = 0; i < 8; ++i) {
+    slow.Submit([&slow_done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      slow_done.fetch_add(1);
+    });
+    fast.Submit([&fast_done] { fast_done.fetch_add(1); });
+  }
+  fast.Wait();
+  EXPECT_EQ(fast_done.load(), 8);  // waits on its subset, not the pool
+  slow.Wait();
+  EXPECT_EQ(slow_done.load(), 8);
+}
+
+TEST(TaskGroup, GroupsInterleaveRoundRobin) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<char> sequence;
+  ThreadPool::TaskGroup a(pool);
+  ThreadPool::TaskGroup b(pool);
+  // A floods the pool first; B's single task must not queue behind all of
+  // A's backlog — round-robin picks it within roughly one task per group.
+  for (int i = 0; i < 20; ++i) {
+    a.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      sequence.push_back('a');
+    });
+  }
+  b.Submit([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    sequence.push_back('b');
+  });
+  a.Wait();
+  b.Wait();
+  ASSERT_EQ(sequence.size(), 21u);
+  const auto b_pos =
+      std::find(sequence.begin(), sequence.end(), 'b') - sequence.begin();
+  EXPECT_LT(b_pos, 12) << "b starved behind a's backlog";
+}
+
+TEST(TaskGroup, ErrorsAreIsolatedPerGroup) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ThreadPool::TaskGroup failing(pool);
+    ThreadPool::TaskGroup healthy(pool);
+    std::atomic<int> healthy_done{0};
+    for (int i = 0; i < 10; ++i) {
+      failing.Submit([i] {
+        if (i == 3) throw std::runtime_error("boom");
+      });
+      healthy.Submit([&healthy_done] { healthy_done.fetch_add(1); });
+    }
+    EXPECT_THROW(failing.Wait(), std::runtime_error);
+    healthy.Wait();  // unaffected by the other group's failure
+    EXPECT_EQ(healthy_done.load(), 10);
+    // A failed group keeps working afterwards (first-error-wins, then reset).
+    std::atomic<int> again{0};
+    failing.ParallelFor(5, [&again](std::int64_t) { again.fetch_add(1); });
+    EXPECT_EQ(again.load(), 5);
+  }
+}
+
+TEST(TaskGroup, WaitHelpsFromInsideAPoolTask) {
+  // Two orchestration tasks occupy both workers, then each fans out onto
+  // the same pool and waits. Without help-while-waiting this deadlocks:
+  // every worker would be blocked in Wait with the subtasks queued behind
+  // them. The planning service runs whole requests exactly like this.
+  ThreadPool pool(2);
+  std::atomic<int> subtasks_done{0};
+  ThreadPool::TaskGroup orchestrations(pool);
+  for (int r = 0; r < 2; ++r) {
+    orchestrations.Submit([&pool, &subtasks_done] {
+      ThreadPool::TaskGroup items(pool);
+      for (int i = 0; i < 16; ++i) {
+        items.Submit([&subtasks_done] { subtasks_done.fetch_add(1); });
+      }
+      items.Wait();
+    });
+  }
+  orchestrations.Wait();
+  EXPECT_EQ(subtasks_done.load(), 32);
+}
+
+TEST(TaskGroup, InlineModeRunsTasksImmediately) {
+  ThreadPool pool(1);
+  ThreadPool::TaskGroup group(pool);
+  int count = 0;
+  group.Submit([&count] { ++count; });
+  EXPECT_EQ(count, 1);
+  group.Wait();
+  // Inline tasks capture errors like workers do; Wait rethrows.
+  group.Submit([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, DestructorDrainsInFlightTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  {
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i) {
+      group.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor must drain, or workers would run tasks of a
+    // dead group.
+  }
+  EXPECT_EQ(done.load(), 32);
 }
 
 }  // namespace
