@@ -16,6 +16,13 @@
 //                   cross-query signature dedup (including in-flight dedup:
 //                   two queries racing on one uncached signature synthesize
 //                   it once)
+//   multi-tenant  — ISSUE 5: the same grid for TWO distinct clusters (a
+//                   4-node A100 system and an 8-node V100 system, both 64
+//                   devices) through ONE multi-tenant service; their
+//                   reduction factorizations overlap, so the shared cache
+//                   must synthesize strictly fewer times in total than two
+//                   independent single-cluster services — with per-request
+//                   results byte-identical to the dedicated services
 //
 // Reported per variant: wall-clock, placements evaluated, unique synthesis
 // hierarchies, cache hit rate and the re-synthesis time the cache avoided.
@@ -158,6 +165,46 @@ VariantResult RunGridConcurrently(const Engine& engine, int threads,
   return v;
 }
 
+// The multi-tenant variant: both clusters' grids Submit()ted at once to one
+// shared service, each request naming its cluster.
+VariantResult RunGridMultiTenant(const std::vector<p2::topology::Cluster>& clusters,
+                                 const EngineOptions& engine_options,
+                                 int threads,
+                                 const std::vector<GridConfig>& grid,
+                                 std::vector<ExperimentResult>* results,
+                                 std::int64_t* total_misses,
+                                 std::int64_t* cross_tenant_hits) {
+  VariantResult v;
+  PlannerServiceOptions options;
+  options.threads = threads;
+  options.engine = engine_options;
+  PlannerService service(options);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<ExperimentResult>> futures;
+  futures.reserve(clusters.size() * grid.size());
+  for (const auto& cluster : clusters) {
+    for (const auto& cfg : grid) {
+      PlanRequest request;
+      request.axes = cfg.axes;
+      request.reduction_axes = cfg.reduction_axes;
+      request.cluster = cluster;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+  }
+  for (auto& future : futures) {
+    ExperimentResult result = future.get();
+    Accumulate(result, &v);
+    if (results != nullptr) results->push_back(std::move(result));
+  }
+  v.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const auto stats = service.stats();
+  *total_misses = stats.cache.misses;
+  *cross_tenant_hits = stats.cache.cross_tenant_hits;
+  return v;
+}
+
 bool SameResults(const std::vector<ExperimentResult>& a,
                  const std::vector<ExperimentResult>& b) {
   if (a.size() != b.size()) return false;
@@ -240,6 +287,37 @@ int main(int argc, char** argv) {
   const auto concurrent = RunGridConcurrently(
       engine, threads, queries, &concurrent_results, &shared_misses);
 
+  // ISSUE 5 acceptance setup: the same grid for two DISTINCT clusters — a
+  // flat 4-node A100 system ([4 16] hierarchy) and an 8-node V100 system
+  // ([8 8]), both 64 devices — once through two independent single-cluster
+  // services, once through one multi-tenant service. The hierarchy
+  // signature is cluster-independent, so the reduction factorizations the
+  // two machines share (e.g. (2,8) and (4,4) of a 16-wide axis) must dedup
+  // across tenants: strictly fewer misses, nonzero cross-tenant hits,
+  // per-request outputs byte-identical to the dedicated services.
+  const auto a100_cluster = p2::topology::MakeA100Cluster(4);
+  const auto v100_cluster = p2::topology::MakeV100Cluster(8);
+  const Engine a100_engine(a100_cluster, opts);
+  const Engine v100_engine(v100_cluster, opts);
+  std::vector<ExperimentResult> dedicated_results;
+  std::int64_t dedicated_misses = 0;
+  for (const Engine* tenant_engine : {&a100_engine, &v100_engine}) {
+    PlannerService service(*tenant_engine, PlannerServiceOptions{});
+    for (const auto& cfg : grid) {
+      PlanRequest request;
+      request.axes = cfg.axes;
+      request.reduction_axes = cfg.reduction_axes;
+      dedicated_results.push_back(service.Plan(std::move(request)));
+    }
+    dedicated_misses += service.stats().cache.misses;
+  }
+  std::vector<ExperimentResult> tenant_results;
+  std::int64_t tenant_misses = 0;
+  std::int64_t cross_tenant_hits = 0;
+  const auto multi_tenant = RunGridMultiTenant(
+      {a100_cluster, v100_cluster}, opts, threads, grid, &tenant_results,
+      &tenant_misses, &cross_tenant_hits);
+
   TextTable table({"Variant", "Wall(s)", "Synth(s)", "Placements", "Unique",
                    "Cache", "Disk", "Saved(s)", "Speedup"});
   auto row = [&](const char* name, const VariantResult& v) {
@@ -261,6 +339,7 @@ int main(int argc, char** argv) {
   row("warm(disk)", warm);
   std::snprintf(label, sizeof(label), "concurrent(%zu)", kConcurrentQueries);
   row(label, concurrent);
+  row("multi-tenant(2)", multi_tenant);
   std::printf("%s\n", table.Render().c_str());
 
   const std::vector<ExperimentResult> serial_queries(
@@ -268,7 +347,8 @@ int main(int argc, char** argv) {
   const bool identical = SameResults(serial_results, cached_results) &&
                          SameResults(serial_results, parallel_results) &&
                          SameResults(serial_results, warm_results) &&
-                         SameResults(serial_queries, concurrent_results);
+                         SameResults(serial_queries, concurrent_results) &&
+                         SameResults(dedicated_results, tenant_results);
   std::printf("outputs identical across variants: %s\n",
               identical ? "yes" : "NO — BUG");
   std::printf("cached+parallel speedup over serial: %.2fx\n",
@@ -302,5 +382,19 @@ int main(int argc, char** argv) {
       kConcurrentQueries, static_cast<long long>(shared_misses),
       static_cast<long long>(independent_misses),
       concurrent_ok ? "ok" : "NO — BUG");
-  return identical && warm_ok && concurrent_ok ? 0 : 1;
+
+  // ISSUE 5 acceptance: two overlapping-hierarchy tenants through one
+  // multi-tenant service must synthesize strictly fewer times in total than
+  // two independent single-cluster services, and the sharing must show up
+  // as cross-tenant hits.
+  const bool multi_tenant_ok =
+      tenant_misses < dedicated_misses && cross_tenant_hits > 0;
+  std::printf(
+      "multi-tenant(2) total synthesis runs: %lld shared vs %lld dedicated "
+      "(%lld cross-tenant hits): %s\n",
+      static_cast<long long>(tenant_misses),
+      static_cast<long long>(dedicated_misses),
+      static_cast<long long>(cross_tenant_hits),
+      multi_tenant_ok ? "ok" : "NO — BUG");
+  return identical && warm_ok && concurrent_ok && multi_tenant_ok ? 0 : 1;
 }

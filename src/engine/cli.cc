@@ -86,10 +86,19 @@ std::string CliUsage() {
       "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N]\n"
       "               [--service-threads=N] [--synth-threads=N] [--fuse]\n"
       "               [--cache-file=PATH] [--cache-readonly]\n"
+      "               [--cache-max-entries=N]\n"
       "       p2_plan --system=a100|v100 --nodes=N --grid [...]\n"
+      "       p2_plan --topology=SYS:N[,SYS:N...] --grid [...]\n"
       "\n"
       "  --system      GPU system model (Fig. 9 of the paper)\n"
       "  --nodes       number of nodes\n"
+      "  --topology    one or more system presets as SYS:NODES (e.g.\n"
+      "                a100:4,v100:2; repeatable). One preset is shorthand\n"
+      "                for --system/--nodes; several presets require --grid\n"
+      "                and plan every preset's grid through ONE multi-tenant\n"
+      "                service — clusters with overlapping reduction\n"
+      "                factorizations synthesize shared hierarchies once\n"
+      "                between them (cross-tenant cache hits)\n"
       "  --axes        parallelism axis sizes (product must equal #GPUs)\n"
       "  --reduce      reduction axis indices\n"
       "  --grid        plan the paper's full experiment grid for the system\n"
@@ -112,12 +121,17 @@ std::string CliUsage() {
       "                rewritten atomically on exit (unreadable or\n"
       "                newer-format-version files are never overwritten)\n"
       "  --cache-readonly  use the cache file without creating or\n"
-      "                modifying it (requires --cache-file)\n";
+      "                modifying it (requires --cache-file)\n"
+      "  --cache-max-entries  keep at most N synthesis-cache entries,\n"
+      "                evicting least-recently-used first (default:\n"
+      "                unbounded); eviction never changes results, an\n"
+      "                evicted hierarchy is simply re-synthesized\n";
 }
 
 std::optional<CliOptions> ParseCliOptions(
     const std::vector<std::string>& args, std::string* error) {
   CliOptions opts;
+  bool system_or_nodes_given = false;
   for (const std::string& arg : args) {
     if (arg == "--help" || arg == "-h") {
       *error = CliUsage();
@@ -151,6 +165,7 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.system = value;
+      system_or_nodes_given = true;
     } else if (key == "--nodes") {
       std::int64_t v = 0;
       if (!ParseInt(value, &v) || v < 1) {
@@ -158,6 +173,45 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.nodes = static_cast<int>(v);
+      system_or_nodes_given = true;
+    } else if (key == "--topology") {
+      // Comma-separated SYS:NODES presets; the flag is also repeatable, so
+      // entries append rather than replace.
+      std::stringstream ss(value);
+      std::string entry;
+      bool any = false;
+      while (std::getline(ss, entry, ',')) {
+        any = true;
+        const auto colon = entry.find(':');
+        TopologyPreset preset;
+        std::int64_t n = 0;
+        if (colon == std::string::npos ||
+            !ParseInt(entry.substr(colon + 1), &n) || n < 1) {
+          *error = "--topology entries must be SYS:NODES (e.g. a100:4), got "
+                   "\"" + entry + "\"";
+          return std::nullopt;
+        }
+        preset.system = entry.substr(0, colon);
+        preset.nodes = static_cast<int>(n);
+        if (preset.system != "a100" && preset.system != "v100") {
+          *error = "--topology system must be a100 or v100, got \"" +
+                   preset.system + "\"";
+          return std::nullopt;
+        }
+        // A duplicate preset would plan the same grid twice through the
+        // same tenant and report it as two tenants' worth of work.
+        for (const TopologyPreset& existing : opts.topologies) {
+          if (existing == preset) {
+            *error = "--topology lists " + entry + " twice";
+            return std::nullopt;
+          }
+        }
+        opts.topologies.push_back(std::move(preset));
+      }
+      if (!any) {
+        *error = "--topology needs at least one SYS:NODES preset";
+        return std::nullopt;
+      }
     } else if (key == "--axes") {
       if (!ParseList(value, &opts.axes)) {
         *error = "--axes must be a comma-separated list of sizes";
@@ -222,10 +276,33 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.cache_file = value;
+    } else if (key == "--cache-max-entries") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 1) {
+        *error = "--cache-max-entries must be a positive integer";
+        return std::nullopt;
+      }
+      opts.cache_max_entries = v;
     } else {
       *error = "unrecognized flag: " + key + "\n\n" + CliUsage();
       return std::nullopt;
     }
+  }
+  if (!opts.topologies.empty() && system_or_nodes_given) {
+    *error = "--topology already names the systems; drop --system/--nodes";
+    return std::nullopt;
+  }
+  if (opts.topologies.size() > 1 && !opts.grid) {
+    // A single --axes config cannot fit several device counts at once; the
+    // multi-tenant form plans each preset's own grid.
+    *error = "multiple --topology presets require --grid";
+    return std::nullopt;
+  }
+  if (opts.topologies.size() == 1) {
+    // One preset is pure shorthand: fold it into --system/--nodes so every
+    // downstream path (and RunCli's single-cluster report) is unchanged.
+    opts.system = opts.topologies.front().system;
+    opts.nodes = opts.topologies.front().nodes;
   }
   if (opts.grid) {
     if (!opts.axes.empty() || !opts.reduction_axes.empty()) {
@@ -275,7 +352,146 @@ topology::Cluster ClusterFromOptions(const CliOptions& options) {
              : topology::MakeV100Cluster(options.nodes);
 }
 
+topology::Cluster ClusterFromPreset(const TopologyPreset& preset) {
+  return preset.system == "a100" ? topology::MakeA100Cluster(preset.nodes)
+                                 : topology::MakeV100Cluster(preset.nodes);
+}
+
+namespace {
+
+// Single translation points from CLI flags to the engine/service/request
+// option structs: both the single-cluster and the multi-topology paths go
+// through these, so a new flag cannot get wired into one path and silently
+// not the other.
+EngineOptions EngineOptionsFromCli(const CliOptions& options) {
+  EngineOptions eng_opts;
+  eng_opts.algo = options.algo;
+  eng_opts.synthesis.threads = options.synth_threads;
+  if (options.payload_mb > 0) {
+    eng_opts.payload_bytes = options.payload_mb * 1e6;
+  }
+  return eng_opts;
+}
+
+PlannerServiceOptions ServiceOptionsFromCli(const CliOptions& options) {
+  PlannerServiceOptions svc;
+  svc.threads = options.EffectiveServiceThreads();
+  svc.cache_file = options.cache_file;
+  svc.cache_readonly = options.cache_readonly;
+  svc.cache_max_entries = options.cache_max_entries;
+  return svc;
+}
+
+PlanRequest RequestForConfig(const ExperimentConfig& config,
+                             const CliOptions& options) {
+  PlanRequest request;
+  request.axes = config.axes;
+  request.reduction_axes = config.reduction_axes;
+  request.measure_top_k = options.top_k > 0 ? options.top_k : -1;
+  return request;
+}
+
+void AppendCacheLoadWarnings(const PlannerService& service,
+                             const CliOptions& options, std::ostream& os) {
+  if (IsCorrupt(service.cache_load_status())) {
+    os << "warning: cache file " << options.cache_file << ": "
+       << ToString(service.cache_load_status()) << " ("
+       << service.cache_load_message() << "); starting cold\n";
+  } else if (options.cache_readonly &&
+             service.cache_load_status() == CacheLoadStatus::kNoFile) {
+    // A writable cold start is normal, but readonly names a file the user
+    // expects to exist — running cold here is a silent latency regression.
+    os << "warning: cache file " << options.cache_file
+       << " does not exist; --cache-readonly runs cold\n";
+  }
+}
+
+void RenderGridTable(const std::vector<ExperimentConfig>& configs,
+                     const std::vector<ExperimentResult>& results,
+                     std::ostream& os) {
+  // One summary row per config; the full per-placement detail of a config
+  // is what the single-config invocation is for.
+  TextTable table({"Config", "Placements", "AllReduce(s)", "Best(s)",
+                   "Speedup", "Best placement"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    const BestOfExperiment best = FindBest(result);
+    if (best.program == nullptr) continue;
+    const double baseline = best.placement->DefaultAllReduce().measured_seconds;
+    table.AddRow({configs[i].ToString(),
+                  std::to_string(result.placements.size()),
+                  FormatSeconds(baseline),
+                  FormatSeconds(best.program->measured_seconds),
+                  FormatSpeedup(baseline / best.program->measured_seconds),
+                  best.placement->matrix.ToString()});
+  }
+  os << table.Render();
+}
+
+/// The multi-tenant form: every --topology preset's full grid through one
+/// shared service, reported per tenant with one service-wide footer.
+int RunMultiTopology(const CliOptions& options, std::string* output) {
+  PlannerServiceOptions svc = ServiceOptionsFromCli(options);
+  svc.engine = EngineOptionsFromCli(options);
+  // One multi-tenant service: every preset's requests share its cache and
+  // pool, so hierarchies recurring across clusters synthesize once.
+  PlannerService service(svc);
+
+  std::ostringstream os;
+  AppendCacheLoadWarnings(service, options, os);
+
+  struct TenantRun {
+    topology::Cluster cluster;
+    std::vector<ExperimentConfig> configs;
+    std::vector<std::future<ExperimentResult>> futures;
+  };
+  std::vector<TenantRun> runs;
+  runs.reserve(options.topologies.size());
+  for (const TopologyPreset& preset : options.topologies) {
+    TenantRun run;
+    run.cluster = ClusterFromPreset(preset);
+    run.configs = FullGrid(run.cluster);
+    runs.push_back(std::move(run));
+  }
+  // Submit everything before collecting anything: all tenants' requests
+  // overlap on the shared pool, while the report below stays in preset +
+  // config order.
+  for (TenantRun& run : runs) {
+    run.futures.reserve(run.configs.size());
+    for (const auto& config : run.configs) {
+      PlanRequest request = RequestForConfig(config, options);
+      request.cluster = run.cluster;
+      run.futures.push_back(service.Submit(std::move(request)));
+    }
+  }
+  for (TenantRun& run : runs) {
+    std::vector<ExperimentResult> results;
+    results.reserve(run.futures.size());
+    for (auto& future : run.futures) results.push_back(future.get());
+    os << "system: " << run.cluster.ToString() << ", "
+       << core::ToString(options.algo) << ", payload "
+       << service.EngineFor(run.cluster).payload_bytes() / 1e6
+       << " MB/GPU\n\n";
+    RenderGridTable(run.configs, results, os);
+    os << '\n';
+  }
+
+  std::string save_error;
+  if (!service.SaveCache(&save_error)) {
+    os << "warning: could not save cache file " << options.cache_file << ": "
+       << save_error << '\n';
+  }
+  // The footer carries the whole point of the shared service: per-tenant
+  // rows plus the cross-tenant cache hits the sharing produced.
+  os << RenderServiceStats(service.stats()) << '\n';
+  *output = os.str();
+  return 0;
+}
+
+}  // namespace
+
 int RunCli(const CliOptions& options, std::string* output) {
+  if (options.topologies.size() > 1) return RunMultiTopology(options, output);
   const topology::Cluster cluster = ClusterFromOptions(options);
 
   if (!options.grid) {
@@ -290,34 +506,14 @@ int RunCli(const CliOptions& options, std::string* output) {
     }
   }
 
-  EngineOptions eng_opts;
-  eng_opts.algo = options.algo;
-  eng_opts.synthesis.threads = options.synth_threads;
-  if (options.payload_mb > 0) {
-    eng_opts.payload_bytes = options.payload_mb * 1e6;
-  }
-  const Engine engine(cluster, eng_opts);
+  const Engine engine(cluster, EngineOptionsFromCli(options));
   // One service per invocation: the single owner of the shared cache, the
   // worker pool and the optional persistent store; every config below is a
-  // query against it.
-  PlannerService service(
-      engine,
-      PlannerServiceOptions{.threads = options.EffectiveServiceThreads(),
-                            .cache_file = options.cache_file,
-                            .cache_readonly = options.cache_readonly});
+  // query against it (the engine is the service's default tenant).
+  PlannerService service(engine, ServiceOptionsFromCli(options));
 
   std::ostringstream os;
-  if (IsCorrupt(service.cache_load_status())) {
-    os << "warning: cache file " << options.cache_file << ": "
-       << ToString(service.cache_load_status()) << " ("
-       << service.cache_load_message() << "); starting cold\n";
-  } else if (options.cache_readonly &&
-             service.cache_load_status() == CacheLoadStatus::kNoFile) {
-    // A writable cold start is normal, but readonly names a file the user
-    // expects to exist — running cold here is a silent latency regression.
-    os << "warning: cache file " << options.cache_file
-       << " does not exist; --cache-readonly runs cold\n";
-  }
+  AppendCacheLoadWarnings(service, options, os);
 
   // Decide the queries, submit them all, then collect in config order: with
   // --grid the requests overlap on the shared pool and dedup against each
@@ -331,11 +527,7 @@ int RunCli(const CliOptions& options, std::string* output) {
   std::vector<std::future<ExperimentResult>> futures;
   futures.reserve(configs.size());
   for (const auto& config : configs) {
-    PlanRequest request;
-    request.axes = config.axes;
-    request.reduction_axes = config.reduction_axes;
-    request.measure_top_k = options.top_k > 0 ? options.top_k : -1;
-    futures.push_back(service.Submit(std::move(request)));
+    futures.push_back(service.Submit(RequestForConfig(config, options)));
   }
   std::vector<ExperimentResult> results;
   results.reserve(configs.size());
@@ -352,24 +544,7 @@ int RunCli(const CliOptions& options, std::string* output) {
      << engine.payload_bytes() / 1e6 << " MB/GPU\n\n";
 
   if (options.grid) {
-    // One summary row per config; the full per-placement detail of a config
-    // is what the single-config invocation is for.
-    TextTable table({"Config", "Placements", "AllReduce(s)", "Best(s)",
-                     "Speedup", "Best placement"});
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& result = results[i];
-      const BestOfExperiment best = FindBest(result);
-      if (best.program == nullptr) continue;
-      const double baseline =
-          best.placement->DefaultAllReduce().measured_seconds;
-      table.AddRow({configs[i].ToString(),
-                    std::to_string(result.placements.size()),
-                    FormatSeconds(baseline),
-                    FormatSeconds(best.program->measured_seconds),
-                    FormatSpeedup(baseline / best.program->measured_seconds),
-                    best.placement->matrix.ToString()});
-    }
-    os << table.Render();
+    RenderGridTable(configs, results, os);
   } else {
     const ExperimentResult& result = results.front();
     TextTable table({"Placement", "Programs", "AllReduce(s)", "Best(s)",

@@ -4,13 +4,19 @@
 //   p2_plan --system=a100 --nodes=4 --axes=4,16 --reduce=0
 //           [--algo=ring|tree] [--payload-mb=N] [--top-k=N]
 //           [--service-threads=N] [--synth-threads=N] [--fuse]
-//           [--cache-file=PATH] [--cache-readonly]
+//           [--cache-file=PATH] [--cache-readonly] [--cache-max-entries=N]
 //   p2_plan --system=a100 --nodes=4 --grid [...]
+//   p2_plan --topology=a100:4,v100:2 --grid [...]
 //
 // All planning goes through one PlannerService (engine/service.h) per
 // invocation: --grid submits every experiment-grid config concurrently to
 // the shared service instead of looping sequentially, so configs sharing
-// synthesis hierarchies are synthesized once between them.
+// synthesis hierarchies are synthesized once between them. --topology
+// accepts multiple system:nodes presets — the service is multi-tenant, so
+// one --grid run plans every preset's grid through one shared cache and
+// pool, and presets with overlapping reduction factorizations synthesize
+// shared hierarchies once *across clusters* (reported as cross-tenant
+// hits).
 #ifndef P2_ENGINE_CLI_H_
 #define P2_ENGINE_CLI_H_
 
@@ -24,9 +30,22 @@
 
 namespace p2::engine {
 
+/// One `--topology` entry: a named system preset at a node count.
+struct TopologyPreset {
+  std::string system;  // "a100" or "v100"
+  int nodes = 1;
+
+  friend bool operator==(const TopologyPreset&, const TopologyPreset&) =
+      default;
+};
+
 struct CliOptions {
   std::string system = "a100";  // "a100" or "v100"
   int nodes = 2;
+  /// `--topology` presets. Empty = the classic single-cluster form
+  /// (--system/--nodes). More than one preset requires --grid and plans
+  /// every preset's grid through one multi-tenant service.
+  std::vector<TopologyPreset> topologies;
   std::vector<std::int64_t> axes;
   std::vector<int> reduction_axes;
   core::NcclAlgo algo = core::NcclAlgo::kRing;
@@ -39,6 +58,7 @@ struct CliOptions {
   bool grid = false;        // run the full experiment grid concurrently
   std::string cache_file;   // persistent synthesis cache (empty = off)
   bool cache_readonly = false;  // load the cache file but never write it
+  std::int64_t cache_max_entries = 0;  // LRU cap; 0 = unbounded
 
   /// The shared pool size the service actually gets.
   int EffectiveServiceThreads() const {
@@ -54,8 +74,12 @@ std::optional<CliOptions> ParseCliOptions(
 /// The --help text.
 std::string CliUsage();
 
-/// Builds the cluster the options describe.
+/// Builds the cluster the options describe (the --system/--nodes form; for
+/// --topology presets see ClusterFromPreset).
 topology::Cluster ClusterFromOptions(const CliOptions& options);
+
+/// Builds the cluster one --topology preset describes.
+topology::Cluster ClusterFromPreset(const TopologyPreset& preset);
 
 /// Runs the full plan and renders the report table. Returns the process
 /// exit code.

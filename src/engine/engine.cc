@@ -101,8 +101,9 @@ PlacementEvaluation Engine::EvaluatePlacement(
   // A throwaway single-query service: this entry point predates the
   // long-lived PlannerService and keeps its one-shot, cacheless semantics.
   PlannerService service(*this);
-  Pipeline pipeline(service, PipelineOptions{.cache_synthesis = false,
-                                             .measure_top_k = -1});
+  Pipeline pipeline(service, *this,
+                    PipelineOptions{.cache_synthesis = false,
+                                    .measure_top_k = -1});
   return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
@@ -112,7 +113,7 @@ PlacementEvaluation Engine::EvaluatePlacementGuided(
   // Clamp: negative k means "measure nothing beyond the baseline" here,
   // while a negative PipelineOptions::measure_top_k would mean "not guided".
   PlannerService service(*this);
-  Pipeline pipeline(service,
+  Pipeline pipeline(service, *this,
                     PipelineOptions{.cache_synthesis = false,
                                     .measure_top_k =
                                         std::max(0, measure_top_k)});
@@ -124,10 +125,9 @@ ExperimentResult Engine::RunExperiment(
     std::span<const int> reduction_axes) const {
   // A transient service per call: callers that want cross-query sharing
   // (one cache, one pool) hold a PlannerService themselves and Submit.
-  PlannerService service(
-      *this, PlannerServiceOptions{.threads = options_.threads,
-                                   .cache_file = {},
-                                   .cache_readonly = false});
+  PlannerServiceOptions service_options;
+  service_options.threads = options_.threads;
+  PlannerService service(*this, service_options);
   PlanRequest request;
   request.axes.assign(axes.begin(), axes.end());
   request.reduction_axes.assign(reduction_axes.begin(), reduction_axes.end());

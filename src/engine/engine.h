@@ -60,6 +60,10 @@ struct PipelineStats {
   /// same signature instead of re-synthesizing (each still counts as a hit
   /// or, if the finished entry could not serve this cap, a miss).
   std::int64_t cache_dedup_waits = 0;
+  /// Hits served by entries another tenant's query synthesized (a subset of
+  /// cache_hits; zero on a single-tenant service) — the cross-cluster
+  /// sharing a multi-tenant PlannerService exists for.
+  std::int64_t cache_cross_tenant_hits = 0;
   /// Persistent-cache figures (engine/cache_store.h); all zero unless the
   /// service was given a cache file.
   std::int64_t cache_disk_hits = 0;  ///< hits served by on-disk entries
@@ -70,6 +74,11 @@ struct PipelineStats {
   std::int64_t synth_states_visited = 0;
   std::int64_t synth_states_deduped = 0;
   std::int64_t synth_branches_pruned = 0;
+  /// Guided-evaluation measurements skipped by early stopping: candidates
+  /// within the top-k whose prediction already exceeded the incumbent's
+  /// measurement by more than the model's observed overprediction bound
+  /// (sum of PlacementEvaluation::guided_skipped; deterministic).
+  std::int64_t guided_skipped = 0;
   double synthesis_seconds_saved = 0.0;  ///< re-synthesis avoided by the cache
   double disk_seconds_saved = 0.0;       ///< portion saved across runs (disk)
   double synthesis_seconds = 0.0;        ///< wall-clock actually synthesizing
@@ -100,6 +109,12 @@ struct PlacementEvaluation {
   /// ExperimentResult::pipeline.synthesis_seconds.
   double synthesis_seconds = 0.0;
   core::SynthesisStats synthesis_stats;
+  /// Top-k candidates guided evaluation left unmeasured because their
+  /// prediction put them provably behind the incumbent's measurement under
+  /// the model's observed overprediction bound (engine/pipeline.cc). A pure
+  /// function of the deterministic predictions and measurements — identical
+  /// at any thread count and cache state. Always 0 outside guided mode.
+  int guided_skipped = 0;
   std::vector<ProgramEvaluation> programs;  ///< [0] is the default AllReduce
 
   const ProgramEvaluation& DefaultAllReduce() const { return programs.front(); }

@@ -57,6 +57,7 @@ std::string ToJson(const PlacementEvaluation& eval) {
      << "\"branches_pruned\":" << eval.synthesis_stats.branches_pruned << ","
      << "\"instructions_tried\":" << eval.synthesis_stats.instructions_tried
      << "},"
+     << "\"guided_skipped\":" << eval.guided_skipped << ","
      << "\"programs\":[";
   for (std::size_t i = 0; i < eval.programs.size(); ++i) {
     const auto& p = eval.programs[i];
@@ -94,6 +95,8 @@ std::string ToJson(const ExperimentResult& result) {
      << "\"cache_hits\":" << result.pipeline.cache_hits << ","
      << "\"cache_misses\":" << result.pipeline.cache_misses << ","
      << "\"cache_dedup_waits\":" << result.pipeline.cache_dedup_waits << ","
+     << "\"cache_cross_tenant_hits\":"
+     << result.pipeline.cache_cross_tenant_hits << ","
      << "\"cache_disk_hits\":" << result.pipeline.cache_disk_hits << ","
      << "\"disk_seconds_saved\":" << Num(result.pipeline.disk_seconds_saved)
      << ","
@@ -103,8 +106,14 @@ std::string ToJson(const ExperimentResult& result) {
      << ","
      << "\"synth_branches_pruned\":" << result.pipeline.synth_branches_pruned
      << ","
+     << "\"guided_skipped\":" << result.pipeline.guided_skipped << ","
      << "\"synthesis_seconds_saved\":"
      << Num(result.pipeline.synthesis_seconds_saved) << ","
+     << "\"synthesis_seconds\":" << Num(result.pipeline.synthesis_seconds)
+     << ","
+     << "\"evaluation_seconds\":" << Num(result.pipeline.evaluation_seconds)
+     << ","
+     << "\"total_seconds\":" << Num(result.pipeline.total_seconds) << ","
      << "\"threads\":" << result.pipeline.threads << "},"
      << "\"placements\":[";
   for (std::size_t i = 0; i < result.placements.size(); ++i) {
@@ -119,16 +128,37 @@ std::string ToJson(const PlannerServiceStats& stats) {
   std::ostringstream os;
   os << "{\"requests\":" << stats.requests << ","
      << "\"cache_entries_loaded\":" << stats.cache_entries_loaded << ","
+     << "\"engines_constructed\":" << stats.engines_constructed << ","
      << "\"cache\":{"
      << "\"hits\":" << stats.cache.hits << ","
      << "\"misses\":" << stats.cache.misses << ","
      << "\"disk_hits\":" << stats.cache.disk_hits << ","
      << "\"subsumed_hits\":" << stats.cache.subsumed_hits << ","
      << "\"dedup_waits\":" << stats.cache.dedup_waits << ","
+     << "\"cross_tenant_hits\":" << stats.cache.cross_tenant_hits << ","
+     << "\"evictions\":" << stats.cache.evictions << ","
      << "\"seconds_saved\":" << Num(stats.cache.seconds_saved) << ","
      << "\"disk_seconds_saved\":" << Num(stats.cache.disk_seconds_saved)
      << "},"
-     << "\"threads\":" << stats.threads << '}';
+     << "\"threads\":" << stats.threads << ","
+     << "\"tenants\":[";
+  for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+    const TenantStats& tenant = stats.tenants[i];
+    if (i > 0) os << ',';
+    os << "{\"id\":" << tenant.id << ","
+       << "\"fingerprint\":\"" << JsonEscape(tenant.fingerprint) << "\","
+       << "\"cluster\":\"" << JsonEscape(tenant.cluster) << "\","
+       << "\"requests\":" << tenant.requests << ","
+       << "\"placements\":" << tenant.placements << ","
+       << "\"cache_hits\":" << tenant.cache_hits << ","
+       << "\"cache_misses\":" << tenant.cache_misses << ","
+       << "\"cache_cross_tenant_hits\":" << tenant.cache_cross_tenant_hits
+       << ","
+       << "\"cache_disk_hits\":" << tenant.cache_disk_hits << ","
+       << "\"synthesis_seconds_saved\":"
+       << Num(tenant.synthesis_seconds_saved) << '}';
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -22,22 +22,31 @@ std::string ToJson(const PlacementEvaluation& eval);
 ///  "payload_bytes": ...,
 ///  "pipeline": {"placements": N, "unique_hierarchies": U, "cache_hits": H,
 ///               "cache_misses": M, "cache_dedup_waits": W,
-///               "cache_disk_hits": D, "disk_seconds_saved": DS,
-///               "synthesis_seconds_saved": S, "threads": T},
+///               "cache_cross_tenant_hits": X, "cache_disk_hits": D,
+///               "disk_seconds_saved": DS, "guided_skipped": G,
+///               "synthesis_seconds_saved": S, "synthesis_seconds": SS,
+///               "evaluation_seconds": ES, "total_seconds": TS,
+///               "threads": T},
 ///  "placements": [...]}
 /// The pipeline counters are the request's own share of the shared cache's
 /// activity; service-wide figures (entries loaded from disk, totals across
-/// requests) are exported once per service by the overload below.
+/// requests and tenants) are exported once per service by the overload
+/// below.
 std::string ToJson(const ExperimentResult& result);
 
-/// {"requests": N, "cache_entries_loaded": L,
+/// {"requests": N, "cache_entries_loaded": L, "engines_constructed": E,
 ///  "cache": {"hits": H, "misses": M, "disk_hits": D, "subsumed_hits": SH,
-///            "dedup_waits": W, "seconds_saved": S,
-///            "disk_seconds_saved": DS},
-///  "threads": T}
+///            "dedup_waits": W, "cross_tenant_hits": X, "evictions": EV,
+///            "seconds_saved": S, "disk_seconds_saved": DS},
+///  "threads": T,
+///  "tenants": [{"id": 0, "fingerprint": ..., "cluster": ...,
+///               "requests": R, "placements": P, "cache_hits": H,
+///               "cache_misses": M, "cache_cross_tenant_hits": X,
+///               "cache_disk_hits": D, "synthesis_seconds_saved": S}, ...]}
 /// Emit this exactly once per PlannerService: cache_entries_loaded is the
 /// service's one-time preload, so repeating it per experiment (the old
-/// PipelineStats field) double-counted it in multi-config runs.
+/// PipelineStats field) double-counted it in multi-config runs. The
+/// per-tenant rows are what dashboards key cross-cluster sharing off.
 std::string ToJson(const PlannerServiceStats& stats);
 
 /// Escapes a string for embedding in JSON output.

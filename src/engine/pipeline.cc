@@ -54,8 +54,9 @@ ProgramEvaluation EvaluateProgramOnEngine(const Engine& engine,
                          measure);
 }
 
-Pipeline::Pipeline(PlannerService& service, PipelineOptions options)
-    : service_(service), engine_(service.engine()), options_(options) {}
+Pipeline::Pipeline(PlannerService& service, const Engine& engine,
+                   PipelineOptions options)
+    : service_(service), engine_(engine), options_(options) {}
 
 PlacementEvaluation Pipeline::Evaluate(
     const core::ParallelismMatrix& matrix, const core::SynthesisHierarchy& sh,
@@ -118,10 +119,39 @@ PlacementEvaluation Pipeline::Evaluate(
       p.measured = true;
     };
     measure(0);  // the baseline is always measured
+    // Early stopping over the top-k: a candidate whose *prediction* already
+    // exceeds the incumbent's *measurement* by more than the model's
+    // observed overprediction is skipped — under every pred/meas ratio seen
+    // so far in this placement, its measurement could not beat the
+    // incumbent. The bound tightens as measurements accrue; everything here
+    // is a pure function of the (deterministic) predictions and
+    // measurements, so the measured set — and with it the whole result —
+    // stays byte-identical at any thread count and cache state.
+    double incumbent_measured = eval.programs.front().measured_seconds;
+    double overprediction = 1.0;  // max observed predicted/measured, >= 1
+    const auto observe = [&](const ProgramEvaluation& p) {
+      if (p.measured_seconds > 0.0) {
+        overprediction = std::max(overprediction,
+                                  p.predicted_seconds / p.measured_seconds);
+        incumbent_measured = std::min(incumbent_measured, p.measured_seconds);
+      }
+    };
+    observe(eval.programs.front());
     for (int i = 0;
          i < options_.measure_top_k && i < static_cast<int>(order.size());
          ++i) {
-      measure(order[static_cast<std::size_t>(i)]);
+      const int index = order[static_cast<std::size_t>(i)];
+      auto& p = eval.programs[static_cast<std::size_t>(index)];
+      if (p.measured) continue;  // the baseline may sit inside the top-k
+      if (p.predicted_seconds > incumbent_measured * overprediction) {
+        // `order` is prediction-ascending, so once one candidate is
+        // provably behind, all remaining ones are too; counting them
+        // individually keeps the report honest about what was skipped.
+        ++eval.guided_skipped;
+        continue;
+      }
+      measure(index);
+      observe(p);
     }
   }
   return eval;
@@ -134,8 +164,8 @@ PlacementEvaluation Pipeline::EvaluatePlacement(
       matrix, reduction_axes, engine_.options().hierarchy_kind,
       engine_.options().collapse_hierarchy);
   if (options_.cache_synthesis) {
-    const auto synthesis =
-        service_.cache().GetOrSynthesize(sh, engine_.options().synthesis);
+    const auto synthesis = service_.cache().GetOrSynthesize(
+        sh, engine_.options().synthesis, nullptr, options_.tenant);
     return Evaluate(matrix, sh, *synthesis);
   }
   const auto synthesis =
@@ -206,7 +236,8 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
         for (std::size_t i : members) {
           if (options_.cache_synthesis) {
             synthesis[i] = service_.cache().GetOrSynthesize(
-                hierarchies[i], engine_.options().synthesis, &outcomes[i]);
+                hierarchies[i], engine_.options().synthesis, &outcomes[i],
+                options_.tenant);
           } else {
             synthesis[i] = std::make_shared<const core::SynthesisResult>(
                 SynthesizePrograms(hierarchies[i],
@@ -238,6 +269,7 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
         placement.synthesis_stats.states_deduped;
     result.pipeline.synth_branches_pruned +=
         placement.synthesis_stats.branches_pruned;
+    result.pipeline.guided_skipped += placement.guided_skipped;
   }
   // Cache accounting from this request's own lookups, summed in placement
   // order (deterministic and double-reproducible — unlike global cache
@@ -252,6 +284,7 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
           ++result.pipeline.cache_disk_hits;
           result.pipeline.disk_seconds_saved += o.seconds_saved;
         }
+        if (o.cross_tenant) ++result.pipeline.cache_cross_tenant_hits;
       } else {
         ++result.pipeline.cache_misses;
       }

@@ -23,6 +23,7 @@
 #include <span>
 
 #include "engine/engine.h"
+#include "engine/synthesis_cache.h"
 
 namespace p2::engine {
 
@@ -38,15 +39,24 @@ struct PipelineOptions {
   /// < 0: measure every program iff the engine's options say so (the classic
   /// full-evaluation path). >= 0: simulator-guided evaluation — predict
   /// everything, measure only the default AllReduce plus the top-k programs
-  /// by prediction (paper Section 5).
+  /// by prediction (paper Section 5), early-stopping candidates whose
+  /// prediction puts them provably behind the incumbent (see
+  /// PlacementEvaluation::guided_skipped).
   int measure_top_k = -1;
+  /// The requesting tenant's id (engine/service.h), passed through to the
+  /// shared cache so cross-tenant reuse is attributable; kNoTenant for
+  /// single-tenant callers.
+  std::int64_t tenant = SynthesisCache::kNoTenant;
 };
 
 class Pipeline {
  public:
   /// The service must outlive the pipeline (it supplies the cache and the
-  /// pool; typically the service itself constructs one per request).
-  explicit Pipeline(PlannerService& service, PipelineOptions options = {});
+  /// pool; typically the service itself constructs one per request, after
+  /// resolving `engine` from the request's cluster through the tenant
+  /// registry).
+  Pipeline(PlannerService& service, const Engine& engine,
+           PipelineOptions options = {});
 
   const PipelineOptions& options() const { return options_; }
 

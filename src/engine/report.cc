@@ -74,6 +74,13 @@ std::string RenderPipelineStats(const PipelineStats& stats) {
   if (stats.cache_dedup_waits > 0) {
     os << ", " << stats.cache_dedup_waits << " in-flight waits";
   }
+  if (stats.cache_cross_tenant_hits > 0) {
+    os << ", " << stats.cache_cross_tenant_hits << " cross-tenant hits";
+  }
+  if (stats.guided_skipped > 0) {
+    os << "\nguided: " << stats.guided_skipped
+       << " measurements skipped by early stopping";
+  }
   if (stats.cache_disk_hits > 0) {
     std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
                   stats.disk_seconds_saved);
@@ -100,6 +107,12 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
   if (stats.cache.dedup_waits > 0) {
     os << ", " << stats.cache.dedup_waits << " in-flight waits";
   }
+  if (stats.cache.cross_tenant_hits > 0) {
+    os << ", " << stats.cache.cross_tenant_hits << " cross-tenant hits";
+  }
+  if (stats.cache.evictions > 0) {
+    os << ", " << stats.cache.evictions << " evictions";
+  }
   os << ", " << stats.threads
      << (stats.threads == 1 ? " thread" : " threads");
   if (stats.cache_entries_loaded > 0 || stats.cache.disk_hits > 0) {
@@ -107,6 +120,26 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
                   stats.cache.disk_seconds_saved);
     os << "\nservice disk cache: " << stats.cache_entries_loaded
        << " entries loaded, " << stats.cache.disk_hits << " disk hits" << buf;
+  }
+  // One line per tenant (only when the registry holds more than the single
+  // default tenant — the classic single-cluster footer stays unchanged).
+  // The per-tenant cache split is attribution-approximate under races, like
+  // per-request PipelineStats; the sums match the service totals.
+  if (stats.tenants.size() > 1) {
+    for (const TenantStats& tenant : stats.tenants) {
+      os << "\ntenant " << tenant.id << " [" << tenant.cluster << "]: "
+         << tenant.requests
+         << (tenant.requests == 1 ? " request, " : " requests, ")
+         << tenant.placements << " placements, cache " << tenant.cache_hits
+         << " hits / " << tenant.cache_misses << " misses";
+      if (tenant.cache_cross_tenant_hits > 0) {
+        os << " (" << tenant.cache_cross_tenant_hits
+           << " served cross-tenant)";
+      }
+      if (tenant.cache_disk_hits > 0) {
+        os << ", " << tenant.cache_disk_hits << " disk hits";
+      }
+    }
   }
   return os.str();
 }

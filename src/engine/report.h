@@ -58,9 +58,12 @@ std::string FormatSpeedup(double speedup);
 std::string RenderPipelineStats(const PipelineStats& stats);
 
 /// Once-per-service summary (engine/service.h): requests served, cache
-/// totals across them, and the one-time disk preload — figures that must
-/// not be repeated per experiment (summing cache_entries_loaded across a
-/// multi-config run used to double-count the single preload).
+/// totals across them (including cross-tenant hits and LRU evictions), the
+/// one-time disk preload, and — when the registry holds more than one
+/// tenant — a per-tenant line with each cluster's requests, placements and
+/// cache split. These figures must not be repeated per experiment (summing
+/// cache_entries_loaded across a multi-config run used to double-count the
+/// single preload).
 std::string RenderServiceStats(const PlannerServiceStats& stats);
 
 /// The deterministic portion of an ExperimentResult, serialized for

@@ -1,16 +1,47 @@
 #include "engine/service.h"
 
+#include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "engine/pipeline.h"
 
 namespace p2::engine {
 
-PlannerService::PlannerService(const Engine& engine,
-                               PlannerServiceOptions options)
-    : engine_(engine),
-      options_(std::move(options)),
+namespace {
+
+/// Digest of every EngineOptions field that can change a plan. Appended to
+/// the cluster fingerprint in the tenant key so one machine under two
+/// evaluation configurations gets two engines instead of silently sharing
+/// one. `threads` and `cache_synthesis` are excluded: they are
+/// execution-strategy knobs with byte-identical output at any setting.
+std::string EngineOptionsDigest(const EngineOptions& options) {
+  char payload[40];
+  std::snprintf(payload, sizeof(payload), "%.17g", options.payload_bytes);
+  std::string digest = "algo=";
+  digest += core::ToString(options.algo);
+  digest += ";payload=";
+  digest += payload;
+  digest += ";size<=" + std::to_string(options.synthesis.max_program_size);
+  digest += ";cap=" + std::to_string(options.synthesis.max_programs);
+  digest += ";collapse=" + std::to_string(options.collapse_hierarchy ? 1 : 0);
+  digest += ";kind=";
+  digest += core::ToString(options.hierarchy_kind);
+  digest += ";measure=" + std::to_string(options.measure ? 1 : 0);
+  return digest;
+}
+
+std::string TenantKey(const topology::Cluster& cluster,
+                      const EngineOptions& options) {
+  return cluster.Fingerprint() + "|" + EngineOptionsDigest(options);
+}
+
+}  // namespace
+
+PlannerService::PlannerService(PlannerServiceOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_max_entries),
       pool_(options_.threads) {
   if (!options_.cache_file.empty()) {
     store_.emplace(options_.cache_file);
@@ -20,9 +51,133 @@ PlannerService::PlannerService(const Engine& engine,
   }
 }
 
+PlannerService::PlannerService(const Engine& engine,
+                               PlannerServiceOptions options)
+    : PlannerService([&] {
+        // Requests that *do* name a cluster should evaluate under the same
+        // knobs as the borrowed default engine.
+        options.engine = engine.options();
+        return std::move(options);
+      }()) {
+  // Borrowed, not owned: the no-op deleter encodes the documented contract
+  // that the engine outlives the service.
+  default_tenant_ = &AdoptTenant(
+      engine.cluster(), engine.options(),
+      std::shared_ptr<const Engine>(&engine, [](const Engine*) {}));
+}
+
 PlannerService::~PlannerService() {
   // request_tasks_ (declared last) drains outstanding requests first; the
   // pool then joins its workers. Nothing to do explicitly.
+}
+
+const Engine* PlannerService::default_engine() const {
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  return default_tenant_ != nullptr ? default_tenant_->engine.get() : nullptr;
+}
+
+PlannerService::Tenant& PlannerService::RegisterTenantLocked(
+    const std::string& key, const topology::Cluster& cluster) {
+  auto tenant = std::make_unique<Tenant>();
+  tenant->id = next_tenant_id_++;
+  tenant->fingerprint = cluster.Fingerprint();
+  tenant->cluster = cluster;
+  tenant->stats.id = tenant->id;
+  tenant->stats.fingerprint = tenant->fingerprint;
+  tenant->stats.cluster = cluster.ToString();
+  Tenant& ref = *tenant;
+  tenant_by_key_.emplace(key, tenant.get());
+  tenants_.push_back(std::move(tenant));
+  return ref;
+}
+
+PlannerService::Tenant& PlannerService::AdoptTenant(
+    const topology::Cluster& cluster, const EngineOptions& engine_options,
+    std::shared_ptr<const Engine> engine) {
+  const std::string key = TenantKey(cluster, engine_options);
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  const auto it = tenant_by_key_.find(key);
+  if (it != tenant_by_key_.end()) return *it->second;
+  Tenant& tenant = RegisterTenantLocked(key, cluster);
+  tenant.engine = std::move(engine);
+  return tenant;
+}
+
+PlannerService::Tenant& PlannerService::ResolveTenant(
+    const topology::Cluster& cluster) {
+  const std::string key = TenantKey(cluster, options_.engine);
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  for (;;) {
+    const auto it = tenant_by_key_.find(key);
+    if (it == tenant_by_key_.end()) break;
+    Tenant& tenant = *it->second;
+    if (tenant.engine != nullptr) return tenant;
+    // Another request is constructing this tenant's engine right now: wait
+    // for it and re-check (the record disappears if that construction
+    // threw, sending us around the loop into our own attempt). Same
+    // in-flight-dedup pattern as the synthesis cache.
+    const auto built = tenant.built;
+    lock.unlock();
+    built.wait();
+    lock.lock();
+  }
+
+  // New fingerprint: announce the construction, run it outside the lock so
+  // other tenants' requests proceed, then publish.
+  std::promise<void> built_promise;
+  Tenant* record = &RegisterTenantLocked(key, cluster);
+  record->built = built_promise.get_future().share();
+  lock.unlock();
+
+  std::shared_ptr<const Engine> engine;
+  try {
+    engine = std::make_shared<const Engine>(cluster, options_.engine);
+  } catch (...) {
+    // Withdraw the announcement and wake the racers; each retries (and
+    // presumably fails the same way, in its own future).
+    lock.lock();
+    tenant_by_key_.erase(key);
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+      if (it->get() == record) {
+        tenants_.erase(it);
+        break;
+      }
+    }
+    lock.unlock();
+    built_promise.set_value();
+    throw;
+  }
+
+  lock.lock();
+  record->engine = std::move(engine);
+  ++engines_constructed_;
+  lock.unlock();
+  built_promise.set_value();
+  return *record;
+}
+
+PlannerService::Tenant& PlannerService::TenantForRequest(
+    const PlanRequest& request) {
+  if (request.cluster.has_value()) return ResolveTenant(*request.cluster);
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  if (default_tenant_ != nullptr) return *default_tenant_;
+  throw std::invalid_argument(
+      "PlanRequest names no cluster and the PlannerService has no default "
+      "tenant; set PlanRequest::cluster or construct the service with an "
+      "Engine");
+}
+
+void PlannerService::AccumulateTenantStats(Tenant& tenant,
+                                           const ExperimentResult& result) {
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  TenantStats& stats = tenant.stats;
+  ++stats.requests;
+  stats.placements += result.pipeline.num_placements;
+  stats.cache_hits += result.pipeline.cache_hits;
+  stats.cache_misses += result.pipeline.cache_misses;
+  stats.cache_cross_tenant_hits += result.pipeline.cache_cross_tenant_hits;
+  stats.cache_disk_hits += result.pipeline.cache_disk_hits;
+  stats.synthesis_seconds_saved += result.pipeline.synthesis_seconds_saved;
 }
 
 std::future<ExperimentResult> PlannerService::Submit(PlanRequest request) {
@@ -33,20 +188,27 @@ std::future<ExperimentResult> PlannerService::Submit(PlanRequest request) {
     // from the rewrite on save.
     request.cache_synthesis = true;
   }
-  // The request runs as a pool task so Submit returns immediately; the
-  // pipeline's own work items join the pool through a separate TaskGroup,
-  // and the orchestrating task *helps* execute them while waiting (see
+  // The request runs as a pool task so Submit returns immediately — tenant
+  // resolution included, so a request racing onto a new fingerprint never
+  // blocks the submitter behind an Engine construction. The pipeline's own
+  // work items join the pool through a separate TaskGroup, and the
+  // orchestrating task *helps* execute them while waiting (see
   // ThreadPool::TaskGroup::Wait), so request tasks never deadlock the pool
   // they occupy. packaged_task routes the result — or the first exception —
   // into the future.
   auto task = std::make_shared<std::packaged_task<ExperimentResult()>>(
       [this, request = std::move(request)]() {
-        Pipeline pipeline(*this,
+        Tenant& tenant = TenantForRequest(request);
+        Pipeline pipeline(*this, *tenant.engine,
                           PipelineOptions{
                               .cache_synthesis = request.cache_synthesis,
                               .measure_top_k = request.measure_top_k,
+                              .tenant = tenant.id,
                           });
-        return pipeline.Run(request.axes, request.reduction_axes);
+        ExperimentResult result =
+            pipeline.Run(request.axes, request.reduction_axes);
+        AccumulateTenantStats(tenant, result);
+        return result;
       });
   auto future = task->get_future();
   request_tasks_.Submit([task] { (*task)(); });
@@ -63,6 +225,10 @@ ExperimentResult PlannerService::Plan(std::span<const std::int64_t> axes,
   request.axes.assign(axes.begin(), axes.end());
   request.reduction_axes.assign(reduction_axes.begin(), reduction_axes.end());
   return Plan(std::move(request));
+}
+
+const Engine& PlannerService::EngineFor(const topology::Cluster& cluster) {
+  return *ResolveTenant(cluster).engine;
 }
 
 CacheLoadStatus PlannerService::cache_load_status() const {
@@ -90,6 +256,10 @@ PlannerServiceStats PlannerService::stats() const {
   stats.cache_entries_loaded = cache_entries_loaded();
   stats.cache = cache_.stats();
   stats.threads = options_.threads > 1 ? options_.threads : 1;
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  stats.engines_constructed = engines_constructed_;
+  stats.tenants.reserve(tenants_.size());
+  for (const auto& tenant : tenants_) stats.tenants.push_back(tenant->stats);
   return stats;
 }
 

@@ -1,43 +1,64 @@
 // The long-lived planning service (the ROADMAP's "batch/async planning
-// service"): one process-wide owner of everything P2's interactive workflow
-// shares across queries.
+// service", multi-tenant since ISSUE 5): one process-wide owner of
+// everything P2's interactive workflow shares across queries — for any
+// number of clusters.
 //
 //   PlannerService
-//     ├─ SynthesisCache      one per process: every query's placements dedup
-//     │                      against every other query's, with in-flight
-//     │                      synthesis dedup so two queries racing on the
-//     │                      same uncached hierarchy synthesize it once
+//     ├─ engine registry     tenants keyed by the canonical
+//     │                      topology::Cluster::Fingerprint() (plus an
+//     │                      engine-options digest): one lazily-constructed
+//     │                      Engine per distinct machine, built exactly once
+//     │                      even when requests race on a new fingerprint
+//     │                      (same in-flight-dedup pattern as the cache)
+//     ├─ SynthesisCache      ONE per process, shared by every tenant: the
+//     │                      hierarchy signature is cluster-independent, so
+//     │                      tenants with different machines but overlapping
+//     │                      reduction factorizations dedup against each
+//     │                      other (cross_tenant_hits), with in-flight
+//     │                      synthesis dedup and an optional LRU entry cap
 //     ├─ ThreadPool          one shared worker pool; concurrent requests'
 //     │                      work items interleave fairly (round-robin per
 //     │                      TaskGroup), no per-query thread spawning
 //     └─ CacheStore          optional warm-start/persistence of the cache
+//                            (a file written by a single-cluster run warms
+//                            every tenant of a multi-tenant service)
 //
 //   Pipeline (engine/pipeline.h) is the stateless per-query executor that
-//   borrows cache + pool from the service.
+//   borrows cache + pool from the service and evaluates on the engine the
+//   request's cluster resolves to.
 //
 // Two entry points: Submit(PlanRequest) returns a std::future immediately
 // and runs the request as pool tasks (requests overlap: their placements
 // are decomposed into work items scheduled round-robin across requests),
-// while Plan(...) blocks. Either way a request's placements are merged in
-// placement order, so its ExperimentResult is byte-identical to a serial
-// run regardless of thread count or what else is in flight (modulo
-// wall-clock fields and cache-attribution counters; the program lists,
-// predictions and measurements never change).
+// while Plan(...) blocks. A request names its cluster via
+// PlanRequest::cluster; without one it goes to the service's *default
+// tenant* (the engine the compatibility constructor registered), so
+// single-cluster call sites keep working unchanged. Either way a request's
+// placements are merged in placement order, so its ExperimentResult is
+// byte-identical to the same request on a dedicated single-cluster service
+// — at any thread count, under any submission order, and regardless of
+// which other tenants are in flight (modulo wall-clock fields and
+// cache-attribution counters; the program lists, predictions and
+// measurements never change).
 #ifndef P2_ENGINE_SERVICE_H_
 #define P2_ENGINE_SERVICE_H_
 
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "engine/cache_store.h"
 #include "engine/engine.h"
 #include "engine/synthesis_cache.h"
+#include "topology/cluster.h"
 
 namespace p2::engine {
 
@@ -54,10 +75,21 @@ struct PlannerServiceOptions {
   /// With cache_file set: load only. SaveCache() becomes a no-op, so the
   /// file is never created or modified.
   bool cache_readonly = false;
+  /// LRU cap on the shared synthesis cache: at most this many entries are
+  /// kept, least-recently-used evicted first (stats().cache.evictions).
+  /// <= 0 (the default) is unbounded. Eviction never changes results —
+  /// an evicted signature is simply re-synthesized on its next miss.
+  std::int64_t cache_max_entries = 0;
+  /// EngineOptions for engines the service constructs itself for
+  /// request-supplied clusters. The compatibility constructor overwrites
+  /// this with the borrowed engine's options, so requests naming a cluster
+  /// evaluate under the same knobs as the default tenant.
+  EngineOptions engine;
 };
 
-/// One planning query: evaluate every placement of `axes` on the service's
-/// engine, reducing over `reduction_axes`.
+/// One planning query: evaluate every placement of `axes` on the engine of
+/// `cluster` (or of the service's default tenant), reducing over
+/// `reduction_axes`.
 struct PlanRequest {
   std::vector<std::int64_t> axes;
   std::vector<int> reduction_axes;
@@ -69,6 +101,40 @@ struct PlanRequest {
   /// per placement like the original monolith (the bench's baseline); a
   /// service with a cache_file forces it on for its requests.
   bool cache_synthesis = true;
+  /// Tenant selector: the machine to plan for. The service resolves it to
+  /// an engine through the registry (constructing one on a new
+  /// fingerprint), so one service serves any number of clusters. Without
+  /// it the request goes to the default tenant; a request with neither a
+  /// cluster nor a default tenant fails (std::invalid_argument through the
+  /// future).
+  std::optional<topology::Cluster> cluster;
+};
+
+/// Per-tenant figures: one row per registered engine, in registration
+/// order. The cache split across tenants is attribution-approximate the
+/// same way per-request PipelineStats are — for a signature two tenants
+/// share, whichever request arrives first takes the miss. On a quiescent
+/// service (every submitted request completed) the sums across tenants
+/// match the service-wide cache totals; while requests are in flight the
+/// cache counters run ahead of the tenant rows, which only accumulate at
+/// request completion.
+struct TenantStats {
+  /// Registration order, monotonically increasing from 0 and never reused —
+  /// a registration whose engine construction failed burns its id, so a gap
+  /// can appear but two tenants can never share one (the id doubles as the
+  /// cache's cross-tenant attribution tag).
+  std::int64_t id = 0;
+  std::string fingerprint;        ///< topology::Cluster::Fingerprint()
+  std::string cluster;            ///< human-readable Cluster::ToString()
+  std::int64_t requests = 0;      ///< completed requests (not submitted)
+  std::int64_t placements = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  /// Hits served by entries another tenant's query synthesized — the
+  /// cross-cluster sharing a multi-tenant service exists for.
+  std::int64_t cache_cross_tenant_hits = 0;
+  std::int64_t cache_disk_hits = 0;
+  double synthesis_seconds_saved = 0.0;
 };
 
 /// Service-wide figures, aggregated exactly once per service — unlike the
@@ -80,14 +146,25 @@ struct PlanRequest {
 struct PlannerServiceStats {
   std::int64_t requests = 0;  ///< queries submitted so far
   std::int64_t cache_entries_loaded = 0;
+  /// Engines actually constructed by the registry (excludes the borrowed
+  /// default engine of the compatibility constructor); requests racing on
+  /// one new fingerprint construct exactly one.
+  std::int64_t engines_constructed = 0;
   SynthesisCacheStats cache;  ///< shared-cache totals across all requests
   int threads = 1;
+  std::vector<TenantStats> tenants;  ///< registration order
 };
 
 class PlannerService {
  public:
-  /// The engine must outlive the service. A non-empty cache_file is loaded
-  /// here; see cache_load_status() for how that went.
+  /// A multi-tenant service with no default tenant: every request must name
+  /// its cluster. A non-empty cache_file is loaded here; see
+  /// cache_load_status() for how that went.
+  explicit PlannerService(PlannerServiceOptions options = {});
+  /// Compatibility constructor: registers `engine` (borrowed — it must
+  /// outlive the service) as the default tenant, so requests without a
+  /// cluster keep working, and adopts its EngineOptions for
+  /// request-supplied clusters.
   explicit PlannerService(const Engine& engine,
                           PlannerServiceOptions options = {});
   /// Drains every outstanding Submit()ted request, then joins the pool.
@@ -96,7 +173,6 @@ class PlannerService {
   PlannerService(const PlannerService&) = delete;
   PlannerService& operator=(const PlannerService&) = delete;
 
-  const Engine& engine() const { return engine_; }
   const PlannerServiceOptions& options() const { return options_; }
   /// The process-wide signature cache shared by every request.
   SynthesisCache& cache() { return cache_; }
@@ -104,15 +180,26 @@ class PlannerService {
   /// The shared worker pool (per-query executors borrow it via TaskGroups).
   ThreadPool& pool() { return pool_; }
 
+  /// Resolves `cluster` to its tenant engine, registering it (and
+  /// constructing the Engine, exactly once even under races) if the
+  /// fingerprint is new. The reference stays valid for the service's
+  /// lifetime — tenants are never evicted.
+  const Engine& EngineFor(const topology::Cluster& cluster);
+  /// The default tenant's engine, or nullptr when the service was built
+  /// without one.
+  const Engine* default_engine() const;
+
   /// Enqueues a request and returns immediately. The request runs as tasks
   /// on the shared pool, interleaved fairly with other in-flight requests;
   /// the future carries its ExperimentResult (or the first exception its
-  /// evaluation threw). With threads <= 1 the request runs synchronously
-  /// here and the future is already ready.
+  /// evaluation threw, including the tenant-resolution failure of a request
+  /// with neither a cluster nor a default tenant). With threads <= 1 the
+  /// request runs synchronously here and the future is already ready.
   std::future<ExperimentResult> Submit(PlanRequest request);
 
   /// Blocking single query (Submit + get).
   ExperimentResult Plan(PlanRequest request);
+  /// Compatibility overload: plans on the default tenant.
   ExperimentResult Plan(std::span<const std::int64_t> axes,
                         std::span<const int> reduction_axes);
 
@@ -135,14 +222,59 @@ class PlannerService {
   PlannerServiceStats stats() const;
 
  private:
-  const Engine& engine_;
+  /// One registered engine. `engine` is null while a request is
+  /// constructing it; `built` is the future such racers wait on.
+  struct Tenant {
+    std::int64_t id = 0;
+    std::string fingerprint;
+    topology::Cluster cluster;
+    std::shared_ptr<const Engine> engine;
+    std::shared_future<void> built;
+    TenantStats stats;  ///< guarded by tenants_mu_
+  };
+
+  /// Creates and publishes a fresh Tenant record under `key` (tenants_mu_
+  /// held); the caller fills in `engine` or `built` before releasing the
+  /// lock.
+  Tenant& RegisterTenantLocked(const std::string& key,
+                               const topology::Cluster& cluster);
+  /// Registry lookup/registration with construct-once semantics; throws
+  /// whatever Engine's constructor throws (after withdrawing the tenant).
+  Tenant& ResolveTenant(const topology::Cluster& cluster);
+  /// Registers an already-built engine (borrowed or owned).
+  Tenant& AdoptTenant(const topology::Cluster& cluster,
+                      const EngineOptions& engine_options,
+                      std::shared_ptr<const Engine> engine);
+  /// The tenant a request addresses (default tenant when it has no
+  /// cluster); throws std::invalid_argument when there is neither.
+  Tenant& TenantForRequest(const PlanRequest& request);
+  /// Folds a finished request's pipeline stats into its tenant's row.
+  void AccumulateTenantStats(Tenant& tenant, const ExperimentResult& result);
+
   PlannerServiceOptions options_;
   SynthesisCache cache_;
   std::optional<CacheStore> store_;
   ThreadPool pool_;
   std::atomic<std::int64_t> requests_{0};
+
+  mutable std::mutex tenants_mu_;
+  /// Registration-ordered tenant records; unique_ptr so Tenant& stays
+  /// stable across registry growth.
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  /// Fingerprint + engine-options digest -> tenant. The options digest
+  /// keeps two tenants with one machine but different evaluation knobs
+  /// (algo, payload, synthesis caps) from silently sharing an engine.
+  std::unordered_map<std::string, Tenant*> tenant_by_key_;
+  Tenant* default_tenant_ = nullptr;
+  std::int64_t engines_constructed_ = 0;
+  /// Monotonic id source (never tenants_.size(): a withdrawn failed
+  /// registration would let two live tenants share an id, corrupting the
+  /// cache's cross-tenant attribution).
+  std::int64_t next_tenant_id_ = 0;
+
   /// The orchestration tasks of Submit()ted requests. Declared last: its
-  /// destructor drains them while cache_ and pool_ are still alive.
+  /// destructor drains them while the registry, cache_ and pool_ are still
+  /// alive.
   ThreadPool::TaskGroup request_tasks_{pool_};
 };
 

@@ -56,9 +56,46 @@ std::string SynthesisCache::Key(const core::SynthesisHierarchy& sh,
          std::to_string(options.max_programs);
 }
 
+SynthesisCache::Entry& SynthesisCache::PublishLocked(const std::string& base,
+                                                     Entry entry) {
+  const auto it = entries_.find(base);
+  if (it != entries_.end()) {
+    // Replacement (cap upgrade): keep the LRU slot, refreshed below.
+    entry.lru = it->second.lru;
+    it->second = std::move(entry);
+    TouchLocked(it->second);
+    return it->second;
+  }
+  lru_.push_front(base);
+  entry.lru = lru_.begin();
+  Entry& inserted = entries_.emplace(base, std::move(entry)).first->second;
+  EvictLocked();
+  return inserted;
+}
+
+void SynthesisCache::TouchLocked(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+void SynthesisCache::EvictLocked() {
+  if (max_entries_ <= 0) return;
+  auto it = lru_.end();
+  while (it != lru_.begin() &&
+         static_cast<std::int64_t>(entries_.size()) > max_entries_) {
+    --it;
+    // A reserved base has in-flight waiters about to be served from it:
+    // immune until the last one has done its post-wake lookup. The cache
+    // may transiently exceed its cap by the number of reserved bases.
+    if (reserved_.find(*it) != reserved_.end()) continue;
+    entries_.erase(*it);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
 std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
-    CacheLookupOutcome* outcome) {
+    CacheLookupOutcome* outcome, std::int64_t tenant) {
   if (outcome != nullptr) *outcome = CacheLookupOutcome{};
   const std::string base = BaseKey(sh, options);
   // Clamp like the synthesizer does: a non-positive cap means "no programs"
@@ -69,10 +106,23 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
   bool waited = false;
 
   std::unique_lock<std::mutex> lock(mu_);
+  bool holds_reservation = false;
+  // Releases the reservation taken before the most recent wait. Runs at the
+  // top of every post-wake iteration — under the same lock acquisition as
+  // the lookup that follows, so eviction (which also needs the lock) cannot
+  // squeeze between the release and the read.
+  const auto release_reservation = [&] {
+    if (!holds_reservation) return;
+    holds_reservation = false;
+    const auto rit = reserved_.find(base);
+    if (--rit->second == 0) reserved_.erase(rit);
+  };
   for (;;) {
+    release_reservation();
     const auto it = entries_.find(base);
     if (it != entries_.end() && it->second.CanServe(cap)) {
-      const Entry& entry = it->second;
+      Entry& entry = it->second;
+      TouchLocked(entry);
       ++stats_.hits;
       stats_.seconds_saved += entry.original_seconds;
       if (entry.from_disk) {
@@ -80,6 +130,10 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
         stats_.disk_seconds_saved += entry.original_seconds;
       }
       if (waited) ++stats_.dedup_waits;
+      const bool cross_tenant = entry.owner_tenant != kNoTenant &&
+                                tenant != kNoTenant &&
+                                entry.owner_tenant != tenant;
+      if (cross_tenant) ++stats_.cross_tenant_hits;
       const bool subsumed =
           cap < static_cast<std::int64_t>(entry.result->programs.size());
       if (subsumed) ++stats_.subsumed_hits;
@@ -88,6 +142,7 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
         outcome->from_disk = entry.from_disk;
         outcome->subsumed = subsumed;
         outcome->waited = waited;
+        outcome->cross_tenant = cross_tenant;
         outcome->seconds_saved = entry.original_seconds;
       }
       auto result = entry.result;
@@ -111,10 +166,14 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     // Not servable from the table. If someone is synthesizing this
     // signature right now, wait for them and re-check: their result usually
     // serves us (same cap), though a truncated smaller-cap result sends us
-    // around the loop into our own synthesis.
+    // around the loop into our own synthesis. The reservation taken here —
+    // released at the top of the next iteration — keeps the LRU from
+    // evicting the published entry between publication and our wake-up.
     const auto fit = inflight_.find(base);
     if (fit == inflight_.end()) break;
     const auto flight = fit->second;
+    ++reserved_[base];
+    holds_reservation = true;
     waited = true;
     lock.unlock();
     flight->done.wait();
@@ -147,8 +206,12 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
   // Replace any existing entry: we only reach here when it could not serve
   // this cap, i.e. it was truncated below `cap` — the new result strictly
   // extends it (determinism: both are prefixes of the same ordered list).
-  const double seconds = result->stats.seconds;
-  entries_[base] = Entry{result, seconds, /*from_disk=*/false, cap};
+  Entry entry;
+  entry.result = result;
+  entry.original_seconds = result->stats.seconds;
+  entry.max_programs = cap;
+  entry.owner_tenant = tenant;
+  PublishLocked(base, std::move(entry));
   ++stats_.misses;
   // stats_.dedup_waits counts only waits that *avoided* a synthesis (a
   // subset of hits, per the header); a wait that ended here — the finished
@@ -175,20 +238,20 @@ std::int64_t SynthesisCache::Preload(
       base = key;
       cap = static_cast<std::int64_t>(result.programs.size());
     }
+    if (entries_.find(base) != entries_.end()) continue;
     const double original_seconds = result.stats.seconds;
     // Served results report zero synthesis time: this process never ran the
     // search. The original wall-clock lives on in Entry::original_seconds
     // for the savings accounting and for re-persisting.
     result.stats.seconds = 0.0;
-    auto shared =
+    Entry entry;
+    entry.result =
         std::make_shared<const core::SynthesisResult>(std::move(result));
-    if (entries_
-            .try_emplace(std::move(base),
-                         Entry{std::move(shared), original_seconds,
-                               /*from_disk=*/true, cap})
-            .second) {
-      ++inserted;
-    }
+    entry.original_seconds = original_seconds;
+    entry.from_disk = true;
+    entry.max_programs = cap;
+    PublishLocked(base, std::move(entry));
+    ++inserted;
   }
   return inserted;
 }
@@ -225,6 +288,7 @@ std::size_t SynthesisCache::size() const {
 void SynthesisCache::Clear() {
   std::unique_lock<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
   stats_ = SynthesisCacheStats{};
 }
 

@@ -4,7 +4,11 @@
 // many placements of one experiment induce isomorphic hierarchies — same
 // level cardinalities, same goal groups — whose program sets are identical
 // up to lowering, so synthesizing once per signature removes the dominant
-// cost of a multi-placement experiment.
+// cost of a multi-placement experiment. The signature is also independent of
+// the *cluster* a placement lives on, so tenants of a multi-tenant
+// PlannerService (engine/service.h) with different machines but overlapping
+// reduction factorizations dedup against each other too; lookups carry an
+// opaque tenant tag so that cross-tenant reuse is observable in the stats.
 //
 // The cache is the process-wide shared core of the planning service
 // (engine/service.h), so it is built for concurrent queries:
@@ -25,6 +29,14 @@
 //    never hit its cap (programs.size() < cap) is complete and serves every
 //    cap. A truncated entry cannot serve a larger cap; such a query
 //    re-synthesizes and the bigger result replaces the entry.
+//  - Bounded size (optional): constructed with max_entries > 0 the cache
+//    holds at most that many entries, evicting the least-recently-used on
+//    overflow (`evictions` stat). Eviction only ever costs re-synthesis —
+//    results are unchanged — and it never drops an entry a concurrent
+//    in-flight waiter is about to be served from: a waiter reserves its
+//    base key before blocking and releases the reservation only after its
+//    post-wake lookup, so a reserved base is immune to eviction for the
+//    whole window between publication and the last waiter's read.
 //
 // The cache can also be warmed from and persisted to disk across processes
 // via engine/cache_store.h (Preload/Snapshot below).
@@ -33,6 +45,7 @@
 
 #include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +69,12 @@ struct SynthesisCacheStats {
   /// Lookups that blocked on a concurrent in-flight synthesis of the same
   /// signature instead of running their own (a subset of `hits`).
   std::int64_t dedup_waits = 0;
+  /// Hits served by an entry a *different tenant's* query synthesized (a
+  /// subset of `hits`; see the tenant tag on GetOrSynthesize) — the
+  /// cross-cluster sharing a multi-tenant service exists for.
+  std::int64_t cross_tenant_hits = 0;
+  /// Entries dropped by the LRU cap (max_entries in the constructor).
+  std::int64_t evictions = 0;
   /// Sum of the original synthesis wall-clock of every entry served from the
   /// cache: the time a cacheless run would have spent re-synthesizing.
   double seconds_saved = 0.0;
@@ -73,6 +92,10 @@ struct CacheLookupOutcome {
   bool from_disk = false;  ///< the serving entry was preloaded from disk
   bool subsumed = false;   ///< served by truncating a larger-cap entry
   bool waited = false;     ///< blocked on a concurrent in-flight synthesis
+  /// Served by an entry another tenant's query synthesized (see the tenant
+  /// tag on GetOrSynthesize; never set for disk-preloaded entries, which
+  /// belong to no tenant).
+  bool cross_tenant = false;
   /// Original synthesis wall-clock of the serving entry (0.0 on a miss):
   /// what this call would have spent without the cache.
   double seconds_saved = 0.0;
@@ -80,14 +103,26 @@ struct CacheLookupOutcome {
 
 class SynthesisCache {
  public:
+  /// Lookups made outside any tenant (direct cache users, tests). Entries
+  /// such lookups synthesize belong to no tenant and never count as
+  /// cross-tenant when served.
+  static constexpr std::int64_t kNoTenant = -1;
+
+  /// `max_entries > 0` bounds the cache to that many entries with LRU
+  /// eviction; <= 0 (the default) is unbounded.
+  explicit SynthesisCache(std::int64_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
   /// Returns the memoized synthesis result for `sh`'s signature under
   /// `options`, running core::SynthesizePrograms on a miss. Safe to call
-  /// concurrently; see the file comment for the in-flight-dedup and
-  /// max_programs-subsumption semantics. `outcome`, when non-null, receives
-  /// how this particular call was resolved.
+  /// concurrently; see the file comment for the in-flight-dedup,
+  /// max_programs-subsumption and LRU semantics. `outcome`, when non-null,
+  /// receives how this particular call was resolved. `tenant` is an opaque
+  /// caller identity (the service's tenant id) used only for the
+  /// cross-tenant-reuse accounting.
   std::shared_ptr<const core::SynthesisResult> GetOrSynthesize(
       const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
-      CacheLookupOutcome* outcome = nullptr);
+      CacheLookupOutcome* outcome = nullptr, std::int64_t tenant = kNoTenant);
 
   /// Full cache key for a hierarchy under the given options — the
   /// persistence identity (engine/cache_store.h stores entries under it).
@@ -110,7 +145,9 @@ class SynthesisCache {
   /// stats.seconds == 0, because this process spent nothing synthesizing
   /// them; the persisted wall-clock is retained internally so the
   /// seconds-saved accounting still reflects the cross-run savings.
-  /// Returns the number of entries inserted.
+  /// Returns the number of entries inserted (an LRU cap applies afterwards:
+  /// preloading more entries than the cap keeps only the last `max_entries`
+  /// of the load order and counts the rest as evictions).
   std::int64_t Preload(
       std::vector<std::pair<std::string, core::SynthesisResult>> entries);
 
@@ -122,6 +159,7 @@ class SynthesisCache {
 
   SynthesisCacheStats stats() const;
   std::size_t size() const;
+  std::int64_t max_entries() const { return max_entries_; }
   void Clear();
 
  private:
@@ -133,6 +171,11 @@ class SynthesisCache {
     bool from_disk = false;
     /// The max_programs cap the entry was synthesized under.
     std::int64_t max_programs = 0;
+    /// The tenant whose query synthesized the entry (kNoTenant for
+    /// preloaded or untagged entries).
+    std::int64_t owner_tenant = kNoTenant;
+    /// This base's position in lru_ (most-recently-used first).
+    std::list<std::string>::iterator lru;
 
     /// True when the synthesis finished below its cap: the program list is
     /// the whole solution set, so any cap can be served from it.
@@ -151,9 +194,25 @@ class SynthesisCache {
     std::shared_future<void> done;
   };
 
+  /// Inserts or replaces the entry at `base` (mu_ held), maintaining the
+  /// LRU list.
+  Entry& PublishLocked(const std::string& base, Entry entry);
+  /// Moves `base` to the front of the LRU list (mu_ held).
+  void TouchLocked(Entry& entry);
+  /// Drops least-recently-used entries until the cap holds, skipping bases
+  /// with outstanding waiter reservations (mu_ held); a no-op when
+  /// max_entries_ <= 0.
+  void EvictLocked();
+
+  const std::int64_t max_entries_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;  ///< by BaseKey
   std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// Bases with in-flight waiters parked on them (count of waiters): a
+  /// reservation makes the base immune to LRU eviction until the waiter's
+  /// post-wake lookup has run, closing the publish-to-read window.
+  std::unordered_map<std::string, std::int64_t> reserved_;
+  std::list<std::string> lru_;  ///< base keys, most-recently-used first
   SynthesisCacheStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "topology/cluster.h"
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -35,6 +36,35 @@ SystemHierarchy Cluster::hierarchy() const {
   }
   return SystemHierarchy({Level{"node", num_nodes},
                           Level{"gpu", node.gpus_per_node}});
+}
+
+std::string Cluster::Fingerprint() const {
+  // %.17g round-trips doubles exactly: clusters differing in any modeled
+  // bandwidth or latency get distinct fingerprints.
+  const auto f = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::ostringstream os;
+  os << "gpu=" << node.gpus_per_node << ':'
+     << topology::ToString(node.transport) << ";local=" << f(node.local_bandwidth)
+     << ',' << f(node.local_latency);
+  // Parameters that cannot reach the cost model or the flow simulator are
+  // normalized away, not serialized: an A100-style node's PCIe figures and a
+  // single-rack cluster's uplink figures describe hardware that does not
+  // exist, so clusters differing only there are the same machine.
+  if (node.pcie_domains > 0) {
+    os << ";pcie=" << node.pcie_domains << ',' << f(node.pcie_bandwidth) << ','
+       << f(node.pcie_latency);
+  }
+  os << ";nic=" << f(node.nic_bandwidth) << ',' << f(node.nic_latency)
+     << ";nodes=" << num_nodes << ";dcn=" << f(dcn_latency);
+  if (racks > 1) {
+    os << ";racks=" << racks << ',' << f(rack_uplink_bandwidth) << ','
+       << f(rack_uplink_latency);
+  }
+  return os.str();
 }
 
 std::string Cluster::ToString() const {

@@ -71,6 +71,19 @@ struct Cluster {
   /// or [(rack, R), (node, N/R), (gpu, G)] for racked clusters.
   SystemHierarchy hierarchy() const;
 
+  /// Canonical identity of the *modeled* machine: every parameter the cost
+  /// model or the runtime substrate reads, and nothing cosmetic. Two
+  /// clusters with equal fingerprints produce identical plans for any
+  /// query, so the planning service keys its engine registry by it
+  /// (engine/service.h). Properties:
+  ///   - renumbering/labelling-stable: the node `name` is display-only and
+  ///     excluded, and parameters that cannot affect any plan are
+  ///     normalized away (PCIe figures when there are no PCIe domains, rack
+  ///     uplink figures when there is a single rack);
+  ///   - cost-parameter-aware: every bandwidth and latency is rendered with
+  ///     %.17g, so distinct values never collide.
+  std::string Fingerprint() const;
+
   std::string ToString() const;
 };
 

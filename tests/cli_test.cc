@@ -153,6 +153,97 @@ TEST(Cli, GridRunPlansEveryConfigThroughOneService) {
   EXPECT_EQ(output.find("\nservice:", first + 1), std::string::npos);
 }
 
+TEST(Cli, ParsesTopologyPresets) {
+  std::string error;
+  // Comma-separated and repeated flags both append.
+  const auto opts = Parse({"--grid", "--topology=a100:2,v100:2",
+                           "--topology=v100:4"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  ASSERT_EQ(opts->topologies.size(), 3u);
+  EXPECT_EQ(opts->topologies[0], (TopologyPreset{"a100", 2}));
+  EXPECT_EQ(opts->topologies[1], (TopologyPreset{"v100", 2}));
+  EXPECT_EQ(opts->topologies[2], (TopologyPreset{"v100", 4}));
+  EXPECT_EQ(ClusterFromPreset(opts->topologies[0]).num_devices(), 32);
+  EXPECT_EQ(ClusterFromPreset(opts->topologies[1]).num_devices(), 16);
+}
+
+TEST(Cli, SingleTopologyPresetIsSystemNodesShorthand) {
+  std::string error;
+  const auto opts = Parse({"--topology=v100:4", "--axes=8,4", "--reduce=0"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->system, "v100");
+  EXPECT_EQ(opts->nodes, 4);
+}
+
+TEST(Cli, RejectsBadTopologySpecs) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--grid", "--topology=a100"}, &error).has_value());
+  EXPECT_NE(error.find("SYS:NODES"), std::string::npos);
+  EXPECT_FALSE(Parse({"--grid", "--topology=h100:2"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--grid", "--topology=a100:0"}, &error).has_value());
+  EXPECT_FALSE(Parse({"--grid", "--topology="}, &error).has_value());
+  // Duplicates would double-report one tenant's grid.
+  EXPECT_FALSE(
+      Parse({"--grid", "--topology=a100:2,a100:2"}, &error).has_value());
+  EXPECT_NE(error.find("twice"), std::string::npos);
+  // Mixing the two cluster-selection forms is ambiguous.
+  EXPECT_FALSE(
+      Parse({"--grid", "--topology=a100:2", "--nodes=4"}, &error).has_value());
+  EXPECT_NE(error.find("--system/--nodes"), std::string::npos);
+  // Several presets mean several device counts: only --grid fits.
+  EXPECT_FALSE(Parse({"--topology=a100:2,v100:2", "--axes=8,4", "--reduce=0"},
+                     &error)
+                   .has_value());
+  EXPECT_NE(error.find("--grid"), std::string::npos);
+}
+
+TEST(Cli, ParsesCacheMaxEntries) {
+  std::string error;
+  const auto opts = Parse(
+      {"--axes=8,4", "--reduce=0", "--cache-max-entries=64"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->cache_max_entries, 64);
+  const auto defaults = Parse({"--axes=8,4", "--reduce=0"}, &error);
+  ASSERT_TRUE(defaults.has_value()) << error;
+  EXPECT_EQ(defaults->cache_max_entries, 0);  // unbounded
+  EXPECT_FALSE(
+      Parse({"--axes=8,4", "--reduce=0", "--cache-max-entries=0"}, &error)
+          .has_value());
+  EXPECT_FALSE(
+      Parse({"--axes=8,4", "--reduce=0", "--cache-max-entries=x"}, &error)
+          .has_value());
+}
+
+TEST(Cli, MultiTopologyGridPlansEveryClusterThroughOneService) {
+  std::string error;
+  // a100:1 (16 GPUs, [1 16]) and v100:2 (16 GPUs, [2 8]): their grids both
+  // contain 8-wide reduction axes whose factorizations coincide, so the
+  // shared multi-tenant service must report cross-tenant cache hits.
+  const auto opts = Parse({"--grid", "--topology=a100:1,v100:2",
+                           "--payload-mb=100", "--top-k=1",
+                           "--service-threads=4"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  std::string output;
+  EXPECT_EQ(RunCli(*opts, &output), 0);
+  // One per-tenant section per preset...
+  EXPECT_NE(output.find("1 nodes, each with 16 A100"), std::string::npos);
+  EXPECT_NE(output.find("2 nodes, each with 8 V100"), std::string::npos);
+  // ...with each tenant's own grid table.
+  EXPECT_NE(output.find("[16] reduce 0"), std::string::npos);  // a100:1
+  EXPECT_NE(output.find("[2 8] reduce 1"), std::string::npos);
+  // The service footer renders exactly once, with per-tenant rows and the
+  // cross-tenant sharing the single shared cache produced.
+  const auto first = output.find("\nservice:");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(output.find("\nservice:", first + 1), std::string::npos);
+  EXPECT_NE(output.find("cross-tenant hits"), std::string::npos);
+  EXPECT_NE(output.find("tenant 0 ["), std::string::npos);
+  EXPECT_NE(output.find("tenant 1 ["), std::string::npos);
+}
+
 TEST(Cli, ParsesSynthThreads) {
   std::string error;
   const auto opts = Parse(

@@ -56,5 +56,63 @@ TEST(Cluster, ToStringMentionsShape) {
   EXPECT_NE(c.ToString().find("A100"), std::string::npos);
 }
 
+TEST(ClusterFingerprint, EqualForIdenticallyModeledMachines) {
+  EXPECT_EQ(MakeA100Cluster(4).Fingerprint(), MakeA100Cluster(4).Fingerprint());
+  EXPECT_EQ(MakeRackedA100Cluster(2, 2).Fingerprint(),
+            MakeRackedA100Cluster(2, 2).Fingerprint());
+}
+
+TEST(ClusterFingerprint, IgnoresTheCosmeticNodeName) {
+  // Two clusters differing only in the display name are the same machine to
+  // the cost model and the flow simulator; a service must not build two
+  // engines for them.
+  Cluster a = MakeA100Cluster(4);
+  Cluster b = a;
+  b.node.name = "A100-renamed";
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ClusterFingerprint, NormalizesUnreachableParameters) {
+  // PCIe figures without PCIe domains, and rack-uplink figures on a
+  // single-rack cluster, describe hardware that does not exist.
+  Cluster a = MakeA100Cluster(4);  // pcie_domains == 0, racks == 1
+  Cluster b = a;
+  b.node.pcie_bandwidth = 999.0;
+  b.rack_uplink_bandwidth = 123.0;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(ClusterFingerprint, CoversEveryCostParameter) {
+  const Cluster base = MakeV100Cluster(4);  // has PCIe domains
+  std::vector<Cluster> variants(10, base);
+  variants[0].node.gpus_per_node = 4;
+  variants[1].node.transport = IntraNodeTransport::kNvSwitch;
+  variants[2].node.local_bandwidth += 1.0;
+  variants[3].node.local_latency *= 2.0;
+  variants[4].node.pcie_bandwidth += 1.0;
+  variants[5].node.nic_bandwidth += 0.5;
+  variants[6].node.nic_latency *= 2.0;
+  variants[7].num_nodes = 8;
+  variants[8].dcn_latency *= 2.0;
+  variants[9].racks = 2;
+  variants[9].rack_uplink_bandwidth = 10.0;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_NE(variants[i].Fingerprint(), base.Fingerprint()) << "variant " << i;
+  }
+  // And distinct variants are pairwise distinct, too.
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    for (std::size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_NE(variants[i].Fingerprint(), variants[j].Fingerprint())
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ClusterFingerprint, RackUplinkMattersOnRackedClusters) {
+  const Cluster a = MakeRackedA100Cluster(2, 2, 4.0);
+  const Cluster b = MakeRackedA100Cluster(2, 2, 8.0);  // tighter uplinks
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
 }  // namespace
 }  // namespace p2::topology

@@ -26,10 +26,53 @@ TEST(GuidedEvaluation, MeasuresOnlyTopKPlusBaseline) {
     if (p.measured) ++measured;
     EXPECT_GT(p.predicted_seconds, 0.0);  // everything predicted
   }
-  EXPECT_GE(measured, k);      // top-k measured
-  EXPECT_LE(measured, k + 1);  // plus possibly the baseline
+  // Every top-k candidate is either measured or skipped by early stopping
+  // (provably behind the incumbent); the baseline may or may not sit inside
+  // the top-k, hence the +1.
+  EXPECT_GE(measured + eval.guided_skipped, k);
+  EXPECT_LE(measured + eval.guided_skipped, k + 1);
   EXPECT_TRUE(eval.programs.front().measured);  // baseline always measured
   EXPECT_GT(static_cast<int>(eval.programs.size()), measured);
+}
+
+TEST(GuidedEvaluation, EarlyStoppingSkipsProvablySlowCandidates) {
+  // With k covering every program, each one is either measured or skipped —
+  // and on this placement the prediction spread guarantees skips: once a
+  // cheap candidate is measured, the expensive tail cannot catch up under
+  // the observed overprediction bound.
+  const auto eng = MakeEngine();
+  const core::ParallelismMatrix m({{2, 4}, {1, 4}});
+  const std::vector<int> axes = {0};
+  const int k = 1000;  // >= the program count: the whole list is "top-k"
+  const auto eval = eng.EvaluatePlacementGuided(m, axes, k);
+  ASSERT_LT(static_cast<int>(eval.programs.size()), k);
+
+  int measured = 0;
+  for (const auto& p : eval.programs) {
+    if (p.measured) ++measured;
+  }
+  EXPECT_GT(eval.guided_skipped, 0);
+  EXPECT_EQ(measured + eval.guided_skipped,
+            static_cast<int>(eval.programs.size()));
+
+  // Safety: the incumbent only improves, so anything skipped had a
+  // prediction strictly worse than the final best measurement — the skip
+  // can only drop programs the measured winner already beats on prediction.
+  const auto& best =
+      eval.programs[static_cast<std::size_t>(eval.BestMeasuredIndex())];
+  for (const auto& p : eval.programs) {
+    if (!p.measured) {
+      EXPECT_GT(p.predicted_seconds, best.measured_seconds);
+    }
+  }
+
+  // Determinism: the skip rule is a pure function of the (deterministic)
+  // predictions and measurements.
+  const auto again = eng.EvaluatePlacementGuided(m, axes, k);
+  EXPECT_EQ(again.guided_skipped, eval.guided_skipped);
+  for (std::size_t i = 0; i < eval.programs.size(); ++i) {
+    EXPECT_EQ(again.programs[i].measured, eval.programs[i].measured) << i;
+  }
 }
 
 TEST(GuidedEvaluation, FindsTheSameWinnerAsFullEvaluation) {

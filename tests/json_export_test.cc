@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/service.h"
 #include "topology/presets.h"
 
 namespace p2::engine {
@@ -56,6 +57,80 @@ TEST(JsonExport, ExperimentResultIncludesConfig) {
   EXPECT_NE(json.find("\"reduction_axes\":[0]"), std::string::npos);
   EXPECT_NE(json.find("\"algo\":\"Tree\""), std::string::npos);
   EXPECT_NE(json.find("\"placements\":["), std::string::npos);
+}
+
+TEST(JsonExport, PipelineStatsCarryTheDashboardFields) {
+  // The ROADMAP's cost-model-fidelity item: unique hierarchies, seconds
+  // saved, disk hits — plus the ISSUE 5 cross-tenant and early-stopping
+  // counters — all flow to the dashboards through the experiment JSON.
+  EngineOptions opts;
+  opts.payload_bytes = 1e8;
+  const Engine eng(topology::MakeA100Cluster(2), opts);
+  const std::vector<std::int64_t> axes = {8, 2, 2};
+  const std::vector<int> raxes = {0};
+  const std::string json = ToJson(eng.RunExperiment(axes, raxes));
+  for (const char* field :
+       {"\"unique_hierarchies\":", "\"cache_hits\":", "\"cache_misses\":",
+        "\"cache_cross_tenant_hits\":", "\"cache_disk_hits\":",
+        "\"guided_skipped\":", "\"synthesis_seconds_saved\":",
+        "\"synthesis_seconds\":", "\"evaluation_seconds\":",
+        "\"total_seconds\":", "\"disk_seconds_saved\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(JsonExport, ServiceStatsExportPerTenantSectionsAndTotals) {
+  EngineOptions opts;
+  opts.payload_bytes = 1e8;
+  PlannerServiceOptions service_options;
+  service_options.engine = opts;
+  PlannerService service(service_options);
+
+  PlanRequest first;
+  first.axes = {8, 4};
+  first.reduction_axes = {0};
+  first.cluster = topology::MakeA100Cluster(2);
+  PlanRequest second = first;
+  second.cluster = topology::MakeV100Cluster(4);
+  service.Plan(std::move(first));
+  service.Plan(std::move(second));
+
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  const std::string json = ToJson(stats);
+  // Service-wide totals...
+  EXPECT_NE(json.find("\"requests\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"engines_constructed\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cross_tenant_hits\":"), std::string::npos);
+  EXPECT_NE(json.find("\"evictions\":"), std::string::npos);
+  // ...plus one tenant object per registered engine, carrying its
+  // fingerprint and its share of the cache activity.
+  EXPECT_NE(json.find("\"tenants\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(
+      json.find("\"fingerprint\":\"" +
+                JsonEscape(topology::MakeA100Cluster(2).Fingerprint()) + "\""),
+      std::string::npos);
+  EXPECT_NE(
+      json.find("\"fingerprint\":\"" +
+                JsonEscape(topology::MakeV100Cluster(4).Fingerprint()) + "\""),
+      std::string::npos);
+  EXPECT_NE(json.find("\"cache_cross_tenant_hits\":"), std::string::npos);
+
+  // Cheap well-formedness: balanced braces/brackets outside strings.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
 }
 
 }  // namespace

@@ -249,6 +249,55 @@ TEST(PipelinePersistence, CacheFileImpliesTheSignatureCache) {
   std::filesystem::remove(path);
 }
 
+TEST(PipelinePersistence, SingleClusterFileWarmsAMultiTenantService) {
+  // ISSUE 5: the persisted cache is keyed by hierarchy signature, which is
+  // cluster-independent — so a file written by a classic single-cluster run
+  // warms EVERY tenant of a multi-tenant service whose placements pose the
+  // same synthesis problems.
+  const std::string path = TempPath("multi_tenant_warm");
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<int> reduce = {0};
+
+  // Writer: a dedicated single-cluster service on the A100 system.
+  {
+    const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+    PlannerService writer(engine, PersistentOptions(path));
+    writer.Plan(axes, reduce);
+    ASSERT_TRUE(writer.SaveCache());
+  }
+
+  // Reader: a multi-tenant service serving the A100 *and* a V100 cluster.
+  // The V100 tenant's (8, 4) placements factor the reduction axis the same
+  // way over an equally-deep hierarchy, so even the tenant the writer never
+  // saw is served from disk.
+  PlannerServiceOptions options = PersistentOptions(path, /*readonly=*/true);
+  options.engine = FastOptions();
+  PlannerService service(options);
+  EXPECT_EQ(service.cache_load_status(), CacheLoadStatus::kOk);
+  EXPECT_GT(service.cache_entries_loaded(), 0);
+
+  PlanRequest on_a100;
+  on_a100.axes = axes;
+  on_a100.reduction_axes = reduce;
+  on_a100.cluster = topology::MakeA100Cluster(2);
+  PlanRequest on_v100 = on_a100;
+  on_v100.cluster = topology::MakeV100Cluster(4);
+
+  const auto a100_result = service.Plan(std::move(on_a100));
+  EXPECT_EQ(a100_result.pipeline.cache_misses, 0);
+  EXPECT_GT(a100_result.pipeline.cache_disk_hits, 0);
+
+  const auto v100_result = service.Plan(std::move(on_v100));
+  EXPECT_GT(v100_result.pipeline.cache_disk_hits, 0)
+      << "the V100 tenant must reuse hierarchies the A100 run persisted";
+  // Disk-warmed results still match a cold dedicated service bit for bit.
+  const Engine v100_engine(topology::MakeV100Cluster(4), FastOptions());
+  PlannerService cold(v100_engine, PlannerServiceOptions{.threads = 1});
+  EXPECT_EQ(ToJson(WithoutTimings(v100_result)),
+            ToJson(WithoutTimings(cold.Plan(axes, reduce))));
+  std::filesystem::remove(path);
+}
+
 TEST(PipelinePersistence, SecondsSavedAccumulateAcrossRuns) {
   const Engine engine(topology::MakeA100Cluster(2), FastOptions());
   const std::string path = TempPath("accounting");

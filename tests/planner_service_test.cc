@@ -165,6 +165,207 @@ TEST(PlannerService, DestructorDrainsOutstandingRequests) {
   EXPECT_GT(future.get().placements.size(), 0u);
 }
 
+// ---- multi-tenant service (ISSUE 5) ---------------------------------------
+
+// Three distinct machines. The A100(2) and V100(4) clusters both hold 32
+// devices, so the same configs run on both; V100(2) gets its own smaller
+// configs. A100/V100 reduction factorizations overlap (e.g. an 8-wide axis
+// split (2,4) or (1,8)), which is the cross-tenant sharing the shared cache
+// must mine.
+struct TenantConfig {
+  topology::Cluster cluster;
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+};
+
+std::vector<TenantConfig> TenantConfigs() {
+  const auto a100_2 = topology::MakeA100Cluster(2);
+  const auto v100_4 = topology::MakeV100Cluster(4);
+  const auto v100_2 = topology::MakeV100Cluster(2);
+  return {
+      {a100_2, {8, 2, 2}, {0}}, {a100_2, {8, 4}, {0}},
+      {v100_4, {8, 2, 2}, {0}}, {v100_4, {8, 4}, {0}},
+      {v100_2, {8, 2}, {0}},    {v100_2, {4, 4}, {1}},
+  };
+}
+
+PlanRequest RequestFor(const TenantConfig& config) {
+  PlanRequest request;
+  request.axes = config.axes;
+  request.reduction_axes = config.reduction_axes;
+  request.cluster = config.cluster;
+  return request;
+}
+
+TEST(MultiTenantService, InterleavedClustersMatchDedicatedServices) {
+  const auto configs = TenantConfigs();
+
+  // Reference: every config on its own dedicated single-cluster,
+  // single-threaded service — the strongest possible isolation.
+  std::vector<std::string> reference;
+  for (const auto& config : configs) {
+    const Engine engine(config.cluster, FastOptions());
+    PlannerService service(engine, PlannerServiceOptions{.threads = 1});
+    reference.push_back(CanonicalResultText(
+        service.Plan(config.axes, config.reduction_axes)));
+  }
+
+  std::mt19937 rng(20260729);
+  for (const int threads : {1, 4, 8}) {
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::size_t> order(configs.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      if (round > 0) std::shuffle(order.begin(), order.end(), rng);
+
+      // One multi-tenant service, requests from three clusters interleaved
+      // in randomized submission order: neither the scheduling, nor the
+      // order, nor the cross-tenant cache sharing may leak into any result.
+      PlannerServiceOptions options;
+      options.threads = threads;
+      options.engine = FastOptions();
+      PlannerService service(options);
+      std::vector<std::future<ExperimentResult>> futures(configs.size());
+      for (const std::size_t index : order) {
+        futures[index] = service.Submit(RequestFor(configs[index]));
+      }
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(CanonicalResultText(futures[i].get()), reference[i])
+            << "config " << i << ", threads=" << threads
+            << ", round=" << round;
+      }
+      // Three tenants, each engine constructed exactly once.
+      const auto stats = service.stats();
+      EXPECT_EQ(stats.tenants.size(), 3u);
+      EXPECT_EQ(stats.engines_constructed, 3);
+    }
+  }
+}
+
+TEST(MultiTenantService, RacingRequestsConstructEachEngineOnce) {
+  // Every round, four requests for the same *unregistered* cluster land on
+  // a fresh 4-thread service at once: whoever arrives first builds the
+  // engine, everyone else blocks on the in-flight construction — one engine
+  // total, never four.
+  for (int round = 0; round < 5; ++round) {
+    PlannerServiceOptions options;
+    options.threads = 4;
+    options.engine = FastOptions();
+    PlannerService service(options);
+    PlanRequest request;
+    request.axes = {8, 4};
+    request.reduction_axes = {0};
+    request.cluster = topology::MakeA100Cluster(2);
+    std::vector<std::future<ExperimentResult>> futures;
+    for (int i = 0; i < 4; ++i) futures.push_back(service.Submit(request));
+    for (auto& future : futures) {
+      EXPECT_GT(future.get().placements.size(), 0u);
+    }
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.engines_constructed, 1) << "round " << round;
+    ASSERT_EQ(stats.tenants.size(), 1u);
+    EXPECT_EQ(stats.tenants[0].requests, 4);
+  }
+}
+
+TEST(MultiTenantService, SharedCacheDedupsAcrossTenants) {
+  // Both tenants pose the same synthesis problems (equal reduction
+  // factorizations on equally-deep hierarchies), so the second tenant's
+  // requests are served from the first's entries — cross-tenant hits, and
+  // strictly fewer misses than two dedicated services would pay.
+  PlannerServiceOptions options;
+  options.threads = 1;  // serial: the attribution below is deterministic
+  options.engine = FastOptions();
+  PlannerService service(options);
+
+  PlanRequest first;
+  first.axes = {8, 4};
+  first.reduction_axes = {0};
+  first.cluster = topology::MakeA100Cluster(2);
+  PlanRequest second = first;
+  second.cluster = topology::MakeV100Cluster(4);
+
+  const auto a = service.Plan(std::move(first));
+  const auto b = service.Plan(std::move(second));
+  EXPECT_EQ(a.pipeline.cache_cross_tenant_hits, 0);
+  EXPECT_GT(b.pipeline.cache_cross_tenant_hits, 0);
+  EXPECT_LT(b.pipeline.cache_misses, a.pipeline.cache_misses)
+      << "the second tenant must reuse the first tenant's synthesis";
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache.cross_tenant_hits, b.pipeline.cache_cross_tenant_hits);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].cache_cross_tenant_hits, 0);
+  EXPECT_EQ(stats.tenants[1].cache_cross_tenant_hits,
+            b.pipeline.cache_cross_tenant_hits);
+  EXPECT_EQ(stats.tenants[0].requests, 1);
+  EXPECT_EQ(stats.tenants[1].requests, 1);
+  // Sums across tenants match the service-wide cache totals.
+  EXPECT_EQ(stats.tenants[0].cache_hits + stats.tenants[1].cache_hits,
+            stats.cache.hits);
+  EXPECT_EQ(stats.tenants[0].cache_misses + stats.tenants[1].cache_misses,
+            stats.cache.misses);
+}
+
+TEST(MultiTenantService, DefaultTenantAndExplicitClusterCoexist) {
+  // The compatibility constructor's borrowed engine is tenant 0; a request
+  // naming the same cluster (and options) resolves to it instead of
+  // constructing a second engine.
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  PlannerService service(engine, PlannerServiceOptions{.threads = 2});
+  const auto implicit = service.Plan(std::vector<std::int64_t>{8, 4},
+                                     std::vector<int>{0});
+  PlanRequest explicit_request;
+  explicit_request.axes = {8, 4};
+  explicit_request.reduction_axes = {0};
+  explicit_request.cluster = topology::MakeA100Cluster(2);
+  const auto explicit_result = service.Plan(std::move(explicit_request));
+  EXPECT_EQ(CanonicalResultText(explicit_result),
+            CanonicalResultText(implicit));
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.engines_constructed, 0);  // the borrowed engine served both
+  EXPECT_EQ(stats.tenants[0].requests, 2);
+
+  // A *different* cluster still gets its own engine.
+  PlanRequest other;
+  other.axes = {8, 2};
+  other.reduction_axes = {0};
+  other.cluster = topology::MakeV100Cluster(2);
+  EXPECT_GT(service.Plan(std::move(other)).placements.size(), 0u);
+  EXPECT_EQ(service.stats().tenants.size(), 2u);
+  EXPECT_EQ(service.stats().engines_constructed, 1);
+}
+
+TEST(MultiTenantService, RequestWithoutClusterNeedsADefaultTenant) {
+  PlannerServiceOptions options;
+  options.engine = FastOptions();
+  PlannerService service(options);  // no default tenant
+  EXPECT_EQ(service.default_engine(), nullptr);
+  PlanRequest request;
+  request.axes = {8, 4};
+  request.reduction_axes = {0};
+  auto future = service.Submit(std::move(request));
+  EXPECT_THROW(future.get(), std::invalid_argument);
+  // The service survives and serves requests that do name a cluster.
+  PlanRequest good;
+  good.axes = {8, 4};
+  good.reduction_axes = {0};
+  good.cluster = topology::MakeA100Cluster(2);
+  EXPECT_GT(service.Plan(std::move(good)).placements.size(), 0u);
+}
+
+TEST(MultiTenantService, EngineForRegistersAndMemoizes) {
+  PlannerServiceOptions options;
+  options.engine = FastOptions();
+  PlannerService service(options);
+  const auto cluster = topology::MakeA100Cluster(2);
+  const Engine& first = service.EngineFor(cluster);
+  const Engine& second = service.EngineFor(cluster);
+  EXPECT_EQ(&first, &second);  // one engine per fingerprint
+  EXPECT_EQ(first.cluster().Fingerprint(), cluster.Fingerprint());
+  EXPECT_EQ(service.stats().engines_constructed, 1);
+}
+
 TEST(PlannerService, StatsAggregateOncePerService) {
   const Engine engine(topology::MakeA100Cluster(2), FastOptions());
   PlannerService service(engine, PlannerServiceOptions{.threads = 1});

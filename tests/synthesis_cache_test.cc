@@ -252,6 +252,136 @@ TEST(SynthesisCache, PreloadWithoutACapMarkerIsConservative) {
   EXPECT_EQ(warmed.stats().misses, 1);
 }
 
+TEST(SynthesisCache, LruCapEvictsLeastRecentlyUsed) {
+  SynthesisCache cache(/*max_entries=*/1);
+  const core::SynthesisOptions options;
+  cache.GetOrSynthesize(IsomorphicA(), options);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+
+  // A second signature overflows the cap: the first entry is evicted...
+  cache.GetOrSynthesize(Different(), options);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  // ...so revisiting it is a miss (re-synthesis), never a wrong result.
+  CacheLookupOutcome outcome;
+  const auto again = cache.GetOrSynthesize(IsomorphicA(), options, &outcome);
+  EXPECT_FALSE(outcome.hit);
+  EXPECT_EQ(cache.stats().misses, 3);
+  EXPECT_EQ(cache.stats().evictions, 2);
+  const auto fresh = core::SynthesizePrograms(IsomorphicA(), options);
+  ASSERT_EQ(again->programs.size(), fresh.programs.size());
+}
+
+TEST(SynthesisCache, LruTouchOnHitProtectsHotEntries) {
+  SynthesisCache cache(/*max_entries=*/2);
+  const core::SynthesisOptions options;
+  cache.GetOrSynthesize(IsomorphicA(), options);  // A is LRU after B lands
+  cache.GetOrSynthesize(Different(), options);
+  // Touch A: B becomes the least recently used...
+  cache.GetOrSynthesize(IsomorphicB(), options);  // same signature as A
+  EXPECT_EQ(cache.stats().hits, 1);
+
+  // ...so a third signature evicts B, not A.
+  core::SynthesisOptions other = options;
+  other.max_program_size = options.max_program_size + 1;
+  cache.GetOrSynthesize(IsomorphicA(), other);  // distinct base key
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  CacheLookupOutcome outcome;
+  cache.GetOrSynthesize(IsomorphicA(), options, &outcome);
+  EXPECT_TRUE(outcome.hit) << "the hot entry must have survived";
+}
+
+TEST(SynthesisCache, UnboundedByDefault) {
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+  cache.GetOrSynthesize(IsomorphicA(), options);
+  cache.GetOrSynthesize(Different(), options);
+  EXPECT_EQ(cache.max_entries(), 0);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(SynthesisCache, PreloadRespectsTheLruCap) {
+  SynthesisCache donor;
+  const core::SynthesisOptions options;
+  donor.GetOrSynthesize(IsomorphicA(), options);
+  donor.GetOrSynthesize(Different(), options);
+
+  SynthesisCache capped(/*max_entries=*/1);
+  EXPECT_EQ(capped.Preload(donor.Snapshot()), 2);  // both inserted...
+  EXPECT_EQ(capped.size(), 1u);                    // ...one evicted again
+  EXPECT_EQ(capped.stats().evictions, 1);
+}
+
+// Cross-cluster sharing (ISSUE 5): two different machines whose placements
+// pose the same synthesis problem — equal reduction-axis factorization over
+// equally-deep hierarchies — hit one cache entry, and the hit is
+// attributable as cross-tenant when the lookups carry distinct tenant tags.
+TEST(SynthesisCache, TenantsWithACommonSubHierarchyShareOneEntry) {
+  // A 4-node A100 cluster ([4 16]) and an 8-node V100 cluster ([8 8]): an
+  // 8-wide reduction axis split as (2, 4) over nodes x GPUs is a valid
+  // placement row on both, and the synthesis hierarchy only sees the
+  // factorization — not the machine — so the signatures agree.
+  const ParallelismMatrix on_a100({{2, 4}, {2, 4}});  // axes (8, 8) on [4 16]
+  const ParallelismMatrix on_v100({{2, 4}, {4, 2}});  // axes (8, 8) on [8 8]
+  const std::vector<int> raxes = {0};
+  const auto sh_a100 = SynthesisHierarchy::Build(
+      on_a100, raxes, SynthesisHierarchyKind::kReductionAxes);
+  const auto sh_v100 = SynthesisHierarchy::Build(
+      on_v100, raxes, SynthesisHierarchyKind::kReductionAxes);
+  ASSERT_EQ(sh_a100.Signature(), sh_v100.Signature());
+
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+  CacheLookupOutcome outcome;
+  cache.GetOrSynthesize(sh_a100, options, &outcome, /*tenant=*/0);
+  EXPECT_FALSE(outcome.hit);
+  EXPECT_FALSE(outcome.cross_tenant);
+
+  const auto served =
+      cache.GetOrSynthesize(sh_v100, options, &outcome, /*tenant=*/1);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_TRUE(outcome.cross_tenant);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().cross_tenant_hits, 1);
+  // The shared entry is exactly what the second tenant would have
+  // synthesized itself.
+  const auto fresh = core::SynthesizePrograms(sh_v100, options);
+  ASSERT_EQ(served->programs.size(), fresh.programs.size());
+  for (std::size_t i = 0; i < fresh.programs.size(); ++i) {
+    EXPECT_EQ(served->programs[i], fresh.programs[i]);
+  }
+
+  // Same tenant re-reading its own entry is NOT cross-tenant...
+  cache.GetOrSynthesize(sh_a100, options, &outcome, /*tenant=*/0);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_FALSE(outcome.cross_tenant);
+  // ...and untagged lookups never are.
+  cache.GetOrSynthesize(sh_a100, options, &outcome);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_FALSE(outcome.cross_tenant);
+  EXPECT_EQ(cache.stats().cross_tenant_hits, 1);
+}
+
+TEST(SynthesisCache, DiskPreloadedEntriesAreNeverCrossTenant) {
+  SynthesisCache donor;
+  const core::SynthesisOptions options;
+  donor.GetOrSynthesize(IsomorphicA(), options, nullptr, /*tenant=*/7);
+
+  SynthesisCache warmed;
+  warmed.Preload(donor.Snapshot());
+  CacheLookupOutcome outcome;
+  warmed.GetOrSynthesize(IsomorphicA(), options, &outcome, /*tenant=*/3);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_TRUE(outcome.from_disk);
+  // Disk entries belong to no tenant: the cross-run reuse is the disk_hits
+  // figure, not cross-tenant sharing.
+  EXPECT_FALSE(outcome.cross_tenant);
+}
+
 TEST(SynthesisCache, ClearResetsEverything) {
   SynthesisCache cache;
   const core::SynthesisOptions options;
