@@ -24,6 +24,10 @@
 //                   independent single-cluster services — with per-request
 //                   results byte-identical to the dedicated services
 //
+// Plus a cancel-storm smoke (ISSUE 7): the grid submitted concurrently with
+// a deterministic ~50% of the handles cancelled mid-flight — survivors must
+// stay byte-identical to serial (cancellation never perturbs its neighbors).
+//
 // Reported per variant: wall-clock, placements evaluated, unique synthesis
 // hierarchies, cache hit rate and the re-synthesis time the cache avoided.
 // Prediction-only (like the paper's simulator-guided sweep): the grid's cost
@@ -40,6 +44,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <future>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,6 +62,8 @@ using p2::engine::CanonicalResultText;
 using p2::engine::Engine;
 using p2::engine::EngineOptions;
 using p2::engine::ExperimentResult;
+using p2::engine::PlanCancelled;
+using p2::engine::PlanHandle;
 using p2::engine::PlannerService;
 using p2::engine::PlannerServiceOptions;
 using p2::engine::PlanRequest;
@@ -145,7 +152,7 @@ VariantResult RunGridConcurrently(const Engine& engine, int threads,
                                                .cache_file = {},
                                                .cache_readonly = false});
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<ExperimentResult>> futures;
+  std::vector<PlanHandle> futures;
   futures.reserve(grid.size());
   for (const auto& cfg : grid) {
     PlanRequest request;
@@ -180,7 +187,7 @@ VariantResult RunGridMultiTenant(const std::vector<p2::topology::Cluster>& clust
   options.engine = engine_options;
   PlannerService service(options);
   const auto start = std::chrono::steady_clock::now();
-  std::vector<std::future<ExperimentResult>> futures;
+  std::vector<PlanHandle> futures;
   futures.reserve(clusters.size() * grid.size());
   for (const auto& cluster : clusters) {
     for (const auto& cfg : grid) {
@@ -203,6 +210,49 @@ VariantResult RunGridMultiTenant(const std::vector<p2::topology::Cluster>& clust
   *total_misses = stats.cache.misses;
   *cross_tenant_hits = stats.cache.cross_tenant_hits;
   return v;
+}
+
+// The cancel-storm smoke (ISSUE 7): the whole grid Submit()ted at once,
+// then a deterministic ~50% of the handles cancelled while the requests are
+// (possibly) in flight. The robustness contract under test: cancellation
+// may only abort the requests it targets — every survivor's output stays
+// byte-identical to the serial reference, and no un-cancelled request may
+// abort. A cancelled request that wins the race and completes anyway is
+// fine (completion beats abortion); its output must then also match.
+bool RunCancelStorm(const Engine& engine, int threads,
+                    const std::vector<GridConfig>& grid,
+                    const std::vector<ExperimentResult>& serial_results,
+                    std::int64_t* cancelled_out) {
+  std::mt19937 rng(20260808);
+  PlannerService service(engine, PlannerServiceOptions{.threads = threads});
+  std::vector<PlanHandle> handles;
+  std::vector<bool> storm;
+  for (const auto& cfg : grid) {
+    PlanRequest request;
+    request.axes = cfg.axes;
+    request.reduction_axes = cfg.reduction_axes;
+    handles.push_back(service.Submit(std::move(request)));
+    storm.push_back(rng() % 2 == 0);
+  }
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (storm[i]) handles[i].Cancel();
+  }
+  bool ok = true;
+  std::int64_t cancelled = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    try {
+      const ExperimentResult result = handles[i].get();
+      if (CanonicalResultText(result) !=
+          CanonicalResultText(serial_results[i])) {
+        ok = false;
+      }
+    } catch (const PlanCancelled&) {
+      ++cancelled;
+      if (!storm[i]) ok = false;  // only targeted requests may abort
+    }
+  }
+  *cancelled_out = cancelled;
+  return ok;
 }
 
 bool SameResults(const std::vector<ExperimentResult>& a,
@@ -396,5 +446,18 @@ int main(int argc, char** argv) {
       static_cast<long long>(dedicated_misses),
       static_cast<long long>(cross_tenant_hits),
       multi_tenant_ok ? "ok" : "NO — BUG");
-  return identical && warm_ok && concurrent_ok && multi_tenant_ok ? 0 : 1;
+
+  // ISSUE 7 acceptance: random mid-flight cancellation must never perturb
+  // the survivors — their outputs stay byte-identical to the serial run.
+  std::int64_t storm_cancelled = 0;
+  const bool storm_ok =
+      RunCancelStorm(engine, threads, grid, serial_results, &storm_cancelled);
+  std::printf(
+      "cancel-storm: %lld/%zu requests aborted, survivors byte-identical to "
+      "serial: %s\n",
+      static_cast<long long>(storm_cancelled), grid.size(),
+      storm_ok ? "ok" : "NO — BUG");
+  return identical && warm_ok && concurrent_ok && multi_tenant_ok && storm_ok
+             ? 0
+             : 1;
 }

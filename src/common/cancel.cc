@@ -1,0 +1,44 @@
+#include "common/cancel.h"
+
+namespace p2 {
+
+namespace internal {
+
+CancelReason CancelState::Check() {
+  int r = reason.load(std::memory_order_acquire);
+  if (r != static_cast<int>(CancelReason::kNone)) {
+    return static_cast<CancelReason>(r);
+  }
+  const std::int64_t deadline = deadline_ns.load(std::memory_order_acquire);
+  if (deadline != kNoDeadline) {
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (now >= deadline) {
+      // First observer latches the expiry; losing the CAS means an explicit
+      // Cancel() (or another observer) got there first — their reason wins.
+      int expected = static_cast<int>(CancelReason::kNone);
+      reason.compare_exchange_strong(
+          expected, static_cast<int>(CancelReason::kDeadlineExceeded),
+          std::memory_order_acq_rel, std::memory_order_acquire);
+      r = reason.load(std::memory_order_acquire);
+    }
+  }
+  return static_cast<CancelReason>(r);
+}
+
+}  // namespace internal
+
+void CancelToken::ThrowIfCancelled() const {
+  switch (reason()) {
+    case CancelReason::kNone:
+      return;
+    case CancelReason::kCancelled:
+      throw CancelledError("request cancelled");
+    case CancelReason::kDeadlineExceeded:
+      throw DeadlineExceededError("request deadline exceeded");
+  }
+}
+
+}  // namespace p2

@@ -1,0 +1,151 @@
+// Cooperative cancellation with optional deadlines — the request-abort
+// primitive behind the planning service's robustness contract
+// (engine/service.h).
+//
+//   CancelSource source;                  // owner side
+//   source.SetDeadlineAfter(250ms);       // optional
+//   CancelToken token = source.token();   // worker side, freely copyable
+//   ...
+//   token.ThrowIfCancelled();             // checkpoint between units of work
+//   ...
+//   source.Cancel();                      // any thread, any time
+//
+// Cancellation is *cooperative*: nothing is interrupted, workers observe the
+// token at checkpoints they choose (between pipeline stages, between
+// synthesis frontier layers) and unwind by throwing. The first abort reason
+// wins and is latched — a request cancelled a microsecond before its
+// deadline expires reports kCancelled everywhere, deterministically, no
+// matter which thread checks first.
+//
+// A default-constructed CancelToken is *null*: it never reports
+// cancellation and costs one pointer test per check, so call sites can
+// thread a token unconditionally and single-shot callers pay nothing.
+#ifndef P2_COMMON_CANCEL_H_
+#define P2_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+namespace p2 {
+
+/// Why a request was aborted. kNone means "still live".
+enum class CancelReason : int {
+  kNone = 0,
+  kCancelled = 1,         ///< explicit Cancel() call
+  kDeadlineExceeded = 2,  ///< the SetDeadline* point passed
+};
+
+/// Base of the abort taxonomy: catch this to treat "caller gave up" (either
+/// flavor) uniformly; catch the siblings to distinguish them.
+class RequestAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The request was explicitly cancelled (CancelSource::Cancel).
+class CancelledError : public RequestAborted {
+ public:
+  using RequestAborted::RequestAborted;
+};
+
+/// The request's deadline passed before it finished.
+class DeadlineExceededError : public RequestAborted {
+ public:
+  using RequestAborted::RequestAborted;
+};
+
+namespace internal {
+
+/// Shared between one CancelSource and its tokens. The reason is a latch:
+/// the first transition away from kNone (explicit cancel or observed
+/// deadline expiry, whichever CAS wins) is the reason forever.
+struct CancelState {
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<int> reason{static_cast<int>(CancelReason::kNone)};
+  /// Absolute steady_clock deadline in nanoseconds since the clock's epoch;
+  /// kNoDeadline when unset.
+  std::atomic<std::int64_t> deadline_ns{kNoDeadline};
+
+  CancelReason Check();
+};
+
+}  // namespace internal
+
+/// The worker-side view: cheap to copy, cheap to poll. Null (default
+/// constructed) tokens never cancel.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// False for a null token: no source can ever cancel it, so loops may
+  /// skip per-iteration checks entirely.
+  bool CanBeCancelled() const { return state_ != nullptr; }
+
+  /// The latched abort reason, observing deadline expiry as a side effect
+  /// (the first observer latches kDeadlineExceeded). kNone while live.
+  CancelReason reason() const {
+    return state_ == nullptr ? CancelReason::kNone : state_->Check();
+  }
+
+  bool cancel_requested() const { return reason() != CancelReason::kNone; }
+
+  /// The checkpoint: throws CancelledError or DeadlineExceededError once the
+  /// source aborted, returns otherwise. Place between units of work.
+  void ThrowIfCancelled() const;
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<internal::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+/// The owner-side handle: creates tokens, requests cancellation, sets the
+/// deadline. Copyable — copies share one state, so a service can keep one
+/// copy in its in-flight registry and hand another to the submitter.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<internal::CancelState>()) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  /// Latches kCancelled unless the request already aborted for another
+  /// reason. Safe from any thread, idempotent.
+  void Cancel() {
+    int expected = static_cast<int>(CancelReason::kNone);
+    state_->reason.compare_exchange_strong(
+        expected, static_cast<int>(CancelReason::kCancelled),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+
+  /// Arms the deadline; checks after `deadline` passes latch
+  /// kDeadlineExceeded. A second call replaces an unexpired deadline.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    state_->deadline_ns.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+
+  void SetDeadlineAfter(std::chrono::nanoseconds delay) {
+    SetDeadline(std::chrono::steady_clock::now() + delay);
+  }
+
+  CancelReason reason() const { return state_->Check(); }
+  bool cancel_requested() const { return reason() != CancelReason::kNone; }
+
+ private:
+  std::shared_ptr<internal::CancelState> state_;
+};
+
+}  // namespace p2
+
+#endif  // P2_COMMON_CANCEL_H_

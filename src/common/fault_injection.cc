@@ -1,0 +1,49 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace p2 {
+
+namespace {
+
+// The hook lives behind a shared_ptr copied under a mutex, so a checkpoint
+// can keep calling a hook that Uninstall concurrently swaps out. The `armed`
+// flag is the fast path: uninstalled (the production state) costs exactly
+// one relaxed load.
+std::atomic<bool> armed{false};
+std::shared_ptr<const FaultInjector::Hook>& HookSlot() {
+  static std::shared_ptr<const FaultInjector::Hook> slot;
+  return slot;
+}
+std::mutex& HookMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+void FaultInjector::Install(Hook hook) {
+  std::lock_guard<std::mutex> lock(HookMutex());
+  HookSlot() = std::make_shared<const Hook>(std::move(hook));
+  armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Uninstall() {
+  std::lock_guard<std::mutex> lock(HookMutex());
+  armed.store(false, std::memory_order_release);
+  HookSlot().reset();
+}
+
+void MaybeInjectFault(std::string_view point) {
+  if (!armed.load(std::memory_order_relaxed)) return;
+  std::shared_ptr<const FaultInjector::Hook> hook;
+  {
+    std::lock_guard<std::mutex> lock(HookMutex());
+    hook = HookSlot();
+  }
+  if (hook != nullptr && *hook) (*hook)(point);
+}
+
+}  // namespace p2

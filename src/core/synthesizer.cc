@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "core/collective_semantics.h"
 #include "core/device_state.h"
@@ -117,13 +118,18 @@ class TranspositionTable {
 
   /// Interns the root state and expands the transition relation to every
   /// state reachable within `max_length_` instructions (goal states are
-  /// absorbing and never expanded).
-  void Build(const StateContext& initial, ThreadPool& pool) {
+  /// absorbing and never expanded). `cancel` is observed between layers and
+  /// per frontier-state expansion; an aborted build throws the token's
+  /// error with the table half-grown (the caller discards it).
+  void Build(const StateContext& initial, ThreadPool& pool,
+             const CancelToken& cancel) {
     StateContext root = initial;
     std::vector<int> layer = {Intern(std::move(root))};
     const std::int64_t num_instructions =
         static_cast<std::int64_t>(alphabet_.size()) * kNumOps;
     for (int depth = 0; depth < max_length_ && !layer.empty(); ++depth) {
+      MaybeInjectFault("synth.layer");
+      cancel.ThrowIfCancelled();
       // Parallel phase: expand each frontier state into its successor
       // contexts. Slot i belongs to layer[i] alone and states_ does not
       // grow here, so workers race on nothing.
@@ -131,6 +137,7 @@ class TranspositionTable {
           expanded(layer.size());
       pool.ParallelFor(
           static_cast<std::int64_t>(layer.size()), [&](std::int64_t i) {
+            cancel.ThrowIfCancelled();
             const int id = layer[static_cast<std::size_t>(i)];
             if (is_goal_[static_cast<std::size_t>(id)]) return;
             auto& out = expanded[static_cast<std::size_t>(i)];
@@ -277,7 +284,7 @@ SynthesisResult SynthesizePrograms(const SynthesisHierarchy& sh,
 
   ThreadPool pool(options.threads);
   TranspositionTable table(alphabet, goal, options.max_program_size);
-  table.Build(initial, pool);
+  table.Build(initial, pool, options.cancel);
 
   // Iterative deepening over the program size: the exact-length-d goal
   // completions of the root state *are* the programs of size d, and they
@@ -286,6 +293,7 @@ SynthesisResult SynthesizePrograms(const SynthesisHierarchy& sh,
   // the reference DFS's stable size sort byte for byte.
   std::int64_t emitted = 0;
   for (int d = 1; d <= options.max_program_size && emitted >= 0; ++d) {
+    options.cancel.ThrowIfCancelled();
     for (const Suffix& tail : table.Completions(0, d)) {
       if (emitted >= options.max_programs) {
         emitted = -1;  // capped: stop both loops

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/reduction_dsl.h"
 #include "core/synthesis_hierarchy.h"
 
@@ -50,6 +51,13 @@ struct SynthesisOptions {
   int threads = 1;
   /// Safety cap on emitted programs.
   std::int64_t max_programs = 1 << 20;
+  /// Cooperative-cancellation token (common/cancel.h), checked between
+  /// frontier layers, per frontier-state expansion, and per emitted size
+  /// class; an aborted search throws the token's error. Null (the default)
+  /// never cancels. Execution-only like `threads`: it cannot change the
+  /// program list of a search that completes, so SynthesisCache keys
+  /// exclude it.
+  CancelToken cancel;
 };
 
 struct SynthesisStats {

@@ -6,8 +6,11 @@
 #include <atomic>
 #include <bit>
 #include <cstddef>
+#include <exception>
 #include <filesystem>
 #include <fstream>
+
+#include "common/fault_injection.h"
 
 namespace p2::engine {
 
@@ -411,6 +414,17 @@ CacheFileContents CacheStore::Load() const {
 }
 
 CacheLoadStatus CacheStore::LoadInto(SynthesisCache* cache) {
+  // Loading never throws (see the header's corruption policy), so an
+  // injected fault surfaces as the status an actually-unreadable file
+  // would produce — which also makes a later Save() refuse to overwrite.
+  try {
+    MaybeInjectFault("cache_store.load");
+  } catch (const std::exception& e) {
+    last_load_status_ = CacheLoadStatus::kIoError;
+    last_load_message_ = std::string("injected fault: ") + e.what();
+    entries_loaded_ = 0;
+    return last_load_status_;
+  }
   CacheFileContents contents = Load();
   last_load_status_ = contents.status;
   last_load_message_ = contents.message;
@@ -438,6 +452,17 @@ bool CacheStore::Save(const SynthesisCache& cache, std::string* error) {
       *error = "refusing to overwrite " + path_ + ": " +
                ToString(last_load_status_) +
                " on load (the existing cache may be intact)";
+    }
+    return false;
+  }
+  // Save must not throw either: it runs inside BeginDrain and so inside the
+  // service destructor. An injected fault becomes the false-plus-error
+  // return an actual write failure would produce.
+  try {
+    MaybeInjectFault("cache_store.save");
+  } catch (const std::exception& e) {
+    if (error != nullptr) {
+      *error = std::string("injected fault: ") + e.what();
     }
     return false;
   }

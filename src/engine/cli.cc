@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <future>
 #include <sstream>
 #include <utility>
@@ -86,7 +87,8 @@ std::string CliUsage() {
       "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N]\n"
       "               [--service-threads=N] [--synth-threads=N] [--fuse]\n"
       "               [--cache-file=PATH] [--cache-readonly]\n"
-      "               [--cache-max-entries=N]\n"
+      "               [--cache-max-entries=N] [--deadline-ms=N]\n"
+      "               [--max-in-flight=N] [--drain-grace-ms=N]\n"
       "       p2_plan --system=a100|v100 --nodes=N --grid [...]\n"
       "       p2_plan --topology=SYS:N[,SYS:N...] --grid [...]\n"
       "\n"
@@ -125,7 +127,17 @@ std::string CliUsage() {
       "  --cache-max-entries  keep at most N synthesis-cache entries,\n"
       "                evicting least-recently-used first (default:\n"
       "                unbounded); eviction never changes results, an\n"
-      "                evicted hierarchy is simply re-synthesized\n";
+      "                evicted hierarchy is simply re-synthesized\n"
+      "  --deadline-ms  per-request deadline in milliseconds: a config\n"
+      "                still planning when it expires is abandoned\n"
+      "                (reported, not fatal) and its worker slots freed\n"
+      "                (default: no deadline)\n"
+      "  --max-in-flight  admit at most N concurrently planning requests;\n"
+      "                submissions beyond the cap are rejected and reported\n"
+      "                instead of silently queuing (default: unbounded)\n"
+      "  --drain-grace-ms  on shutdown, give still-running requests N ms to\n"
+      "                finish before cancelling them (default: wait for\n"
+      "                them indefinitely)\n";
 }
 
 std::optional<CliOptions> ParseCliOptions(
@@ -283,6 +295,29 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.cache_max_entries = v;
+    } else if (key == "--deadline-ms") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 1) {
+        *error = "--deadline-ms must be a positive integer";
+        return std::nullopt;
+      }
+      opts.deadline_ms = v;
+    } else if (key == "--max-in-flight") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 1) {
+        *error = "--max-in-flight must be a positive integer";
+        return std::nullopt;
+      }
+      opts.max_in_flight = v;
+    } else if (key == "--drain-grace-ms") {
+      // 0 is meaningful: cancel whatever is still running the moment the
+      // drain starts.
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 0) {
+        *error = "--drain-grace-ms must be a non-negative integer";
+        return std::nullopt;
+      }
+      opts.drain_grace_ms = v;
     } else {
       *error = "unrecognized flag: " + key + "\n\n" + CliUsage();
       return std::nullopt;
@@ -379,6 +414,10 @@ PlannerServiceOptions ServiceOptionsFromCli(const CliOptions& options) {
   svc.cache_file = options.cache_file;
   svc.cache_readonly = options.cache_readonly;
   svc.cache_max_entries = options.cache_max_entries;
+  svc.max_in_flight = options.max_in_flight;
+  if (options.drain_grace_ms >= 0) {
+    svc.drain_grace = std::chrono::milliseconds(options.drain_grace_ms);
+  }
   return svc;
 }
 
@@ -388,7 +427,33 @@ PlanRequest RequestForConfig(const ExperimentConfig& config,
   request.axes = config.axes;
   request.reduction_axes = config.reduction_axes;
   request.measure_top_k = options.top_k > 0 ? options.top_k : -1;
+  if (options.deadline_ms > 0) {
+    request.deadline = std::chrono::milliseconds(options.deadline_ms);
+  }
   return request;
+}
+
+/// Collects every handle, pairing survivors with their configs; a rejected,
+/// cancelled or expired config becomes a warning line instead of killing
+/// the whole invocation (its siblings' results are unaffected — that is
+/// the service's determinism contract).
+void CollectResults(std::vector<ExperimentConfig> configs,
+                    std::vector<PlanHandle>& handles,
+                    std::vector<ExperimentConfig>* done_configs,
+                    std::vector<ExperimentResult>* results,
+                    std::ostream& os) {
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    try {
+      results->push_back(handles[i].get());
+      done_configs->push_back(std::move(configs[i]));
+    } catch (const PlanRejected& e) {
+      os << "warning: config " << configs[i].ToString()
+         << " rejected: " << e.what() << '\n';
+    } catch (const RequestAborted& e) {
+      os << "warning: config " << configs[i].ToString()
+         << " abandoned: " << e.what() << '\n';
+    }
+  }
 }
 
 void AppendCacheLoadWarnings(const PlannerService& service,
@@ -443,7 +508,7 @@ int RunMultiTopology(const CliOptions& options, std::string* output) {
   struct TenantRun {
     topology::Cluster cluster;
     std::vector<ExperimentConfig> configs;
-    std::vector<std::future<ExperimentResult>> futures;
+    std::vector<PlanHandle> handles;
   };
   std::vector<TenantRun> runs;
   runs.reserve(options.topologies.size());
@@ -457,22 +522,23 @@ int RunMultiTopology(const CliOptions& options, std::string* output) {
   // overlap on the shared pool, while the report below stays in preset +
   // config order.
   for (TenantRun& run : runs) {
-    run.futures.reserve(run.configs.size());
+    run.handles.reserve(run.configs.size());
     for (const auto& config : run.configs) {
       PlanRequest request = RequestForConfig(config, options);
       request.cluster = run.cluster;
-      run.futures.push_back(service.Submit(std::move(request)));
+      run.handles.push_back(service.Submit(std::move(request)));
     }
   }
   for (TenantRun& run : runs) {
+    std::vector<ExperimentConfig> done_configs;
     std::vector<ExperimentResult> results;
-    results.reserve(run.futures.size());
-    for (auto& future : run.futures) results.push_back(future.get());
+    CollectResults(std::move(run.configs), run.handles, &done_configs,
+                   &results, os);
     os << "system: " << run.cluster.ToString() << ", "
        << core::ToString(options.algo) << ", payload "
        << service.EngineFor(run.cluster).payload_bytes() / 1e6
        << " MB/GPU\n\n";
-    RenderGridTable(run.configs, results, os);
+    RenderGridTable(done_configs, results, os);
     os << '\n';
   }
 
@@ -524,14 +590,19 @@ int RunCli(const CliOptions& options, std::string* output) {
   } else {
     configs.push_back(ExperimentConfig{options.axes, options.reduction_axes});
   }
-  std::vector<std::future<ExperimentResult>> futures;
-  futures.reserve(configs.size());
+  std::vector<PlanHandle> handles;
+  handles.reserve(configs.size());
   for (const auto& config : configs) {
-    futures.push_back(service.Submit(RequestForConfig(config, options)));
+    handles.push_back(service.Submit(RequestForConfig(config, options)));
   }
+  std::vector<ExperimentConfig> done_configs;
   std::vector<ExperimentResult> results;
-  results.reserve(configs.size());
-  for (auto& future : futures) results.push_back(future.get());
+  CollectResults(std::move(configs), handles, &done_configs, &results, os);
+  if (results.empty()) {
+    os << "error: no config completed\n";
+    *output = os.str();
+    return 1;
+  }
 
   std::string save_error;
   if (!service.SaveCache(&save_error)) {
@@ -544,7 +615,7 @@ int RunCli(const CliOptions& options, std::string* output) {
      << engine.payload_bytes() / 1e6 << " MB/GPU\n\n";
 
   if (options.grid) {
-    RenderGridTable(configs, results, os);
+    RenderGridTable(done_configs, results, os);
   } else {
     const ExperimentResult& result = results.front();
     TextTable table({"Placement", "Programs", "AllReduce(s)", "Best(s)",

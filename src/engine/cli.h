@@ -5,6 +5,7 @@
 //           [--algo=ring|tree] [--payload-mb=N] [--top-k=N]
 //           [--service-threads=N] [--synth-threads=N] [--fuse]
 //           [--cache-file=PATH] [--cache-readonly] [--cache-max-entries=N]
+//           [--deadline-ms=N] [--max-in-flight=N] [--drain-grace-ms=N]
 //   p2_plan --system=a100 --nodes=4 --grid [...]
 //   p2_plan --topology=a100:4,v100:2 --grid [...]
 //
@@ -59,6 +60,9 @@ struct CliOptions {
   std::string cache_file;   // persistent synthesis cache (empty = off)
   bool cache_readonly = false;  // load the cache file but never write it
   std::int64_t cache_max_entries = 0;  // LRU cap; 0 = unbounded
+  std::int64_t deadline_ms = 0;     // per-request deadline; 0 = none
+  std::int64_t max_in_flight = 0;   // service admission cap; 0 = unbounded
+  std::int64_t drain_grace_ms = -1;  // shutdown grace; -1 = wait forever
 
   /// The shared pool size the service actually gets.
   int EffectiveServiceThreads() const {

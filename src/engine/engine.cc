@@ -103,7 +103,8 @@ PlacementEvaluation Engine::EvaluatePlacement(
   PlannerService service(*this);
   Pipeline pipeline(service, *this,
                     PipelineOptions{.cache_synthesis = false,
-                                    .measure_top_k = -1});
+                                    .measure_top_k = -1,
+                                    .cancel = {}});
   return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 
@@ -116,7 +117,8 @@ PlacementEvaluation Engine::EvaluatePlacementGuided(
   Pipeline pipeline(service, *this,
                     PipelineOptions{.cache_synthesis = false,
                                     .measure_top_k =
-                                        std::max(0, measure_top_k)});
+                                        std::max(0, measure_top_k),
+                                    .cancel = {}});
   return pipeline.EvaluatePlacement(matrix, reduction_axes);
 }
 

@@ -127,6 +127,10 @@ std::string ToJson(const ExperimentResult& result) {
 std::string ToJson(const PlannerServiceStats& stats) {
   std::ostringstream os;
   os << "{\"requests\":" << stats.requests << ","
+     << "\"rejected\":" << stats.rejected << ","
+     << "\"cancelled\":" << stats.cancelled << ","
+     << "\"deadline_exceeded\":" << stats.deadline_exceeded << ","
+     << "\"peak_in_flight\":" << stats.peak_in_flight << ","
      << "\"cache_entries_loaded\":" << stats.cache_entries_loaded << ","
      << "\"engines_constructed\":" << stats.engines_constructed << ","
      << "\"cache\":{"
@@ -155,6 +159,10 @@ std::string ToJson(const PlannerServiceStats& stats) {
        << "\"cache_cross_tenant_hits\":" << tenant.cache_cross_tenant_hits
        << ","
        << "\"cache_disk_hits\":" << tenant.cache_disk_hits << ","
+       << "\"rejected\":" << tenant.rejected << ","
+       << "\"cancelled\":" << tenant.cancelled << ","
+       << "\"deadline_exceeded\":" << tenant.deadline_exceeded << ","
+       << "\"peak_in_flight\":" << tenant.peak_in_flight << ","
        << "\"synthesis_seconds_saved\":"
        << Num(tenant.synthesis_seconds_saved) << '}';
   }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "core/placement.h"
 #include "engine/baselines.h"
@@ -163,19 +164,26 @@ PlacementEvaluation Pipeline::EvaluatePlacement(
   const auto sh = core::SynthesisHierarchy::Build(
       matrix, reduction_axes, engine_.options().hierarchy_kind,
       engine_.options().collapse_hierarchy);
+  // The engine's synthesis knobs plus this request's token. The token is
+  // execution-only (SynthesisCache::BaseKey excludes it), so entries are
+  // shared with tokenless requests.
+  core::SynthesisOptions synth_options = engine_.options().synthesis;
+  synth_options.cancel = options_.cancel;
   if (options_.cache_synthesis) {
     const auto synthesis = service_.cache().GetOrSynthesize(
-        sh, engine_.options().synthesis, nullptr, options_.tenant);
+        sh, synth_options, nullptr, options_.tenant);
     return Evaluate(matrix, sh, *synthesis);
   }
-  const auto synthesis =
-      core::SynthesizePrograms(sh, engine_.options().synthesis);
+  const auto synthesis = core::SynthesizePrograms(sh, synth_options);
   return Evaluate(matrix, sh, synthesis);
 }
 
 ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
                                std::span<const int> reduction_axes) {
   const auto start = std::chrono::steady_clock::now();
+  // A request aborted while queued (deadline already past, Cancel() before
+  // the pool got to it) unwinds before doing any work.
+  options_.cancel.ThrowIfCancelled();
 
   ExperimentResult result;
   result.axes.assign(axes.begin(), axes.end());
@@ -228,20 +236,27 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
   // request's cache accounting below is deterministic in placement order
   // and never includes other requests' activity.
   const auto synth_start = std::chrono::steady_clock::now();
+  // The engine's synthesis knobs plus this request's token, threaded into
+  // every dispatch below. Execution-only (SynthesisCache::BaseKey excludes
+  // the token — stage 2 keyed with the engine's plain options and gets the
+  // same groups), so cache entries stay shared across requests regardless
+  // of who carries a token.
+  core::SynthesisOptions synth_options = engine_.options().synthesis;
+  synth_options.cancel = options_.cancel;
   std::vector<std::shared_ptr<const core::SynthesisResult>> synthesis(n);
   std::vector<CacheLookupOutcome> outcomes(n);
   group.ParallelFor(
       static_cast<std::int64_t>(members_of.size()), [&](std::int64_t g) {
+        MaybeInjectFault("pipeline.synthesize");
+        options_.cancel.ThrowIfCancelled();
         const auto& members = members_of[static_cast<std::size_t>(g)];
         for (std::size_t i : members) {
           if (options_.cache_synthesis) {
             synthesis[i] = service_.cache().GetOrSynthesize(
-                hierarchies[i], engine_.options().synthesis, &outcomes[i],
-                options_.tenant);
+                hierarchies[i], synth_options, &outcomes[i], options_.tenant);
           } else {
             synthesis[i] = std::make_shared<const core::SynthesisResult>(
-                SynthesizePrograms(hierarchies[i],
-                                   engine_.options().synthesis));
+                SynthesizePrograms(hierarchies[i], synth_options));
           }
         }
       });
@@ -252,6 +267,8 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
   const auto eval_start = std::chrono::steady_clock::now();
   result.placements.resize(n);
   group.ParallelFor(static_cast<std::int64_t>(n), [&](std::int64_t i) {
+    MaybeInjectFault("pipeline.evaluate");
+    options_.cancel.ThrowIfCancelled();
     const auto idx = static_cast<std::size_t>(i);
     result.placements[idx] =
         Evaluate(placements[idx], hierarchies[idx], *synthesis[idx]);

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <span>
 
+#include "common/cancel.h"
 #include "engine/engine.h"
 #include "engine/synthesis_cache.h"
 
@@ -47,6 +48,13 @@ struct PipelineOptions {
   /// shared cache so cross-tenant reuse is attributable; kNoTenant for
   /// single-tenant callers.
   std::int64_t tenant = SynthesisCache::kNoTenant;
+  /// This request's cooperative-cancellation token (common/cancel.h),
+  /// checked between stages and between per-placement work items, and
+  /// threaded into the synthesizer's frontier loop. An aborted run throws
+  /// CancelledError / DeadlineExceededError out of Run(); work items of
+  /// *other* requests sharing the pool are untouched. Null (the default)
+  /// never cancels.
+  CancelToken cancel;
 };
 
 class Pipeline {

@@ -115,6 +115,16 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
   }
   os << ", " << stats.threads
      << (stats.threads == 1 ? " thread" : " threads");
+  // Robustness counters render only when the run actually rejected,
+  // cancelled, or timed out something, so classic reports are unchanged.
+  if (stats.rejected > 0) {
+    os << "\nadmission: " << stats.rejected << " rejected, peak "
+       << stats.peak_in_flight << " in flight";
+  }
+  if (stats.cancelled > 0 || stats.deadline_exceeded > 0) {
+    os << "\naborted: " << stats.cancelled << " cancelled, "
+       << stats.deadline_exceeded << " deadline-exceeded";
+  }
   if (stats.cache_entries_loaded > 0 || stats.cache.disk_hits > 0) {
     std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
                   stats.cache.disk_seconds_saved);
@@ -138,6 +148,15 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
       }
       if (tenant.cache_disk_hits > 0) {
         os << ", " << tenant.cache_disk_hits << " disk hits";
+      }
+      if (tenant.rejected > 0) {
+        os << ", " << tenant.rejected << " rejected";
+      }
+      if (tenant.cancelled > 0) {
+        os << ", " << tenant.cancelled << " cancelled";
+      }
+      if (tenant.deadline_exceeded > 0) {
+        os << ", " << tenant.deadline_exceeded << " deadline-exceeded";
       }
     }
   }

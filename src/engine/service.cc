@@ -1,6 +1,8 @@
 #include "engine/service.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -67,8 +69,11 @@ PlannerService::PlannerService(const Engine& engine,
 }
 
 PlannerService::~PlannerService() {
-  // request_tasks_ (declared last) drains outstanding requests first; the
-  // pool then joins its workers. Nothing to do explicitly.
+  // The same drain callers can run explicitly: reject new submissions, wait
+  // for (or after the configured grace, cancel) in-flight requests, persist
+  // the cache. request_tasks_ (declared last) then has nothing left and the
+  // pool joins its workers.
+  BeginDrain(options_.drain_grace);
 }
 
 const Engine* PlannerService::default_engine() const {
@@ -97,7 +102,11 @@ PlannerService::Tenant& PlannerService::AdoptTenant(
   const std::string key = TenantKey(cluster, engine_options);
   std::unique_lock<std::mutex> lock(tenants_mu_);
   const auto it = tenant_by_key_.find(key);
-  if (it != tenant_by_key_.end()) return *it->second;
+  if (it != tenant_by_key_.end()) {
+    // Admission may have registered the record engine-less; adopt into it.
+    if (it->second->engine == nullptr) it->second->engine = std::move(engine);
+    return *it->second;
+  }
   Tenant& tenant = RegisterTenantLocked(key, cluster);
   tenant.engine = std::move(engine);
   return tenant;
@@ -107,25 +116,34 @@ PlannerService::Tenant& PlannerService::ResolveTenant(
     const topology::Cluster& cluster) {
   const std::string key = TenantKey(cluster, options_.engine);
   std::unique_lock<std::mutex> lock(tenants_mu_);
+  Tenant* record = nullptr;
   for (;;) {
     const auto it = tenant_by_key_.find(key);
-    if (it == tenant_by_key_.end()) break;
+    if (it == tenant_by_key_.end()) {
+      record = &RegisterTenantLocked(key, cluster);
+      break;
+    }
     Tenant& tenant = *it->second;
     if (tenant.engine != nullptr) return tenant;
+    if (!tenant.built.valid()) {
+      // An engine-less record (registered by admission, or left behind by a
+      // failed construction) nobody is building: claim the construction.
+      record = &tenant;
+      break;
+    }
     // Another request is constructing this tenant's engine right now: wait
-    // for it and re-check (the record disappears if that construction
-    // threw, sending us around the loop into our own attempt). Same
-    // in-flight-dedup pattern as the synthesis cache.
+    // for it and re-check (a construction that threw leaves the record
+    // engine-less and unclaimed, sending us around the loop into our own
+    // attempt). Same in-flight-dedup pattern as the synthesis cache.
     const auto built = tenant.built;
     lock.unlock();
     built.wait();
     lock.lock();
   }
 
-  // New fingerprint: announce the construction, run it outside the lock so
-  // other tenants' requests proceed, then publish.
+  // Announce the construction, run it outside the lock so other tenants'
+  // requests proceed, then publish.
   std::promise<void> built_promise;
-  Tenant* record = &RegisterTenantLocked(key, cluster);
   record->built = built_promise.get_future().share();
   lock.unlock();
 
@@ -133,16 +151,11 @@ PlannerService::Tenant& PlannerService::ResolveTenant(
   try {
     engine = std::make_shared<const Engine>(cluster, options_.engine);
   } catch (...) {
-    // Withdraw the announcement and wake the racers; each retries (and
-    // presumably fails the same way, in its own future).
+    // Withdraw the claim — but keep the record, so the tenant's id and its
+    // admission counters survive — and wake the racers; each retries the
+    // construction (and presumably fails the same way, in its own future).
     lock.lock();
-    tenant_by_key_.erase(key);
-    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
-      if (it->get() == record) {
-        tenants_.erase(it);
-        break;
-      }
-    }
+    record->built = {};
     lock.unlock();
     built_promise.set_value();
     throw;
@@ -167,6 +180,49 @@ PlannerService::Tenant& PlannerService::TenantForRequest(
       "Engine");
 }
 
+PlannerService::Tenant& PlannerService::AdmitTenantLocked(
+    const PlanRequest& request) {
+  if (!request.cluster.has_value()) {
+    if (default_tenant_ != nullptr) return *default_tenant_;
+    throw std::invalid_argument(
+        "PlanRequest names no cluster and the PlannerService has no default "
+        "tenant; set PlanRequest::cluster or construct the service with an "
+        "Engine");
+  }
+  const std::string key = TenantKey(*request.cluster, options_.engine);
+  const auto it = tenant_by_key_.find(key);
+  if (it != tenant_by_key_.end()) return *it->second;
+  // New fingerprint at Submit time: register the record engine-less so this
+  // submission (and any rejection of it) is attributable; the request task
+  // constructs the engine when it runs (ResolveTenant claims the record).
+  return RegisterTenantLocked(key, *request.cluster);
+}
+
+void PlannerService::FinishRequest(std::int64_t id, Tenant& tenant,
+                                   std::exception_ptr error) {
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  active_.erase(id);
+  --in_flight_;
+  --tenant.in_flight;
+  if (error != nullptr) {
+    // Classify the abort for the stats; other failures (engine
+    // construction, evaluation bugs) reach the caller through the future
+    // but are not aborts.
+    try {
+      std::rethrow_exception(error);
+    } catch (const PlanDeadlineExceeded&) {
+      ++deadline_exceeded_;
+      ++tenant.stats.deadline_exceeded;
+    } catch (const PlanCancelled&) {
+      ++cancelled_;
+      ++tenant.stats.cancelled;
+    } catch (...) {
+    }
+  }
+  lock.unlock();
+  drained_cv_.notify_all();
+}
+
 void PlannerService::AccumulateTenantStats(Tenant& tenant,
                                            const ExperimentResult& result) {
   std::unique_lock<std::mutex> lock(tenants_mu_);
@@ -180,7 +236,7 @@ void PlannerService::AccumulateTenantStats(Tenant& tenant,
   stats.synthesis_seconds_saved += result.pipeline.synthesis_seconds_saved;
 }
 
-std::future<ExperimentResult> PlannerService::Submit(PlanRequest request) {
+PlanHandle PlannerService::Submit(PlanRequest request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (!options_.cache_file.empty()) {
     // Persistence is the signature cache on disk: bypassing it would
@@ -188,31 +244,130 @@ std::future<ExperimentResult> PlannerService::Submit(PlanRequest request) {
     // from the rewrite on save.
     request.cache_synthesis = true;
   }
+
+  CancelSource source;
+  if (request.deadline.has_value()) {
+    // Relative to Submit, absolute from here on: the clock runs while the
+    // request sits in the pool's queue too.
+    source.SetDeadlineAfter(*request.deadline);
+  }
+  const auto fail = [&source](std::exception_ptr error) {
+    std::promise<ExperimentResult> failed;
+    failed.set_exception(std::move(error));
+    return PlanHandle(failed.get_future(), std::move(source));
+  };
+
+  // Admission, under the registry lock: attribute the submission to its
+  // tenant record — registering an engine-less one on a new fingerprint —
+  // and check drain state and the in-flight caps. Over-limit fails fast
+  // with PlanRejected through the (already-failed) handle: no silent
+  // queuing, and Plan() = Submit().get() surfaces it uniformly.
+  Tenant* tenant = nullptr;
+  std::int64_t id = 0;
+  {
+    std::unique_lock<std::mutex> lock(tenants_mu_);
+    try {
+      tenant = &AdmitTenantLocked(request);
+    } catch (...) {
+      return fail(std::current_exception());
+    }
+    if (draining_) {
+      ++rejected_;
+      ++tenant->stats.rejected;
+      return fail(std::make_exception_ptr(
+          PlanRejected("PlannerService is draining; no new submissions")));
+    }
+    if (options_.max_in_flight > 0 && in_flight_ >= options_.max_in_flight) {
+      ++rejected_;
+      ++tenant->stats.rejected;
+      return fail(std::make_exception_ptr(PlanRejected(
+          "service-wide max_in_flight (" +
+          std::to_string(options_.max_in_flight) + ") reached")));
+    }
+    if (options_.max_in_flight_per_tenant > 0 &&
+        tenant->in_flight >= options_.max_in_flight_per_tenant) {
+      ++rejected_;
+      ++tenant->stats.rejected;
+      return fail(std::make_exception_ptr(PlanRejected(
+          "per-tenant max_in_flight (" +
+          std::to_string(options_.max_in_flight_per_tenant) +
+          ") reached for tenant " + std::to_string(tenant->id))));
+    }
+    ++in_flight_;
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+    ++tenant->in_flight;
+    tenant->stats.peak_in_flight =
+        std::max(tenant->stats.peak_in_flight, tenant->in_flight);
+    id = next_request_id_++;
+    active_.emplace(id, source);
+  }
+
   // The request runs as a pool task so Submit returns immediately — tenant
   // resolution included, so a request racing onto a new fingerprint never
   // blocks the submitter behind an Engine construction. The pipeline's own
   // work items join the pool through a separate TaskGroup, and the
   // orchestrating task *helps* execute them while waiting (see
   // ThreadPool::TaskGroup::Wait), so request tasks never deadlock the pool
-  // they occupy. packaged_task routes the result — or the first exception —
-  // into the future.
+  // they occupy. packaged_task routes the result — or the first exception,
+  // cancellation included — into the future; request_tasks_ therefore never
+  // sees a throwing task, so one aborted request cannot fail-fast the
+  // group's other requests.
   auto task = std::make_shared<std::packaged_task<ExperimentResult()>>(
-      [this, request = std::move(request)]() {
-        Tenant& tenant = TenantForRequest(request);
-        Pipeline pipeline(*this, *tenant.engine,
-                          PipelineOptions{
-                              .cache_synthesis = request.cache_synthesis,
-                              .measure_top_k = request.measure_top_k,
-                              .tenant = tenant.id,
-                          });
-        ExperimentResult result =
-            pipeline.Run(request.axes, request.reduction_axes);
-        AccumulateTenantStats(tenant, result);
-        return result;
+      [this, request = std::move(request), token = source.token(), tenant,
+       id]() {
+        try {
+          // Aborted while queued (deadline already past, cancelled before a
+          // worker picked it up): unwind before resolving anything.
+          token.ThrowIfCancelled();
+          Tenant& resolved = TenantForRequest(request);
+          Pipeline pipeline(*this, *resolved.engine,
+                            PipelineOptions{
+                                .cache_synthesis = request.cache_synthesis,
+                                .measure_top_k = request.measure_top_k,
+                                .tenant = resolved.id,
+                                .cancel = token,
+                            });
+          ExperimentResult result =
+              pipeline.Run(request.axes, request.reduction_axes);
+          AccumulateTenantStats(resolved, result);
+          FinishRequest(id, *tenant, nullptr);
+          return result;
+        } catch (...) {
+          FinishRequest(id, *tenant, std::current_exception());
+          throw;
+        }
       });
   auto future = task->get_future();
   request_tasks_.Submit([task] { (*task)(); });
-  return future;
+  return PlanHandle(std::move(future), std::move(source));
+}
+
+void PlannerService::BeginDrain(
+    std::optional<std::chrono::milliseconds> grace) {
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  draining_ = true;  // every later Submit rejects
+  const auto idle = [this] { return in_flight_ == 0; };
+  if (grace.has_value()) {
+    if (!drained_cv_.wait_for(lock, *grace, idle)) {
+      // Grace expired: fire every in-flight request's cancel lever, then
+      // wait out the cooperative unwinds (checkpoints are frequent, so this
+      // tail is short). Their futures carry PlanCancelled.
+      for (auto& [id, source] : active_) source.Cancel();
+      drained_cv_.wait(lock, idle);
+    }
+  } else {
+    drained_cv_.wait(lock, idle);
+  }
+  lock.unlock();
+  // Persist what this run learned (no-op without a cache_file or under
+  // cache_readonly). Callers wanting the error detail run SaveCache
+  // themselves before draining — this path is also the destructor's.
+  SaveCache();
+}
+
+bool PlannerService::draining() const {
+  std::unique_lock<std::mutex> lock(tenants_mu_);
+  return draining_;
 }
 
 ExperimentResult PlannerService::Plan(PlanRequest request) {
@@ -258,6 +413,10 @@ PlannerServiceStats PlannerService::stats() const {
   stats.threads = options_.threads > 1 ? options_.threads : 1;
   std::unique_lock<std::mutex> lock(tenants_mu_);
   stats.engines_constructed = engines_constructed_;
+  stats.rejected = rejected_;
+  stats.cancelled = cancelled_;
+  stats.deadline_exceeded = deadline_exceeded_;
+  stats.peak_in_flight = peak_in_flight_;
   stats.tenants.reserve(tenants_.size());
   for (const auto& tenant : tenants_) stats.tenants.push_back(tenant->stats);
   return stats;

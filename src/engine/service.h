@@ -44,16 +44,20 @@
 #define P2_ENGINE_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "engine/cache_store.h"
 #include "engine/engine.h"
@@ -61,6 +65,30 @@
 #include "topology/cluster.h"
 
 namespace p2::engine {
+
+// The service's abort taxonomy (the README's "Robustness contract"). A
+// request's future completes with exactly one of these when it does not
+// complete with a result:
+//
+//   PlanRejected          refused at Submit — admission cap hit or the
+//                         service is draining; no work was started
+//   PlanCancelled         PlanHandle::Cancel() (or a drain grace deadline)
+//                         aborted it mid-flight
+//   PlanDeadlineExceeded  its PlanRequest::deadline passed mid-flight
+//
+// The latter two are the common cancellation errors (common/cancel.h) under
+// service-level names; catch RequestAborted to handle both. Cancellation is
+// cooperative and never perturbs other requests: a surviving request's
+// result is byte-identical whether or not co-tenants were cancelled.
+using PlanCancelled = CancelledError;
+using PlanDeadlineExceeded = DeadlineExceededError;
+
+/// The submission was refused before any work started (admission control or
+/// drain). Deliberately *not* a RequestAborted: nothing was in flight.
+class PlanRejected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct PlannerServiceOptions {
   /// Worker threads of the shared pool; <= 1 runs every request inline on
@@ -85,6 +113,18 @@ struct PlannerServiceOptions {
   /// this with the borrowed engine's options, so requests naming a cluster
   /// evaluate under the same knobs as the default tenant.
   EngineOptions engine;
+  /// Admission cap on concurrently in-flight requests service-wide; a
+  /// Submit beyond it fails fast with PlanRejected through the returned
+  /// handle (no silent queuing — the cap bounds the pool's pending queue).
+  /// <= 0 (the default) is unbounded.
+  std::int64_t max_in_flight = 0;
+  /// The same cap per tenant, so one misbehaving tenant exhausts its own
+  /// budget instead of the whole service's. <= 0 is unbounded.
+  std::int64_t max_in_flight_per_tenant = 0;
+  /// Grace the *destructor's* implicit drain gives in-flight requests
+  /// before cancelling them (see BeginDrain); nullopt (the default) waits
+  /// for them indefinitely, like the pre-drain destructor always did.
+  std::optional<std::chrono::milliseconds> drain_grace;
 };
 
 /// One planning query: evaluate every placement of `axes` on the engine of
@@ -108,6 +148,46 @@ struct PlanRequest {
   /// cluster nor a default tenant fails (std::invalid_argument through the
   /// future).
   std::optional<topology::Cluster> cluster;
+  /// Deadline relative to Submit(): once it passes, the request aborts at
+  /// its next cancellation checkpoint and its future carries
+  /// PlanDeadlineExceeded. nullopt (the default) never expires.
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
+/// The future-like handle Submit returns: the result channel plus the
+/// request's cancellation lever. Cancel() is cooperative — the request
+/// observes it at its next checkpoint, releases its pool slots, and
+/// completes the future with PlanCancelled; a request that already finished
+/// is unaffected. The handle may outlive the service (the destructor drains
+/// in-flight requests first), and get()/wait() mirror std::future.
+class PlanHandle {
+ public:
+  PlanHandle() = default;
+
+  /// Blocks for the result; rethrows PlanRejected / PlanCancelled /
+  /// PlanDeadlineExceeded or the request's own failure. Consumes the state,
+  /// like std::future::get.
+  ExperimentResult get() { return future_.get(); }
+  void wait() const { future_.wait(); }
+  template <class Rep, class Period>
+  std::future_status wait_for(
+      const std::chrono::duration<Rep, Period>& timeout) const {
+    return future_.wait_for(timeout);
+  }
+  bool valid() const { return future_.valid(); }
+
+  /// Requests cooperative cancellation (idempotent, any thread). A request
+  /// whose deadline already fired keeps PlanDeadlineExceeded — the first
+  /// abort reason wins.
+  void Cancel() { source_.Cancel(); }
+
+ private:
+  friend class PlannerService;
+  PlanHandle(std::future<ExperimentResult> future, CancelSource source)
+      : future_(std::move(future)), source_(std::move(source)) {}
+
+  std::future<ExperimentResult> future_;
+  CancelSource source_;
 };
 
 /// Per-tenant figures: one row per registered engine, in registration
@@ -119,10 +199,11 @@ struct PlanRequest {
 /// cache counters run ahead of the tenant rows, which only accumulate at
 /// request completion.
 struct TenantStats {
-  /// Registration order, monotonically increasing from 0 and never reused —
-  /// a registration whose engine construction failed burns its id, so a gap
-  /// can appear but two tenants can never share one (the id doubles as the
-  /// cache's cross-tenant attribution tag).
+  /// Registration order, monotonically increasing from 0 and never reused
+  /// or shared (the id doubles as the cache's cross-tenant attribution
+  /// tag). A tenant record survives a failed engine construction — its
+  /// admission counters persist and the next request on the fingerprint
+  /// retries the construction under the same id.
   std::int64_t id = 0;
   std::string fingerprint;        ///< topology::Cluster::Fingerprint()
   std::string cluster;            ///< human-readable Cluster::ToString()
@@ -135,6 +216,13 @@ struct TenantStats {
   std::int64_t cache_cross_tenant_hits = 0;
   std::int64_t cache_disk_hits = 0;
   double synthesis_seconds_saved = 0.0;
+  // Robustness counters (the service's abort taxonomy, see the top of this
+  // header): how this tenant's submissions ended other than successfully.
+  std::int64_t rejected = 0;           ///< failed admission (PlanRejected)
+  std::int64_t cancelled = 0;          ///< aborted via Cancel()/drain
+  std::int64_t deadline_exceeded = 0;  ///< aborted by their deadline
+  /// High-water mark of this tenant's concurrently in-flight requests.
+  std::int64_t peak_in_flight = 0;
 };
 
 /// Service-wide figures, aggregated exactly once per service — unlike the
@@ -152,6 +240,12 @@ struct PlannerServiceStats {
   std::int64_t engines_constructed = 0;
   SynthesisCacheStats cache;  ///< shared-cache totals across all requests
   int threads = 1;
+  // Service-wide robustness totals (across all tenants, including requests
+  // rejected before any tenant attribution was possible).
+  std::int64_t rejected = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t peak_in_flight = 0;  ///< high-water mark of in-flight requests
   std::vector<TenantStats> tenants;  ///< registration order
 };
 
@@ -167,7 +261,9 @@ class PlannerService {
   /// request-supplied clusters.
   explicit PlannerService(const Engine& engine,
                           PlannerServiceOptions options = {});
-  /// Drains every outstanding Submit()ted request, then joins the pool.
+  /// Drains through BeginDrain(options().drain_grace) — waits for (or,
+  /// after the grace, cancels) every outstanding Submit()ted request and
+  /// persists the cache — then joins the pool.
   ~PlannerService();
 
   PlannerService(const PlannerService&) = delete;
@@ -191,11 +287,27 @@ class PlannerService {
 
   /// Enqueues a request and returns immediately. The request runs as tasks
   /// on the shared pool, interleaved fairly with other in-flight requests;
-  /// the future carries its ExperimentResult (or the first exception its
-  /// evaluation threw, including the tenant-resolution failure of a request
-  /// with neither a cluster nor a default tenant). With threads <= 1 the
-  /// request runs synchronously here and the future is already ready.
-  std::future<ExperimentResult> Submit(PlanRequest request);
+  /// the handle's future carries its ExperimentResult (or the first
+  /// exception its evaluation threw, including the tenant-resolution
+  /// failure of a request with neither a cluster nor a default tenant).
+  /// Admission control applies here: beyond max_in_flight (service-wide or
+  /// per-tenant) or once draining, the handle is already failed with
+  /// PlanRejected and no work starts. A PlanRequest::deadline starts
+  /// counting now. With threads <= 1 the request runs synchronously here
+  /// and the handle is already ready.
+  PlanHandle Submit(PlanRequest request);
+
+  /// Graceful shutdown, reusable and idempotent: new submissions are
+  /// rejected (PlanRejected) from this call on; in-flight requests run to
+  /// completion — or, when `grace` is set and expires first, are
+  /// cooperatively cancelled (their futures carry PlanCancelled) and then
+  /// still waited for; finally the cache is persisted (SaveCache — a no-op
+  /// without a cache_file or under cache_readonly). The destructor drains
+  /// through this with options().drain_grace.
+  void BeginDrain(
+      std::optional<std::chrono::milliseconds> grace = std::nullopt);
+  /// True once BeginDrain ran: every later Submit is rejected.
+  bool draining() const;
 
   /// Blocking single query (Submit + get).
   ExperimentResult Plan(PlanRequest request);
@@ -222,8 +334,10 @@ class PlannerService {
   PlannerServiceStats stats() const;
 
  private:
-  /// One registered engine. `engine` is null while a request is
-  /// constructing it; `built` is the future such racers wait on.
+  /// One registered engine. `engine` is null until a request constructs it
+  /// (admission registers engine-less records so rejections are
+  /// attributable); `built`, when valid, is the future racers wait on while
+  /// one of them runs the construction.
   struct Tenant {
     std::int64_t id = 0;
     std::string fingerprint;
@@ -231,6 +345,9 @@ class PlannerService {
     std::shared_ptr<const Engine> engine;
     std::shared_future<void> built;
     TenantStats stats;  ///< guarded by tenants_mu_
+    /// This tenant's currently in-flight requests (guarded by tenants_mu_;
+    /// transient, unlike the high-water mark in stats).
+    std::int64_t in_flight = 0;
   };
 
   /// Creates and publishes a fresh Tenant record under `key` (tenants_mu_
@@ -248,6 +365,16 @@ class PlannerService {
   /// The tenant a request addresses (default tenant when it has no
   /// cluster); throws std::invalid_argument when there is neither.
   Tenant& TenantForRequest(const PlanRequest& request);
+  /// The tenant *record* a request will be attributed to, registering an
+  /// engine-less one on a new fingerprint (tenants_mu_ held). The Submit
+  /// path needs the record for admission before any engine exists; the
+  /// request task later resolves/constructs the engine into it. Throws
+  /// std::invalid_argument for a request with neither cluster nor default.
+  Tenant& AdmitTenantLocked(const PlanRequest& request);
+  /// Books completion of in-flight request `id` (admission bookkeeping,
+  /// abort classification from `error`, drain wake-up).
+  void FinishRequest(std::int64_t id, Tenant& tenant,
+                     std::exception_ptr error);
   /// Folds a finished request's pipeline stats into its tenant's row.
   void AccumulateTenantStats(Tenant& tenant, const ExperimentResult& result);
 
@@ -267,10 +394,24 @@ class PlannerService {
   std::unordered_map<std::string, Tenant*> tenant_by_key_;
   Tenant* default_tenant_ = nullptr;
   std::int64_t engines_constructed_ = 0;
-  /// Monotonic id source (never tenants_.size(): a withdrawn failed
-  /// registration would let two live tenants share an id, corrupting the
-  /// cache's cross-tenant attribution).
+  /// Monotonic id source (never tenants_.size(), so ids are stable however
+  /// the registry is grown — the id is the cache's cross-tenant
+  /// attribution tag and must never be shared).
   std::int64_t next_tenant_id_ = 0;
+
+  // Admission / drain state, all guarded by tenants_mu_.
+  bool draining_ = false;
+  std::int64_t in_flight_ = 0;
+  std::int64_t peak_in_flight_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t cancelled_ = 0;
+  std::int64_t deadline_exceeded_ = 0;
+  std::int64_t next_request_id_ = 0;
+  /// Cancel levers of in-flight requests, by request id — what a drain
+  /// grace deadline fires.
+  std::unordered_map<std::int64_t, CancelSource> active_;
+  /// Signalled by FinishRequest; BeginDrain waits on it for in_flight_ == 0.
+  std::condition_variable drained_cv_;
 
   /// The orchestration tasks of Submit()ted requests. Declared last: its
   /// destructor drains them while the registry, cache_ and pool_ are still

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <utility>
 
 namespace p2::engine {
@@ -42,10 +43,14 @@ std::string SynthesisCache::BaseKey(const core::SynthesisHierarchy& sh,
   // size-ordered program list makes the truncation exact); it still appears
   // in the full Key() so persisted entries keep their cap. The assert fires
   // when a field is added without revisiting this function.
+  // `cancel` is excluded for the same reason as `threads`: it is pure
+  // execution strategy — a search that *completes* returns the same program
+  // list with or without a token, and an aborted search publishes nothing.
   static_assert(sizeof(core::SynthesisOptions) ==
-                    2 * sizeof(std::int64_t),  // int max_program_size
+                    4 * sizeof(std::int64_t),  // int max_program_size
                                                // + int threads (excluded)
                                                // + int64 max_programs
+                                               // + CancelToken (excluded)
                 "new SynthesisOptions field? include it in the cache key");
   return sh.Signature() + ";size<=" + std::to_string(options.max_program_size);
 }
@@ -176,7 +181,23 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     holds_reservation = true;
     waited = true;
     lock.unlock();
-    flight->done.wait();
+    if (options.cancel.CanBeCancelled()) {
+      // A cancellable waiter polls so its *own* abort can interrupt the
+      // wait: the owner it is parked behind may belong to a different
+      // request that never cancels. On abort it releases its reservation
+      // (nobody will do the post-wake lookup it protected) and unwinds.
+      while (flight->done.wait_for(std::chrono::milliseconds(5)) ==
+             std::future_status::timeout) {
+        if (options.cancel.cancel_requested()) {
+          lock.lock();
+          release_reservation();
+          lock.unlock();
+          options.cancel.ThrowIfCancelled();
+        }
+      }
+    } else {
+      flight->done.wait();
+    }
     lock.lock();
   }
 

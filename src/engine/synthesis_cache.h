@@ -16,11 +16,17 @@
 //  - In-flight deduplication: when two threads miss the same signature
 //    simultaneously, exactly one runs the synthesis; the others block on it
 //    and are then served the finished entry (one miss total, the rest are
-//    hits that `waited`). Known tradeoff: a waiter blocks its thread — a
-//    pool worker waiting here does not pick up other queued work the way
-//    ThreadPool::TaskGroup::Wait does. A non-blocking "defer this member"
-//    lookup would let the pipeline reorder around in-flight signatures; see
-//    the ROADMAP's service item.
+//    hits that `waited`). An owner whose synthesis throws — including a
+//    cooperative cancellation of *its* request — withdraws the in-flight
+//    announcement before waking the waiters, so each waiter re-checks,
+//    finds no flight, and dispatches the synthesis itself: a dead owner
+//    never parks its waiters forever. Symmetrically, a waiter whose own
+//    request aborts (SynthesisOptions::cancel) interrupts its wait and
+//    unwinds instead of riding out a foreign owner's synthesis. Known
+//    tradeoff: a live waiter blocks its thread — a pool worker waiting here
+//    does not pick up other queued work the way ThreadPool::TaskGroup::Wait
+//    does. A non-blocking "defer this member" lookup would let the pipeline
+//    reorder around in-flight signatures; see the ROADMAP's service item.
 //  - max_programs subsumption: an entry synthesized under a larger
 //    max_programs cap serves smaller-cap queries by truncating its program
 //    list. That is exact, not approximate: SynthesizePrograms keeps the

@@ -120,6 +120,55 @@ TEST(Cli, ParsesServiceThreads) {
           .has_value());
 }
 
+TEST(Cli, ParsesRobustnessFlags) {
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0", "--deadline-ms=250",
+                           "--max-in-flight=4", "--drain-grace-ms=100"},
+                          &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->deadline_ms, 250);
+  EXPECT_EQ(opts->max_in_flight, 4);
+  EXPECT_EQ(opts->drain_grace_ms, 100);
+}
+
+TEST(Cli, RobustnessFlagDefaultsAreOff) {
+  std::string error;
+  const auto opts = Parse({"--axes=8,4", "--reduce=0"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->deadline_ms, 0);      // no deadline
+  EXPECT_EQ(opts->max_in_flight, 0);    // unbounded admission
+  EXPECT_EQ(opts->drain_grace_ms, -1);  // drain waits indefinitely
+}
+
+TEST(Cli, DrainGraceZeroIsValid) {
+  // 0 is meaningful — cancel in-flight work the moment the drain starts —
+  // and must not be folded into "unset".
+  std::string error;
+  const auto opts =
+      Parse({"--axes=8,4", "--reduce=0", "--drain-grace-ms=0"}, &error);
+  ASSERT_TRUE(opts.has_value()) << error;
+  EXPECT_EQ(opts->drain_grace_ms, 0);
+}
+
+TEST(Cli, RejectsBadRobustnessValues) {
+  std::string error;
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--deadline-ms=0"}, &error)
+                   .has_value());
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--deadline-ms=x"}, &error)
+                   .has_value());
+  EXPECT_FALSE(
+      Parse({"--axes=8,4", "--reduce=0", "--max-in-flight=-1"}, &error)
+          .has_value());
+  EXPECT_FALSE(
+      Parse({"--axes=8,4", "--reduce=0", "--drain-grace-ms=-1"}, &error)
+          .has_value());
+  // A mistyped flag hits the generic unrecognized-flag path, not a silent
+  // accept.
+  EXPECT_FALSE(Parse({"--axes=8,4", "--reduce=0", "--deadline=250"}, &error)
+                   .has_value());
+  EXPECT_NE(error.find("unrecognized"), std::string::npos) << error;
+}
+
 TEST(Cli, GridExcludesExplicitConfig) {
   std::string error;
   const auto opts = Parse({"--grid", "--nodes=1"}, &error);

@@ -133,5 +133,48 @@ TEST(JsonExport, ServiceStatsExportPerTenantSectionsAndTotals) {
   EXPECT_FALSE(in_string);
 }
 
+TEST(JsonExport, ServiceStatsExportRobustnessCounters) {
+  // The ISSUE 7 abort taxonomy flows to dashboards: hand-built stats so the
+  // exact values are assertable, service-wide and per tenant.
+  PlannerServiceStats stats;
+  stats.requests = 7;
+  stats.rejected = 2;
+  stats.cancelled = 3;
+  stats.deadline_exceeded = 1;
+  stats.peak_in_flight = 5;
+  TenantStats tenant;
+  tenant.id = 0;
+  tenant.rejected = 2;
+  tenant.cancelled = 3;
+  tenant.deadline_exceeded = 1;
+  tenant.peak_in_flight = 4;
+  stats.tenants = {tenant};
+
+  const std::string json = ToJson(stats);
+  EXPECT_NE(json.find("\"rejected\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cancelled\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"deadline_exceeded\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"peak_in_flight\":5"), std::string::npos) << json;
+  // The tenant object carries its own copies.
+  const auto tenants = json.find("\"tenants\":[{");
+  ASSERT_NE(tenants, std::string::npos);
+  EXPECT_NE(json.find("\"rejected\":2", tenants), std::string::npos);
+  EXPECT_NE(json.find("\"cancelled\":3", tenants), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_exceeded\":1", tenants), std::string::npos);
+  EXPECT_NE(json.find("\"peak_in_flight\":4", tenants), std::string::npos);
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
 }  // namespace
 }  // namespace p2::engine

@@ -75,7 +75,7 @@ TEST(PlannerService, ConcurrentSubmissionIsDeterministic) {
 
       PlannerService service(engine,
                              PlannerServiceOptions{.threads = threads});
-      std::vector<std::future<ExperimentResult>> futures(configs.size());
+      std::vector<PlanHandle> futures(configs.size());
       for (const std::size_t index : order) {
         futures[index] = service.Submit(RequestFor(configs[index]));
       }
@@ -100,7 +100,7 @@ TEST(PlannerService, RacingQueriesSynthesizeEachSignatureExactlyOnce) {
     PlanRequest request;
     request.axes = {8, 2, 2};  // 3 placements, 2 unique signatures
     request.reduction_axes = {0};
-    std::vector<std::future<ExperimentResult>> futures;
+    std::vector<PlanHandle> futures;
     for (int i = 0; i < 4; ++i) futures.push_back(service.Submit(request));
 
     std::int64_t per_request_misses = 0;
@@ -155,7 +155,7 @@ TEST(PlannerService, FuturesPropagateEvaluationErrors) {
 
 TEST(PlannerService, DestructorDrainsOutstandingRequests) {
   const Engine engine(topology::MakeA100Cluster(2), FastOptions());
-  std::future<ExperimentResult> future;
+  PlanHandle future;
   {
     PlannerService service(engine, PlannerServiceOptions{.threads = 2});
     future = service.Submit(RequestFor(Configs()[0]));
@@ -224,7 +224,7 @@ TEST(MultiTenantService, InterleavedClustersMatchDedicatedServices) {
       options.threads = threads;
       options.engine = FastOptions();
       PlannerService service(options);
-      std::vector<std::future<ExperimentResult>> futures(configs.size());
+      std::vector<PlanHandle> futures(configs.size());
       for (const std::size_t index : order) {
         futures[index] = service.Submit(RequestFor(configs[index]));
       }
@@ -255,7 +255,7 @@ TEST(MultiTenantService, RacingRequestsConstructEachEngineOnce) {
     request.axes = {8, 4};
     request.reduction_axes = {0};
     request.cluster = topology::MakeA100Cluster(2);
-    std::vector<std::future<ExperimentResult>> futures;
+    std::vector<PlanHandle> futures;
     for (int i = 0; i < 4; ++i) futures.push_back(service.Submit(request));
     for (auto& future : futures) {
       EXPECT_GT(future.get().placements.size(), 0u);

@@ -84,5 +84,56 @@ TEST(Report, RankThrowsOnEmpty) {
   EXPECT_THROW(MeasuredRankOfPredictedBest({}), std::invalid_argument);
 }
 
+TEST(Report, ServiceStatsRenderRobustnessCountersOnlyWhenNonzero) {
+  PlannerServiceStats stats;
+  stats.requests = 3;
+  // A clean run renders the classic footer, no robustness lines.
+  const auto clean = RenderServiceStats(stats);
+  EXPECT_EQ(clean.find("admission:"), std::string::npos);
+  EXPECT_EQ(clean.find("aborted:"), std::string::npos);
+
+  stats.rejected = 2;
+  stats.peak_in_flight = 4;
+  stats.cancelled = 1;
+  stats.deadline_exceeded = 3;
+  const auto hardened = RenderServiceStats(stats);
+  EXPECT_NE(hardened.find("admission: 2 rejected, peak 4 in flight"),
+            std::string::npos)
+      << hardened;
+  EXPECT_NE(hardened.find("aborted: 1 cancelled, 3 deadline-exceeded"),
+            std::string::npos)
+      << hardened;
+}
+
+TEST(Report, TenantRowsRenderRobustnessCounters) {
+  PlannerServiceStats stats;
+  stats.requests = 2;
+  TenantStats calm;
+  calm.id = 0;
+  calm.cluster = "calm";
+  calm.requests = 1;
+  TenantStats noisy;
+  noisy.id = 1;
+  noisy.cluster = "noisy";
+  noisy.requests = 1;
+  noisy.rejected = 5;
+  noisy.cancelled = 2;
+  noisy.deadline_exceeded = 1;
+  stats.tenants = {calm, noisy};
+
+  const auto rendered = RenderServiceStats(stats);
+  EXPECT_NE(rendered.find("5 rejected"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("2 cancelled"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("1 deadline-exceeded"), std::string::npos)
+      << rendered;
+  // The calm tenant's row stays free of robustness segments.
+  const auto calm_row = rendered.find("tenant 0 [calm]");
+  const auto noisy_row = rendered.find("tenant 1 [noisy]");
+  ASSERT_NE(calm_row, std::string::npos);
+  ASSERT_NE(noisy_row, std::string::npos);
+  EXPECT_EQ(rendered.substr(calm_row, noisy_row - calm_row).find("rejected"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace p2::engine

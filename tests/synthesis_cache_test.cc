@@ -5,6 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string_view>
+#include <thread>
+
+#include "common/cancel.h"
+#include "common/fault_injection.h"
 #include "core/synthesis_hierarchy.h"
 
 namespace p2::engine {
@@ -380,6 +388,98 @@ TEST(SynthesisCache, DiskPreloadedEntriesAreNeverCrossTenant) {
   // Disk entries belong to no tenant: the cross-run reuse is the disk_hits
   // figure, not cross-tenant sharing.
   EXPECT_FALSE(outcome.cross_tenant);
+}
+
+// ISSUE 7 regression: the in-flight dedup must never park waiters behind a
+// synthesis that died. The owner withdraws its announcement before waking
+// them, so each waiter re-checks the table, finds neither entry nor flight,
+// and synthesizes for itself — a dead owner costs a retry, never a hang.
+TEST(SynthesisCache, DeadOwnerNeverParksItsWaitersForever) {
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+  std::atomic<bool> owner_inside{false};
+  std::atomic<bool> waiter_launched{false};
+  std::atomic<int> synth_calls{0};
+  FaultScope scope([&](std::string_view point) {
+    if (point != "synth.layer") return;
+    if (synth_calls.fetch_add(1) != 0) return;  // only the owner dies
+    owner_inside.store(true);
+    // Hold the flight open until the waiter is parked behind it, then die.
+    for (int i = 0; i < 500 && !waiter_launched.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    throw std::runtime_error("injected owner death");
+  });
+
+  std::thread owner([&] {
+    EXPECT_THROW(cache.GetOrSynthesize(IsomorphicA(), options),
+                 std::runtime_error);
+  });
+  while (!owner_inside.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Same signature: the waiter parks behind the owner's in-flight record.
+  std::shared_ptr<const core::SynthesisResult> served;
+  std::thread waiter(
+      [&] { served = cache.GetOrSynthesize(IsomorphicB(), options); });
+  waiter_launched.store(true);
+  owner.join();
+  waiter.join();
+
+  // The waiter re-dispatched: its own (second) synthesis succeeded and
+  // published; the owner's death left no entry and no miss behind.
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  const auto fresh = core::SynthesizePrograms(IsomorphicB(), options);
+  ASSERT_EQ(served->programs.size(), fresh.programs.size());
+  for (std::size_t i = 0; i < fresh.programs.size(); ++i) {
+    EXPECT_EQ(served->programs[i], fresh.programs[i]);
+  }
+}
+
+// ISSUE 7: a *cancelled* waiter interrupts its wait instead of sitting out
+// the owner's synthesis — and its departure (releasing the eviction
+// reservation it held) leaves the flight fully intact for everyone else.
+TEST(SynthesisCache, CancelledWaiterUnwindsWithoutDisturbingTheFlight) {
+  SynthesisCache cache;
+  const core::SynthesisOptions plain;
+  std::atomic<bool> owner_inside{false};
+  std::atomic<bool> release_owner{false};
+  std::atomic<int> synth_calls{0};
+  FaultScope scope([&](std::string_view point) {
+    if (point != "synth.layer") return;
+    if (synth_calls.fetch_add(1) != 0) return;  // only the owner stalls
+    owner_inside.store(true);
+    while (!release_owner.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread owner([&] { cache.GetOrSynthesize(IsomorphicA(), plain); });
+  while (!owner_inside.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CancelSource source;
+  core::SynthesisOptions cancellable = plain;
+  cancellable.cancel = source.token();
+  std::thread waiter([&] {
+    EXPECT_THROW(cache.GetOrSynthesize(IsomorphicB(), cancellable),
+                 CancelledError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));  // let it park
+  source.Cancel();
+  waiter.join();  // returns promptly: the polling wait observed the cancel
+  release_owner.store(true);
+  owner.join();
+
+  // The owner finished normally and its entry serves later queries.
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  CacheLookupOutcome outcome;
+  cache.GetOrSynthesize(IsomorphicB(), plain, &outcome);
+  EXPECT_TRUE(outcome.hit);
 }
 
 TEST(SynthesisCache, ClearResetsEverything) {
