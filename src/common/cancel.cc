@@ -28,7 +28,54 @@ CancelReason CancelState::Check() {
   return static_cast<CancelReason>(r);
 }
 
+void CancelState::NotifyWaiters() {
+  // The whole loop runs under waiters_mu: RemoveCancelWaiter therefore
+  // blocks until an in-progress notification round is over, so a registered
+  // cv/mutex pair is never touched after its guard's destructor returned —
+  // the registrant controls the lifetime. Lock order is waiters_mu -> the
+  // waiter's mutex, and Add/RemoveCancelWaiter require the caller NOT to
+  // hold the waiter's mutex, so the order is acyclic.
+  std::lock_guard<std::mutex> lock(waiters_mu);
+  for (const Waiter& w : waiters) {
+    // Locking (and dropping) the waiter's mutex before notifying closes the
+    // lost-wakeup window: a waiter that checked its predicate under that
+    // mutex and is about to block either observed the latched reason or
+    // blocks before this lock succeeds and so receives the notification.
+    { std::lock_guard<std::mutex> waiter_lock(*w.m); }
+    w.cv->notify_all();
+  }
+}
+
 }  // namespace internal
+
+void CancelToken::AddCancelWaiter(std::mutex* m,
+                                  std::condition_variable* cv) const {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->waiters_mu);
+  state_->waiters.push_back(internal::CancelState::Waiter{m, cv});
+}
+
+void CancelToken::RemoveCancelWaiter(const std::condition_variable* cv) const {
+  if (state_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(state_->waiters_mu);
+  auto& waiters = state_->waiters;
+  for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+    if (it->cv == cv) {
+      waiters.erase(it);
+      return;
+    }
+  }
+}
+
+std::optional<std::chrono::steady_clock::time_point> CancelToken::deadline()
+    const {
+  if (state_ == nullptr) return std::nullopt;
+  const std::int64_t ns = state_->deadline_ns.load(std::memory_order_acquire);
+  if (ns == internal::CancelState::kNoDeadline) return std::nullopt;
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::nanoseconds(ns)));
+}
 
 void CancelToken::ThrowIfCancelled() const {
   switch (reason()) {

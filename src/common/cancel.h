@@ -25,10 +25,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 namespace p2 {
 
@@ -73,6 +77,21 @@ struct CancelState {
   std::atomic<std::int64_t> deadline_ns{kNoDeadline};
 
   CancelReason Check();
+
+  /// One condition variable parked on this state, paired with the mutex it
+  /// is waited under (see CancelToken::AddCancelWaiter).
+  struct Waiter {
+    std::mutex* m;
+    std::condition_variable* cv;
+  };
+  /// Wakes every registered waiter, locking (and dropping) each waiter's
+  /// mutex before notifying so a waiter between its predicate check and its
+  /// block never misses the wake-up. Never called with waiters_mu held
+  /// while a waiter's mutex is wanted, so lock order stays acyclic.
+  void NotifyWaiters();
+
+  std::mutex waiters_mu;
+  std::vector<Waiter> waiters;
 };
 
 }  // namespace internal
@@ -99,6 +118,22 @@ class CancelToken {
   /// source aborted, returns otherwise. Place between units of work.
   void ThrowIfCancelled() const;
 
+  /// Registers `cv` (waited under `m`) to be notified when the source
+  /// cancels, so a blocked waiter wakes in microseconds instead of polling.
+  /// Register *before* the first predicate check under `m`: a cancel landing
+  /// any time after registration either notifies `cv` or is already visible
+  /// to cancel_requested(), so the check-then-block window is closed.
+  /// Deadlines do NOT notify — a deadline-aware waiter bounds its block with
+  /// deadline() (cv.wait_until) and latches the expiry through reason() on
+  /// wake-up. No-op on a null token. Pair with RemoveCancelWaiter before
+  /// `cv` is destroyed (CancelWaiter below does both).
+  void AddCancelWaiter(std::mutex* m, std::condition_variable* cv) const;
+  void RemoveCancelWaiter(const std::condition_variable* cv) const;
+
+  /// The armed deadline as an absolute steady_clock time point; nullopt when
+  /// no deadline was set (or on a null token).
+  std::optional<std::chrono::steady_clock::time_point> deadline() const;
+
  private:
   friend class CancelSource;
   explicit CancelToken(std::shared_ptr<internal::CancelState> state)
@@ -117,12 +152,14 @@ class CancelSource {
   CancelToken token() const { return CancelToken(state_); }
 
   /// Latches kCancelled unless the request already aborted for another
-  /// reason. Safe from any thread, idempotent.
+  /// reason, then wakes every registered cv waiter. Safe from any thread,
+  /// idempotent.
   void Cancel() {
     int expected = static_cast<int>(CancelReason::kNone);
     state_->reason.compare_exchange_strong(
         expected, static_cast<int>(CancelReason::kCancelled),
         std::memory_order_acq_rel, std::memory_order_acquire);
+    state_->NotifyWaiters();
   }
 
   /// Arms the deadline; checks after `deadline` passes latch
@@ -144,6 +181,27 @@ class CancelSource {
 
  private:
   std::shared_ptr<internal::CancelState> state_;
+};
+
+/// RAII registration of a cv waiter on a token: for the guard's lifetime a
+/// Cancel() of the token's source notifies `cv` (under `m`). Construct
+/// before the first predicate check under `m` (see AddCancelWaiter); holds
+/// nothing for a null token.
+class CancelWaiter {
+ public:
+  CancelWaiter(const CancelToken& token, std::mutex* m,
+               std::condition_variable* cv)
+      : token_(token), cv_(cv) {
+    token_.AddCancelWaiter(m, cv);
+  }
+  ~CancelWaiter() { token_.RemoveCancelWaiter(cv_); }
+
+  CancelWaiter(const CancelWaiter&) = delete;
+  CancelWaiter& operator=(const CancelWaiter&) = delete;
+
+ private:
+  CancelToken token_;
+  std::condition_variable* cv_;
 };
 
 }  // namespace p2

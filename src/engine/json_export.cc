@@ -1,5 +1,6 @@
 #include "engine/json_export.h"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -10,6 +11,10 @@ namespace p2::engine {
 namespace {
 
 std::string Num(double v) {
+  // JSON has no nan/inf literals; "%.9g" would emit them bare and corrupt
+  // the whole document (a 0/0 ratio in stats is enough). null is the only
+  // representation every consumer parses.
+  if (!std::isfinite(v)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
@@ -131,6 +136,8 @@ std::string ToJson(const PlannerServiceStats& stats) {
      << "\"cancelled\":" << stats.cancelled << ","
      << "\"deadline_exceeded\":" << stats.deadline_exceeded << ","
      << "\"peak_in_flight\":" << stats.peak_in_flight << ","
+     << "\"save_errors\":" << stats.save_errors << ","
+     << "\"last_save_error\":\"" << JsonEscape(stats.last_save_error) << "\","
      << "\"cache_entries_loaded\":" << stats.cache_entries_loaded << ","
      << "\"engines_constructed\":" << stats.engines_constructed << ","
      << "\"cache\":{"

@@ -125,6 +125,10 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
     os << "\naborted: " << stats.cancelled << " cancelled, "
        << stats.deadline_exceeded << " deadline-exceeded";
   }
+  if (stats.save_errors > 0) {
+    os << "\ncache save errors: " << stats.save_errors << " (last: "
+       << stats.last_save_error << ")";
+  }
   if (stats.cache_entries_loaded > 0 || stats.cache.disk_hits > 0) {
     std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
                   stats.cache.disk_seconds_saved);

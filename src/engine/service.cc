@@ -41,6 +41,41 @@ std::string TenantKey(const topology::Cluster& cluster,
 
 }  // namespace
 
+const char* ToString(PlanOutcome outcome) {
+  switch (outcome) {
+    case PlanOutcome::kOk:
+      return "ok";
+    case PlanOutcome::kRejected:
+      return "rejected";
+    case PlanOutcome::kCancelled:
+      return "cancelled";
+    case PlanOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case PlanOutcome::kInvalidArgument:
+      return "invalid_argument";
+    case PlanOutcome::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+PlanOutcome ClassifyPlanError(std::exception_ptr error) {
+  if (error == nullptr) return PlanOutcome::kOk;
+  try {
+    std::rethrow_exception(error);
+  } catch (const PlanRejected&) {
+    return PlanOutcome::kRejected;
+  } catch (const PlanDeadlineExceeded&) {
+    return PlanOutcome::kDeadlineExceeded;
+  } catch (const PlanCancelled&) {
+    return PlanOutcome::kCancelled;
+  } catch (const std::invalid_argument&) {
+    return PlanOutcome::kInvalidArgument;
+  } catch (...) {
+    return PlanOutcome::kInternal;
+  }
+}
+
 PlannerService::PlannerService(PlannerServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_max_entries),
@@ -112,9 +147,18 @@ PlannerService::Tenant& PlannerService::AdoptTenant(
   return tenant;
 }
 
+EngineOptions PlannerService::EffectiveEngineOptions(
+    const PlanRequest& request) const {
+  EngineOptions effective = options_.engine;
+  if (request.max_programs > 0) {
+    effective.synthesis.max_programs = request.max_programs;
+  }
+  return effective;
+}
+
 PlannerService::Tenant& PlannerService::ResolveTenant(
-    const topology::Cluster& cluster) {
-  const std::string key = TenantKey(cluster, options_.engine);
+    const topology::Cluster& cluster, const EngineOptions& engine_options) {
+  const std::string key = TenantKey(cluster, engine_options);
   std::unique_lock<std::mutex> lock(tenants_mu_);
   Tenant* record = nullptr;
   for (;;) {
@@ -149,7 +193,7 @@ PlannerService::Tenant& PlannerService::ResolveTenant(
 
   std::shared_ptr<const Engine> engine;
   try {
-    engine = std::make_shared<const Engine>(cluster, options_.engine);
+    engine = std::make_shared<const Engine>(cluster, engine_options);
   } catch (...) {
     // Withdraw the claim — but keep the record, so the tenant's id and its
     // admission counters survive — and wake the racers; each retries the
@@ -171,7 +215,15 @@ PlannerService::Tenant& PlannerService::ResolveTenant(
 
 PlannerService::Tenant& PlannerService::TenantForRequest(
     const PlanRequest& request) {
-  if (request.cluster.has_value()) return ResolveTenant(*request.cluster);
+  if (request.cluster.has_value()) {
+    return ResolveTenant(*request.cluster, EffectiveEngineOptions(request));
+  }
+  if (request.max_programs > 0) {
+    throw std::invalid_argument(
+        "PlanRequest::max_programs overrides the tenant's synthesis cap and "
+        "so requires PlanRequest::cluster; the borrowed default tenant's "
+        "engine cannot be re-optioned");
+  }
   std::unique_lock<std::mutex> lock(tenants_mu_);
   if (default_tenant_ != nullptr) return *default_tenant_;
   throw std::invalid_argument(
@@ -183,13 +235,20 @@ PlannerService::Tenant& PlannerService::TenantForRequest(
 PlannerService::Tenant& PlannerService::AdmitTenantLocked(
     const PlanRequest& request) {
   if (!request.cluster.has_value()) {
+    if (request.max_programs > 0) {
+      throw std::invalid_argument(
+          "PlanRequest::max_programs overrides the tenant's synthesis cap "
+          "and so requires PlanRequest::cluster; the borrowed default "
+          "tenant's engine cannot be re-optioned");
+    }
     if (default_tenant_ != nullptr) return *default_tenant_;
     throw std::invalid_argument(
         "PlanRequest names no cluster and the PlannerService has no default "
         "tenant; set PlanRequest::cluster or construct the service with an "
         "Engine");
   }
-  const std::string key = TenantKey(*request.cluster, options_.engine);
+  const std::string key =
+      TenantKey(*request.cluster, EffectiveEngineOptions(request));
   const auto it = tenant_by_key_.find(key);
   if (it != tenant_by_key_.end()) return *it->second;
   // New fingerprint at Submit time: register the record engine-less so this
@@ -360,8 +419,10 @@ void PlannerService::BeginDrain(
   }
   lock.unlock();
   // Persist what this run learned (no-op without a cache_file or under
-  // cache_readonly). Callers wanting the error detail run SaveCache
-  // themselves before draining — this path is also the destructor's.
+  // cache_readonly). Nobody is left to read a return value here — this
+  // path is also the destructor's — so SaveCache records any failure in
+  // stats() (save_errors / last_save_error), where a server's /stats
+  // endpoint can surface it.
   SaveCache();
 }
 
@@ -383,7 +444,7 @@ ExperimentResult PlannerService::Plan(std::span<const std::int64_t> axes,
 }
 
 const Engine& PlannerService::EngineFor(const topology::Cluster& cluster) {
-  return *ResolveTenant(cluster).engine;
+  return *ResolveTenant(cluster, options_.engine).engine;
 }
 
 CacheLoadStatus PlannerService::cache_load_status() const {
@@ -402,7 +463,17 @@ std::int64_t PlannerService::cache_entries_loaded() const {
 
 bool PlannerService::SaveCache(std::string* error) {
   if (!store_.has_value() || options_.cache_readonly) return true;
-  return store_->Save(cache_, error);
+  std::string detail;
+  if (store_->Save(cache_, &detail)) return true;
+  {
+    // Record the failure even when the caller discards the return (the
+    // drain-time save does): the counter is the durable trace.
+    std::unique_lock<std::mutex> lock(tenants_mu_);
+    ++save_errors_;
+    last_save_error_ = detail;
+  }
+  if (error != nullptr) *error = std::move(detail);
+  return false;
 }
 
 PlannerServiceStats PlannerService::stats() const {
@@ -417,6 +488,8 @@ PlannerServiceStats PlannerService::stats() const {
   stats.cancelled = cancelled_;
   stats.deadline_exceeded = deadline_exceeded_;
   stats.peak_in_flight = peak_in_flight_;
+  stats.save_errors = save_errors_;
+  stats.last_save_error = last_save_error_;
   stats.tenants.reserve(tenants_.size());
   for (const auto& tenant : tenants_) stats.tenants.push_back(tenant->stats);
   return stats;

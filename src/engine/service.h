@@ -90,6 +90,26 @@ class PlanRejected : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// How a plan request ended, as a closed enum — the abort taxonomy above
+/// flattened for callers that speak status codes instead of exception
+/// types (the wire front end in src/server/ maps these 1:1 onto its
+/// gRPC-style statuses).
+enum class PlanOutcome {
+  kOk = 0,
+  kRejected,          ///< PlanRejected: admission cap or drain
+  kCancelled,         ///< PlanCancelled: explicit cancel / drain grace
+  kDeadlineExceeded,  ///< PlanDeadlineExceeded
+  kInvalidArgument,   ///< std::invalid_argument: a malformed request
+  kInternal,          ///< anything else the evaluation threw
+};
+
+const char* ToString(PlanOutcome outcome);
+
+/// Classifies the exception a PlanHandle future carried (nullptr -> kOk).
+/// The inverse of the taxonomy: every exception type the service documents
+/// maps to its own outcome, everything unexpected to kInternal.
+PlanOutcome ClassifyPlanError(std::exception_ptr error);
+
 struct PlannerServiceOptions {
   /// Worker threads of the shared pool; <= 1 runs every request inline on
   /// the submitting thread (Submit still returns a — ready — future).
@@ -152,6 +172,13 @@ struct PlanRequest {
   /// its next cancellation checkpoint and its future carries
   /// PlanDeadlineExceeded. nullopt (the default) never expires.
   std::optional<std::chrono::milliseconds> deadline;
+  /// > 0: cap the synthesized program list per hierarchy at this many
+  /// programs instead of the service's engine default — what a wire client
+  /// tunes per request. The override is part of the tenant identity (the
+  /// options digest includes the cap), so it requires PlanRequest::cluster;
+  /// an override without a cluster fails with std::invalid_argument.
+  /// <= 0 (the default) keeps the engine's configured cap.
+  std::int64_t max_programs = 0;
 };
 
 /// The future-like handle Submit returns: the result channel plus the
@@ -246,6 +273,12 @@ struct PlannerServiceStats {
   std::int64_t cancelled = 0;
   std::int64_t deadline_exceeded = 0;
   std::int64_t peak_in_flight = 0;  ///< high-water mark of in-flight requests
+  /// SaveCache failures so far — including the drain-time save, whose error
+  /// return nobody is left to read (BeginDrain is also the destructor's
+  /// path); on a server this counter is the only way the operator learns
+  /// the cache stopped persisting.
+  std::int64_t save_errors = 0;
+  std::string last_save_error;  ///< detail of the most recent failure
   std::vector<TenantStats> tenants;  ///< registration order
 };
 
@@ -357,7 +390,13 @@ class PlannerService {
                                const topology::Cluster& cluster);
   /// Registry lookup/registration with construct-once semantics; throws
   /// whatever Engine's constructor throws (after withdrawing the tenant).
-  Tenant& ResolveTenant(const topology::Cluster& cluster);
+  /// `engine_options` is part of the tenant identity — a request-level
+  /// max_programs override resolves to its own tenant.
+  Tenant& ResolveTenant(const topology::Cluster& cluster,
+                        const EngineOptions& engine_options);
+  /// The service's EngineOptions with the request's per-request overrides
+  /// (max_programs) applied.
+  EngineOptions EffectiveEngineOptions(const PlanRequest& request) const;
   /// Registers an already-built engine (borrowed or owned).
   Tenant& AdoptTenant(const topology::Cluster& cluster,
                       const EngineOptions& engine_options,
@@ -406,6 +445,8 @@ class PlannerService {
   std::int64_t rejected_ = 0;
   std::int64_t cancelled_ = 0;
   std::int64_t deadline_exceeded_ = 0;
+  std::int64_t save_errors_ = 0;
+  std::string last_save_error_;
   std::int64_t next_request_id_ = 0;
   /// Cancel levers of in-flight requests, by request id — what a drain
   /// grace deadline fires.

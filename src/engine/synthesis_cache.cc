@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <charconv>
-#include <chrono>
 #include <utility>
 
 namespace p2::engine {
@@ -29,6 +28,42 @@ bool ParseCapFromKey(const std::string& key, std::string* base,
 }
 
 }  // namespace
+
+void SynthesisCache::InFlight::MarkDone() {
+  {
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+  }
+  cv.notify_all();
+}
+
+bool SynthesisCache::InFlight::Wait(const CancelToken& cancel) {
+  if (!cancel.CanBeCancelled()) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [this] { return done; });
+    return true;
+  }
+  // Register the cv with the token before the first predicate check and
+  // while `m` is not held (the AddCancelWaiter contract): a Cancel() landing
+  // any time after this line either notifies the cv or is already visible
+  // to cancel_requested() below. Destruction order matters too — `lock`
+  // below releases `m` before `waiter` unregisters.
+  CancelWaiter waiter(cancel, &m, &cv);
+  std::unique_lock<std::mutex> lock(m);
+  for (;;) {
+    if (done) return true;
+    if (cancel.cancel_requested()) return false;
+    // Deadline expiry never notifies (see cancel.h), so bound the block by
+    // the currently-armed deadline — re-read each round, it can be
+    // re-armed — and let the post-wake cancel_requested() latch the expiry.
+    const auto deadline = cancel.deadline();
+    if (deadline.has_value()) {
+      cv.wait_until(lock, *deadline);
+    } else {
+      cv.wait(lock);
+    }
+  }
+}
 
 std::string SynthesisCache::BaseKey(const core::SynthesisHierarchy& sh,
                                     const core::SynthesisOptions& options) {
@@ -181,22 +216,14 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     holds_reservation = true;
     waited = true;
     lock.unlock();
-    if (options.cancel.CanBeCancelled()) {
-      // A cancellable waiter polls so its *own* abort can interrupt the
-      // wait: the owner it is parked behind may belong to a different
-      // request that never cancels. On abort it releases its reservation
-      // (nobody will do the post-wake lookup it protected) and unwinds.
-      while (flight->done.wait_for(std::chrono::milliseconds(5)) ==
-             std::future_status::timeout) {
-        if (options.cancel.cancel_requested()) {
-          lock.lock();
-          release_reservation();
-          lock.unlock();
-          options.cancel.ThrowIfCancelled();
-        }
-      }
-    } else {
-      flight->done.wait();
+    if (!flight->Wait(options.cancel)) {
+      // Our *own* request aborted while parked behind a foreign owner that
+      // may never cancel: release the reservation (nobody will do the
+      // post-wake lookup it protected) and unwind.
+      lock.lock();
+      release_reservation();
+      lock.unlock();
+      options.cancel.ThrowIfCancelled();
     }
     lock.lock();
   }
@@ -205,7 +232,6 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
   // publish. Concurrent queries on other signatures proceed in parallel;
   // concurrent queries on this one block above.
   auto flight = std::make_shared<InFlight>();
-  flight->done = flight->promise.get_future().share();
   inflight_.emplace(base, flight);
   lock.unlock();
 
@@ -219,7 +245,7 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     lock.lock();
     inflight_.erase(base);
     lock.unlock();
-    flight->promise.set_value();
+    flight->MarkDone();
     throw;
   }
 
@@ -241,7 +267,7 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
   if (outcome != nullptr) outcome->waited = waited;
   inflight_.erase(base);
   lock.unlock();
-  flight->promise.set_value();
+  flight->MarkDone();
   return result;
 }
 

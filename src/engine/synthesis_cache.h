@@ -49,8 +49,8 @@
 #ifndef P2_ENGINE_SYNTHESIS_CACHE_H_
 #define P2_ENGINE_SYNTHESIS_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
-#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -59,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/synthesizer.h"
 
 namespace p2::engine {
@@ -193,11 +194,21 @@ class SynthesisCache {
     }
   };
 
-  /// One signature currently being synthesized; later arrivals block on
-  /// `done` instead of synthesizing again.
+  /// One signature currently being synthesized; later arrivals block in
+  /// Wait() instead of synthesizing again. The owner signals completion (or
+  /// withdrawal) with MarkDone(); a cancellable waiter additionally
+  /// registers the cv with its own CancelToken (common/cancel.h), so a
+  /// cancel of *its* request wakes it immediately — no poll interval.
   struct InFlight {
-    std::promise<void> promise;
-    std::shared_future<void> done;
+    void MarkDone();
+    /// Blocks until MarkDone(); true then. False when `cancel` aborted
+    /// first — including deadline expiry, which never notifies a cv, so the
+    /// block is bounded by the token's armed deadline.
+    bool Wait(const CancelToken& cancel);
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
   };
 
   /// Inserts or replaces the entry at `base` (mu_ held), maintaining the

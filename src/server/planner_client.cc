@@ -1,0 +1,137 @@
+#include "server/planner_client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace p2::server {
+
+namespace {
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+PlannerClient::PlannerClient(int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("connect: ") +
+                             std::strerror(saved));
+  }
+}
+
+PlannerClient::~PlannerClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool PlannerClient::SendRaw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool PlannerClient::ReceiveFrame(Frame* frame) {
+  std::string chunk(kRecvChunk, '\0');
+  for (;;) {
+    std::size_t consumed = 0;
+    const FrameDecodeStatus status = DecodeFrame(buffer_, frame, &consumed);
+    if (status == FrameDecodeStatus::kOk) {
+      buffer_.erase(0, consumed);
+      return true;
+    }
+    if (status != FrameDecodeStatus::kNeedMore) return false;
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer_.append(chunk.data(), static_cast<std::size_t>(n));
+  }
+}
+
+PlanWireResponse PlannerClient::Plan(const PlanWireRequest& request) {
+  PlanWireResponse response;
+  const auto transport_error = [&response](const char* what) {
+    response = PlanWireResponse{};
+    response.status = WireStatus::kInternal;
+    response.message = what;
+    return response;
+  };
+  Frame frame;
+  frame.type = FrameType::kPlanRequest;
+  frame.payload = EncodePlanRequest(request);
+  if (!SendRaw(EncodeFrame(frame))) return transport_error("send failed");
+  Frame reply;
+  if (!ReceiveFrame(&reply)) return transport_error("connection closed");
+  if (reply.type == FrameType::kError) {
+    WireStatus status = WireStatus::kInternal;
+    std::string message;
+    if (DecodeStatusPayload(reply.payload, &status, &message)) {
+      response.status = status;
+      response.message = message;
+      return response;
+    }
+    return transport_error("malformed error frame");
+  }
+  if (reply.type != FrameType::kPlanResponse) {
+    return transport_error("unexpected frame type");
+  }
+  std::string error;
+  if (!DecodePlanResponse(reply.payload, &response, &error)) {
+    return transport_error("malformed plan response");
+  }
+  return response;
+}
+
+PlannerClient::StatsResult PlannerClient::Stats() {
+  StatsResult result;
+  Frame frame;
+  frame.type = FrameType::kStatsRequest;
+  if (!SendRaw(EncodeFrame(frame))) {
+    result.json = "send failed";
+    return result;
+  }
+  Frame reply;
+  if (!ReceiveFrame(&reply) || reply.type != FrameType::kStatsResponse) {
+    result.json = "no stats response";
+    return result;
+  }
+  if (!DecodeStatusPayload(reply.payload, &result.status, &result.json)) {
+    result.status = WireStatus::kInternal;
+    result.json = "malformed stats response";
+  }
+  return result;
+}
+
+bool PlannerClient::Shutdown() {
+  Frame frame;
+  frame.type = FrameType::kShutdownRequest;
+  if (!SendRaw(EncodeFrame(frame))) return false;
+  Frame reply;
+  return ReceiveFrame(&reply) &&
+         reply.type == FrameType::kShutdownResponse;
+}
+
+}  // namespace p2::server

@@ -1,0 +1,318 @@
+#include "server/planner_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/cli.h"
+#include "engine/json_export.h"
+#include "engine/report.h"
+
+namespace p2::server {
+
+namespace {
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+WireStatus WireStatusFor(engine::PlanOutcome outcome) {
+  switch (outcome) {
+    case engine::PlanOutcome::kOk:
+      return WireStatus::kOk;
+    case engine::PlanOutcome::kRejected:
+      return WireStatus::kResourceExhausted;
+    case engine::PlanOutcome::kCancelled:
+      return WireStatus::kCancelled;
+    case engine::PlanOutcome::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
+    case engine::PlanOutcome::kInvalidArgument:
+      return WireStatus::kInvalidArgument;
+    case engine::PlanOutcome::kInternal:
+      return WireStatus::kInternal;
+  }
+  return WireStatus::kInternal;
+}
+
+PlannerServer::PlannerServer(engine::PlannerService& service,
+                             PlannerServerOptions options)
+    : service_(service), options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) ThrowErrno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: the planner has no authentication; exposing it beyond
+  // the machine is a deployment decision a proxy should make, not a default.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    ThrowErrno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    ThrowErrno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    ThrowErrno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+PlannerServer::~PlannerServer() {
+  Shutdown();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void PlannerServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() on the listener (RequestShutdown) lands here.
+      return;
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.insert(fd);
+    threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+bool PlannerServer::SendFrame(int fd, const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void PlannerServer::ServeConnection(int fd) {
+  std::string buffer;
+  std::string chunk(kRecvChunk, '\0');
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed, or our shutdown woke the read
+    }
+    buffer.append(chunk.data(), static_cast<std::size_t>(n));
+    // Frames are served strictly in arrival order per connection; a client
+    // wanting concurrency opens more connections (tools/p2_client does).
+    for (;;) {
+      Frame frame;
+      std::size_t consumed = 0;
+      const FrameDecodeStatus status = DecodeFrame(buffer, &frame, &consumed);
+      if (status == FrameDecodeStatus::kNeedMore) break;
+      if (status != FrameDecodeStatus::kOk) {
+        // Framing is lost: one Error frame with the reason, then close.
+        malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+        Frame error;
+        error.type = FrameType::kError;
+        error.payload = EncodeStatusPayload(WireStatus::kInvalidArgument,
+                                            ToString(status));
+        SendFrame(fd, error);
+        open = false;
+        break;
+      }
+      buffer.erase(0, consumed);
+      if (!HandleFrame(fd, frame)) {
+        open = false;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(fd);
+}
+
+bool PlannerServer::HandleFrame(int fd, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kPlanRequest: {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      PlanWireResponse out;
+      PlanWireRequest wire;
+      std::string decode_error;
+      if (!DecodePlanRequest(frame.payload, &wire, &decode_error)) {
+        out.status = WireStatus::kInvalidArgument;
+        out.message = "bad plan request: " + decode_error;
+      } else {
+        engine::PlanRequest request;
+        request.axes = std::move(wire.axes);
+        request.reduction_axes = std::move(wire.reduction_axes);
+        request.measure_top_k = wire.measure_top_k;
+        request.max_programs = wire.max_programs;
+        if (wire.deadline_ms > 0) {
+          request.deadline = std::chrono::milliseconds(wire.deadline_ms);
+        }
+        request.cluster =
+            wire.has_cluster
+                ? wire.cluster
+                : engine::ClusterFromPreset(engine::TopologyPreset{
+                      wire.preset_system, wire.preset_nodes});
+        try {
+          engine::ExperimentResult result =
+              service_.Submit(std::move(request)).get();
+          out.status = WireStatus::kOk;
+          out.body = engine::CanonicalResultText(result);
+          out.stats = result.pipeline;
+        } catch (const std::exception& e) {
+          out.status =
+              WireStatusFor(engine::ClassifyPlanError(std::current_exception()));
+          out.message = e.what();
+        }
+      }
+      if (out.status == WireStatus::kOk) {
+        plan_ok_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        plan_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      Frame response;
+      response.type = FrameType::kPlanResponse;
+      response.payload = EncodePlanResponse(out);
+      return SendFrame(fd, response);
+    }
+    case FrameType::kStatsRequest: {
+      // Incremented before rendering, so the served document always reports
+      // at least the request it answers — the CI smoke greps for that.
+      stats_requests_.fetch_add(1, std::memory_order_relaxed);
+      Frame response;
+      response.type = FrameType::kStatsResponse;
+      response.payload = EncodeStatusPayload(WireStatus::kOk, StatsJson());
+      return SendFrame(fd, response);
+    }
+    case FrameType::kShutdownRequest: {
+      // Drain first, acknowledge after: the client's ack therefore implies
+      // every in-flight request finished and the cache was persisted.
+      RequestShutdown(fd);
+      Frame response;
+      response.type = FrameType::kShutdownResponse;
+      SendFrame(fd, response);
+      return false;
+    }
+    case FrameType::kPlanResponse:
+    case FrameType::kStatsResponse:
+    case FrameType::kError:
+    case FrameType::kShutdownResponse: {
+      // Client-to-server traffic must never carry response types.
+      Frame error;
+      error.type = FrameType::kError;
+      error.payload = EncodeStatusPayload(WireStatus::kInvalidArgument,
+                                          "unexpected frame type");
+      SendFrame(fd, error);
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string PlannerServer::StatsJson() {
+  const PlannerServerStats server = stats();
+  std::ostringstream os;
+  os << "{\"server\":{"
+     << "\"connections\":" << server.connections << ","
+     << "\"requests\":" << server.requests << ","
+     << "\"plan_ok\":" << server.plan_ok << ","
+     << "\"plan_errors\":" << server.plan_errors << ","
+     << "\"stats_requests\":" << server.stats_requests << ","
+     << "\"malformed_frames\":" << server.malformed_frames << "},"
+     << "\"service\":" << engine::ToJson(service_.stats()) << "}";
+  return os.str();
+}
+
+void PlannerServer::RequestShutdown(int keep_fd) {
+  // shutdown_cv_'s mutex also serializes concurrent shutdown requests: a
+  // second caller blocks here until the first finished draining, so nobody
+  // acknowledges a shutdown before the drain is actually complete.
+  std::lock_guard<std::mutex> serialize(shutdown_mu_);
+  if (!shutting_down_.exchange(true, std::memory_order_acq_rel)) {
+    service_.BeginDrain(options_.drain_grace);
+    // Wakes the accept() with an error; the accept loop exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  {
+    // SHUT_RD, not RDWR: blocked reads wake (the connection loop exits at
+    // its next recv) while responses already being written still flush —
+    // BeginDrain above waited for those requests to finish.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) {
+      if (fd != keep_fd) ::shutdown(fd, SHUT_RD);
+    }
+  }
+  shutdown_cv_.notify_all();
+}
+
+void PlannerServer::Shutdown() {
+  RequestShutdown(-1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is gone, so threads_ can no longer grow; joining a
+  // snapshot under the lock is therefore complete.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void PlannerServer::Wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] {
+    return shutting_down_.load(std::memory_order_acquire);
+  });
+}
+
+PlannerServerStats PlannerServer::stats() const {
+  PlannerServerStats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.plan_ok = plan_ok_.load(std::memory_order_relaxed);
+  stats.plan_errors = plan_errors_.load(std::memory_order_relaxed);
+  stats.stats_requests = stats_requests_.load(std::memory_order_relaxed);
+  stats.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace p2::server

@@ -1,0 +1,142 @@
+// The planner's wire format: length-prefixed frames in the same codec idiom
+// as the on-disk cache (engine/cache_store.cc) — versioned magic,
+// little-endian integers, a per-frame FNV-1a-64 checksum, and a
+// never-crash decode policy (every malformation is a status, the reader is
+// bounds-checked, counts are sanity-bounded before any reserve).
+//
+//   frame  := magic "P2RF" | version u32 | type u8 | payload_len u32
+//             | checksum u64 (FNV-1a-64 of payload) | payload bytes
+//
+// Frame types (u8):
+//   1 PlanRequest       2 PlanResponse
+//   3 StatsRequest      4 StatsResponse
+//   5 Error             6 ShutdownRequest    7 ShutdownResponse
+//
+// Statuses are gRPC-style codes so the abort taxonomy of engine/service.h
+// maps 1:1: PlanRejected -> kResourceExhausted, PlanCancelled ->
+// kCancelled, PlanDeadlineExceeded -> kDeadlineExceeded, codec/validation
+// errors -> kInvalidArgument, everything else -> kInternal.
+//
+// A PlanRequest payload carries either a topology preset ("a100"/"v100" at
+// a node count) or a fully serialized topology::Cluster, the experiment
+// axes, and the per-request knobs (max_programs, measure_top_k,
+// deadline-ms). A PlanResponse carries the wire status, the
+// CanonicalResultText body (the byte-identity oracle — equal bytes mean
+// equal plans), and the request's PipelineStats.
+#ifndef P2_SERVER_WIRE_PROTOCOL_H_
+#define P2_SERVER_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+#include "topology/cluster.h"
+
+namespace p2::server {
+
+inline constexpr std::string_view kFrameMagic = "P2RF";
+inline constexpr std::uint32_t kWireVersion = 1;
+/// magic + version u32 + type u8 + payload_len u32 + checksum u64.
+inline constexpr std::size_t kFrameHeaderBytes = 21;
+/// Upper bound a decoder trusts from a length prefix; anything larger is
+/// kOversized before a single payload byte is read (a lying length field
+/// must not become an allocation).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kPlanRequest = 1,
+  kPlanResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kError = 5,
+  kShutdownRequest = 6,
+  kShutdownResponse = 7,
+};
+
+/// gRPC-style status codes (the subset the planner can produce).
+enum class WireStatus : std::uint32_t {
+  kOk = 0,
+  kCancelled = 1,
+  kInvalidArgument = 3,
+  kDeadlineExceeded = 4,
+  kResourceExhausted = 8,
+  kInternal = 13,
+};
+
+const char* ToString(WireStatus status);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// How far DecodeFrame got. kNeedMore is the only non-terminal status: the
+/// buffer simply does not hold a whole frame yet. Every other non-kOk value
+/// is a protocol violation the connection cannot recover from (framing is
+/// lost), so the server answers with an Error frame and closes.
+enum class FrameDecodeStatus {
+  kOk,
+  kNeedMore,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversized,
+  kBadChecksum,
+};
+
+const char* ToString(FrameDecodeStatus status);
+
+std::string EncodeFrame(const Frame& frame);
+
+/// Decodes the first frame of `buffer`. On kOk fills `frame` and sets
+/// `consumed` to the bytes to drop from the buffer; on kNeedMore nothing is
+/// consumed; on any error `consumed` is meaningless (the connection is done
+/// for). Never throws, never reads out of bounds.
+FrameDecodeStatus DecodeFrame(std::string_view buffer, Frame* frame,
+                              std::size_t* consumed);
+
+/// The body of a PlanRequest frame. Exactly one of `preset_system` (with
+/// `preset_nodes`) or `cluster` (with has_cluster) names the machine.
+struct PlanWireRequest {
+  bool has_cluster = false;
+  topology::Cluster cluster;   ///< used when has_cluster
+  std::string preset_system;   ///< "a100" or "v100" otherwise
+  int preset_nodes = 1;
+  std::vector<std::int64_t> axes;
+  std::vector<int> reduction_axes;
+  std::int64_t max_programs = 0;  ///< 0 = the server engine's default cap
+  int measure_top_k = -1;         ///< -1 = the server engine's default
+  std::int64_t deadline_ms = 0;   ///< 0 = no deadline
+};
+
+std::string EncodePlanRequest(const PlanWireRequest& request);
+/// Semantic validation included (known preset system, positive node count,
+/// bounded axis counts): a checksum-valid but nonsensical payload decodes
+/// false with a reason, never constructs a cluster.
+bool DecodePlanRequest(std::string_view payload, PlanWireRequest* request,
+                       std::string* error);
+
+/// The body of a PlanResponse frame: `body`/`stats` are meaningful only
+/// when status == kOk; `message` only when it is not.
+struct PlanWireResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  std::string body;  ///< engine::CanonicalResultText of the result
+  engine::PipelineStats stats;
+};
+
+std::string EncodePlanResponse(const PlanWireResponse& response);
+bool DecodePlanResponse(std::string_view payload, PlanWireResponse* response,
+                        std::string* error);
+
+/// StatsResponse / Error payloads share one shape: status + a string (the
+/// stats JSON document, or the error detail).
+std::string EncodeStatusPayload(WireStatus status, std::string_view text);
+bool DecodeStatusPayload(std::string_view payload, WireStatus* status,
+                         std::string* text);
+
+}  // namespace p2::server
+
+#endif  // P2_SERVER_WIRE_PROTOCOL_H_

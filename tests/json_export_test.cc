@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "engine/service.h"
 #include "topology/presets.h"
 
@@ -174,6 +176,53 @@ TEST(JsonExport, ServiceStatsExportRobustnessCounters) {
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
   EXPECT_FALSE(in_string);
+}
+
+TEST(JsonExport, NonFiniteNumbersBecomeNullNeverBareTokens) {
+  // ISSUE 8 regression: %.9g renders NaN/inf as bare `nan`/`inf`, which no
+  // JSON parser accepts — one poisoned timing field used to invalidate a
+  // whole stats document. Non-finite values now serialize as `null`.
+  PlannerServiceStats stats;
+  stats.requests = 1;
+  stats.cache.seconds_saved = std::numeric_limits<double>::quiet_NaN();
+  TenantStats tenant;
+  tenant.synthesis_seconds_saved = std::numeric_limits<double>::infinity();
+  stats.tenants = {tenant};
+
+  const std::string json = ToJson(stats);
+  EXPECT_NE(json.find("\"seconds_saved\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"synthesis_seconds_saved\":null"), std::string::npos)
+      << json;
+  for (const char* token : {":nan", ":inf", ":-inf", ":-nan"}) {
+    EXPECT_EQ(json.find(token), std::string::npos) << token << " in " << json;
+  }
+  // The document as a whole stays well-formed.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(JsonExport, ServiceStatsExportSaveErrorCounters) {
+  // The drain-time save failure an operator can only see through stats
+  // (ISSUE 8): the counter and the escaped detail string both export.
+  PlannerServiceStats stats;
+  stats.save_errors = 2;
+  stats.last_save_error = "write p2.cache: \"disk\" died";
+  const std::string json = ToJson(stats);
+  EXPECT_NE(json.find("\"save_errors\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"last_save_error\":\"write p2.cache: \\\"disk\\\" "
+                      "died\""),
+            std::string::npos)
+      << json;
 }
 
 }  // namespace

@@ -303,6 +303,34 @@ TEST(ServiceFaults, InjectedSaveFailureIsReportedNotThrown) {
   EXPECT_TRUE(service.SaveCache(&error)) << error;
 }
 
+TEST(ServiceFaults, DrainTimeSaveFailureSurfacesInStats) {
+  // ISSUE 8: BeginDrain discards SaveCache's error return — nobody is left
+  // to read it on the destructor path, and a server's operator would never
+  // learn the cache stopped persisting. Every save failure is now recorded
+  // in the service stats (counter + last-error detail), where the /stats
+  // endpoint and the report renderer surface it.
+  const std::string path =
+      p2::test::TempPath("p2_service_faults_test", "drain_save_fault");
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  PlannerServiceOptions options;
+  options.cache_file = path;
+  PlannerService service(engine, options);
+  EXPECT_GT(service.Plan(RequestFor(Configs()[0])).placements.size(), 0u);
+  {
+    FaultScope scope([](std::string_view point) {
+      if (point == "cache_store.save") throw std::runtime_error("disk died");
+    });
+    service.BeginDrain();  // the drain-time save fails silently...
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.save_errors, 1);  // ...but not unaccountably
+  EXPECT_NE(stats.last_save_error.find("injected fault"), std::string::npos)
+      << stats.last_save_error;
+  // The failure is rendered for humans too, not just exported.
+  const std::string report = RenderServiceStats(stats);
+  EXPECT_NE(report.find("cache save errors: 1"), std::string::npos) << report;
+}
+
 TEST(ServiceFaults, InjectedLoadFailureFallsBackToAColdCache) {
   const std::string path =
       p2::test::TempPath("p2_service_faults_test", "load_fault");

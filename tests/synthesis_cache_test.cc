@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "common/cancel.h"
 #include "common/fault_injection.h"
@@ -480,6 +482,70 @@ TEST(SynthesisCache, CancelledWaiterUnwindsWithoutDisturbingTheFlight) {
   CacheLookupOutcome outcome;
   cache.GetOrSynthesize(IsomorphicB(), plain, &outcome);
   EXPECT_TRUE(outcome.hit);
+}
+
+// ISSUE 8 regression: the cancellable wait used to be a 5 ms poll loop, so
+// a cancelled waiter sat out up to a full poll period (and the server's
+// drain paid it per waiter). The wait is now a condition variable woken by
+// the owner's completion and by the waiter's own CancelToken, so the
+// cancel-to-wake latency is scheduler-bound — microseconds, not
+// milliseconds. One trial measures that latency; the *median* of five
+// trials must come in well under the old poll period. (The median is the
+// discriminator: a reintroduced 5 ms poll wakes uniformly within (0, 5] ms,
+// whose median is ~2.5 ms, while staying robust against a couple of
+// scheduler hiccups inflating individual trials.)
+double CancelWakeLatencyMsOnce() {
+  SynthesisCache cache;
+  const core::SynthesisOptions plain;
+  std::atomic<bool> owner_inside{false};
+  std::atomic<bool> release_owner{false};
+  std::atomic<int> synth_calls{0};
+  FaultScope scope([&](std::string_view point) {
+    if (point != "synth.layer") return;
+    if (synth_calls.fetch_add(1) != 0) return;  // only the owner stalls
+    owner_inside.store(true);
+    while (!release_owner.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread owner([&] { cache.GetOrSynthesize(IsomorphicA(), plain); });
+  while (!owner_inside.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CancelSource source;
+  core::SynthesisOptions cancellable = plain;
+  cancellable.cancel = source.token();
+  std::chrono::steady_clock::time_point woke_at;
+  std::thread waiter([&] {
+    try {
+      cache.GetOrSynthesize(IsomorphicB(), cancellable);
+      ADD_FAILURE() << "waiter completed despite the cancel";
+    } catch (const CancelledError&) {
+    }
+    woke_at = std::chrono::steady_clock::now();
+  });
+  // Let the waiter park behind the owner's flight before cancelling.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto cancelled_at = std::chrono::steady_clock::now();
+  source.Cancel();
+  waiter.join();
+  release_owner.store(true);
+  owner.join();
+  return std::chrono::duration<double, std::milli>(woke_at - cancelled_at)
+      .count();
+}
+
+TEST(SynthesisCache, CancelledWaiterWakesWellUnderTheOldPollPeriod) {
+  std::vector<double> latencies_ms;
+  for (int trial = 0; trial < 5; ++trial) {
+    latencies_ms.push_back(CancelWakeLatencyMsOnce());
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double median_ms = latencies_ms[latencies_ms.size() / 2];
+  EXPECT_LT(median_ms, 2.0) << "cancel-to-wake median " << median_ms
+                            << " ms — the cv wake-up has regressed toward "
+                               "the old 5 ms poll";
 }
 
 TEST(SynthesisCache, ClearResetsEverything) {

@@ -1,0 +1,290 @@
+// p2_client: loadgen + end-to-end determinism oracle for p2_server.
+//
+//   p2_client --port=N | --port-file=PATH
+//             [--system=a100|v100] [--nodes=N]
+//             [--grid | --axes=4,16 --reduce=0]
+//             [--concurrency=N] [--check-identical]
+//             [--deadline-storm=K] [--top-k=N] [--max-programs=N]
+//             [--stats] [--shutdown]
+//
+// Replays the experiment grid (or one config) over N concurrent
+// connections. With --check-identical it first computes every config's
+// CanonicalResultText on an in-process single-threaded PlannerService and
+// asserts each OK response body is byte-identical — the wire, the server's
+// concurrency, and the shared-cache interleavings must not change a single
+// byte of any plan. --deadline-storm=K gives every Kth request a 1 ms
+// deadline, so a fraction of requests abort mid-flight (DEADLINE_EXCEEDED);
+// the oracle then also proves survivors are unperturbed by their
+// neighbours' aborts. Exit 0 iff no protocol errors, no body mismatches,
+// and (under --check-identical) at least one body was compared.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/cli.h"
+#include "engine/experiment_grid.h"
+#include "engine/report.h"
+#include "engine/service.h"
+#include "server/planner_client.h"
+
+namespace {
+
+bool ParseInt(const std::string& value, long long* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParseIntList(const std::string& value, std::vector<long long>* out) {
+  std::string token;
+  for (std::size_t i = 0; i <= value.size(); ++i) {
+    if (i == value.size() || value[i] == ',') {
+      long long n = 0;
+      if (!ParseInt(token, &n)) return false;
+      out->push_back(n);
+      token.clear();
+    } else {
+      token.push_back(value[i]);
+    }
+  }
+  return !out->empty();
+}
+
+/// Polls for the server's --port-file (the readiness signal) for ~30 s.
+int PortFromFile(const std::string& path) {
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f != nullptr) {
+      int port = 0;
+      const int got = std::fscanf(f, "%d", &port);
+      std::fclose(f);
+      if (got == 1 && port > 0) return port;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return -1;
+}
+
+struct Tally {
+  std::mutex mu;
+  long long ok = 0;
+  long long deadline_exceeded = 0;
+  long long cancelled = 0;
+  long long rejected = 0;
+  long long failures = 0;   ///< unexpected statuses / transport errors
+  long long mismatches = 0; ///< OK bodies differing from the serial reference
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  std::string port_file;
+  std::string system = "a100";
+  int nodes = 2;
+  bool grid = false;
+  std::vector<long long> axes;
+  std::vector<long long> reduce;
+  int concurrency = 1;
+  bool check_identical = false;
+  long long deadline_storm = 0;
+  long long top_k = -1;
+  long long max_programs = 0;
+  bool want_stats = false;
+  bool want_shutdown = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    long long n = 0;
+    if (key == "--port" && ParseInt(value, &n)) {
+      port = static_cast<int>(n);
+    } else if (key == "--port-file") {
+      port_file = value;
+    } else if (key == "--system") {
+      system = value;
+    } else if (key == "--nodes" && ParseInt(value, &n)) {
+      nodes = static_cast<int>(n);
+    } else if (key == "--grid") {
+      grid = true;
+    } else if (key == "--axes" && ParseIntList(value, &axes)) {
+    } else if (key == "--reduce" && ParseIntList(value, &reduce)) {
+    } else if (key == "--concurrency" && ParseInt(value, &n)) {
+      concurrency = static_cast<int>(n);
+    } else if (key == "--check-identical") {
+      check_identical = true;
+    } else if (key == "--deadline-storm" && ParseInt(value, &n)) {
+      deadline_storm = n;
+    } else if (key == "--top-k" && ParseInt(value, &n)) {
+      top_k = n;
+    } else if (key == "--max-programs" && ParseInt(value, &n)) {
+      max_programs = n;
+    } else if (key == "--stats") {
+      want_stats = true;
+    } else if (key == "--shutdown") {
+      want_shutdown = true;
+    } else {
+      std::fprintf(stderr, "unrecognized flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (port < 0 && !port_file.empty()) port = PortFromFile(port_file);
+  if (port <= 0) {
+    std::fprintf(stderr, "need --port=N or a readable --port-file\n");
+    return 2;
+  }
+  if (system != "a100" && system != "v100") {
+    std::fprintf(stderr, "--system must be a100 or v100\n");
+    return 2;
+  }
+  if (concurrency < 1) concurrency = 1;
+
+  const p2::engine::TopologyPreset preset{system, nodes};
+  const p2::topology::Cluster cluster = p2::engine::ClusterFromPreset(preset);
+  std::vector<p2::engine::ExperimentConfig> configs;
+  if (grid) {
+    configs = p2::engine::FullGrid(cluster);
+  } else if (axes.empty()) {
+    // A stats- or shutdown-only invocation needs no plan work at all.
+    if (!want_stats && !want_shutdown) {
+      std::fprintf(stderr, "need --grid or --axes=... [--reduce=...]\n");
+      return 2;
+    }
+  } else {
+    p2::engine::ExperimentConfig config;
+    config.axes.assign(axes.begin(), axes.end());
+    for (long long a : reduce) config.reduction_axes.push_back(
+        static_cast<int>(a));
+    configs.push_back(std::move(config));
+  }
+
+  // The serial reference: same requests, one in-process service, one
+  // thread. Its CanonicalResultText per config is what every OK response
+  // body must equal byte-for-byte.
+  std::vector<std::string> expected(configs.size());
+  if (check_identical) {
+    p2::engine::PlannerService reference;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      p2::engine::PlanRequest request;
+      request.axes = configs[i].axes;
+      request.reduction_axes = configs[i].reduction_axes;
+      request.measure_top_k = static_cast<int>(top_k);
+      request.max_programs = max_programs;
+      request.cluster = cluster;
+      expected[i] =
+          p2::engine::CanonicalResultText(reference.Plan(std::move(request)));
+    }
+  }
+
+  Tally tally;
+  std::atomic<bool> abort_run{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(concurrency));
+  for (int t = 0; t < concurrency; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        p2::server::PlannerClient client(port);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+          if (abort_run.load(std::memory_order_relaxed)) return;
+          p2::server::PlanWireRequest request;
+          request.preset_system = system;
+          request.preset_nodes = nodes;
+          request.axes = configs[i].axes;
+          request.reduction_axes = configs[i].reduction_axes;
+          request.measure_top_k = static_cast<int>(top_k);
+          request.max_programs = max_programs;
+          const bool stormed =
+              deadline_storm > 0 &&
+              static_cast<long long>(i) % deadline_storm == 0;
+          if (stormed) request.deadline_ms = 1;
+          const p2::server::PlanWireResponse response = client.Plan(request);
+          std::lock_guard<std::mutex> lock(tally.mu);
+          switch (response.status) {
+            case p2::server::WireStatus::kOk:
+              ++tally.ok;
+              if (check_identical && response.body != expected[i]) {
+                ++tally.mismatches;
+                std::fprintf(stderr,
+                             "BODY MISMATCH thread %d config %zu (%s)\n", t,
+                             i, configs[i].ToString().c_str());
+              }
+              break;
+            case p2::server::WireStatus::kDeadlineExceeded:
+              ++tally.deadline_exceeded;
+              if (!stormed) ++tally.failures;
+              break;
+            case p2::server::WireStatus::kCancelled:
+              ++tally.cancelled;
+              if (!stormed) ++tally.failures;
+              break;
+            case p2::server::WireStatus::kResourceExhausted:
+              // Admission-capped servers shed load by design; counted, not
+              // failed.
+              ++tally.rejected;
+              break;
+            default:
+              ++tally.failures;
+              std::fprintf(stderr, "thread %d config %zu: %s (%s)\n", t, i,
+                           p2::server::ToString(response.status),
+                           response.message.c_str());
+          }
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(tally.mu);
+        ++tally.failures;
+        std::fprintf(stderr, "thread %d: %s\n", t, e.what());
+        abort_run.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  if (want_stats) {
+    try {
+      p2::server::PlannerClient client(port);
+      const auto stats = client.Stats();
+      if (stats.status != p2::server::WireStatus::kOk) {
+        std::fprintf(stderr, "stats request failed: %s\n", stats.json.c_str());
+        ++tally.failures;
+      } else {
+        std::printf("%s\n", stats.json.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "stats connection failed: %s\n", e.what());
+      ++tally.failures;
+    }
+  }
+  if (want_shutdown) {
+    try {
+      p2::server::PlannerClient client(port);
+      if (!client.Shutdown()) {
+        std::fprintf(stderr, "shutdown not acknowledged\n");
+        ++tally.failures;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "shutdown connection failed: %s\n", e.what());
+      ++tally.failures;
+    }
+  }
+
+  std::fprintf(stderr,
+               "p2_client: %lld ok, %lld deadline-exceeded, %lld cancelled, "
+               "%lld rejected, %lld mismatches, %lld failures\n",
+               tally.ok, tally.deadline_exceeded, tally.cancelled,
+               tally.rejected, tally.mismatches, tally.failures);
+  if (tally.failures > 0 || tally.mismatches > 0) return 1;
+  if (check_identical && tally.ok == 0) {
+    std::fprintf(stderr, "--check-identical compared zero bodies\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+// p2_server: the planning service behind a TCP port (server/planner_server.h).
+//
+//   p2_server [--port=N] [--port-file=PATH] [--service-threads=N]
+//             [--cache-file=PATH] [--cache-max-entries=N]
+//             [--max-in-flight=N] [--drain-grace-ms=N]
+//
+// Binds the loopback interface only. --port=0 (the default) picks an
+// ephemeral port; the bound port is printed to stdout and, with
+// --port-file, written (atomically enough for a polling reader: the file
+// appears only after the server is accepting). The process exits 0 after a
+// client's shutdown frame drained the service — the CI smoke asserts that.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/service.h"
+#include "server/planner_server.h"
+
+namespace {
+
+bool ParseInt(const std::string& value, long long* out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  std::string port_file;
+  p2::engine::PlannerServiceOptions service_options;
+  service_options.threads = 4;
+  std::optional<std::chrono::milliseconds> drain_grace;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& arg : args) {
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    long long n = 0;
+    if (key == "--port" && ParseInt(value, &n)) {
+      port = static_cast<int>(n);
+    } else if (key == "--port-file") {
+      port_file = value;
+    } else if (key == "--service-threads" && ParseInt(value, &n)) {
+      service_options.threads = static_cast<int>(n);
+    } else if (key == "--cache-file") {
+      service_options.cache_file = value;
+    } else if (key == "--cache-max-entries" && ParseInt(value, &n)) {
+      service_options.cache_max_entries = n;
+    } else if (key == "--max-in-flight" && ParseInt(value, &n)) {
+      service_options.max_in_flight = n;
+    } else if (key == "--drain-grace-ms" && ParseInt(value, &n)) {
+      if (n >= 0) drain_grace = std::chrono::milliseconds(n);
+    } else {
+      std::fprintf(stderr, "unrecognized flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  service_options.drain_grace = drain_grace;
+
+  p2::engine::PlannerService service(service_options);
+  if (service.cache_load_status() != p2::engine::CacheLoadStatus::kOk &&
+      service.cache_load_status() !=
+          p2::engine::CacheLoadStatus::kNotConfigured &&
+      service.cache_load_status() != p2::engine::CacheLoadStatus::kNoFile) {
+    std::fprintf(stderr, "warning: cache file ignored: %s\n",
+                 service.cache_load_message().c_str());
+  }
+
+  p2::server::PlannerServerOptions server_options;
+  server_options.port = port;
+  server_options.drain_grace = drain_grace;
+  try {
+    p2::server::PlannerServer server(service, server_options);
+    std::printf("p2_server listening on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      // Written only once accept() is live, so "the file exists" is a valid
+      // readiness signal for a polling client.
+      const std::string tmp = port_file + ".tmp";
+      std::FILE* f = std::fopen(tmp.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+        return 1;
+      }
+      std::fprintf(f, "%d\n", server.port());
+      std::fclose(f);
+      if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        std::fprintf(stderr, "cannot rename %s\n", tmp.c_str());
+        return 1;
+      }
+    }
+    server.Wait();
+    server.Shutdown();
+    const p2::server::PlannerServerStats stats = server.stats();
+    std::printf(
+        "p2_server drained: %lld connections, %lld plan requests "
+        "(%lld ok, %lld errors), %lld stats requests\n",
+        static_cast<long long>(stats.connections),
+        static_cast<long long>(stats.requests),
+        static_cast<long long>(stats.plan_ok),
+        static_cast<long long>(stats.plan_errors),
+        static_cast<long long>(stats.stats_requests));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "p2_server: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
