@@ -28,6 +28,21 @@
 // a deterministic ~50% of the handles cancelled mid-flight — survivors must
 // stay byte-identical to serial (cancellation never perturbs its neighbors).
 //
+// And a contended tail-latency A/B (ISSUE 9): every worker starts on a hot
+// config whose first synthesis is fault-stalled for a long beat, with
+// independent background traffic queued behind, run once under the
+// parked-waiter scheduler (defer_inflight=false) and once under the
+// deferral-aware one. Parked workers sleep through the stall and the
+// background requests inherit it as queueing delay; deferring workers run
+// that traffic during the stall. The deferred run must park no pool thread
+// (waiter_parks == 0), actually defer (deferred_lookups > 0), stay
+// byte-identical to serial, and land a strictly lower exact client-side p99
+// than the parked baseline. Exact per-request latencies (sorted, rank-based)
+// feed the gate — histogram buckets are too coarse for a strict comparison.
+//
+// Everything is also written machine-readably to BENCH_pipeline.json
+// (override the path with --json=PATH).
+//
 // Reported per variant: wall-clock, placements evaluated, unique synthesis
 // hierarchies, cache hit rate and the re-synthesis time the cache avoided.
 // Prediction-only (like the paper's simulator-guided sweep): the grid's cost
@@ -39,16 +54,23 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <future>
 #include <random>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/format.h"
 #include "engine/report.h"
 #include "engine/service.h"
@@ -96,6 +118,9 @@ struct VariantResult {
   std::int64_t misses = 0;
   std::int64_t disk_hits = 0;
   double saved_seconds = 0.0;
+  /// Service-side submit→complete p99 (histogram bucket upper bound,
+  /// seconds) — the machine-readable per-variant tail for the JSON dump.
+  double p99_seconds = 0.0;
 };
 
 void Accumulate(const ExperimentResult& result, VariantResult* v) {
@@ -131,6 +156,7 @@ VariantResult RunGrid(const Engine& engine,
   v.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  v.p99_seconds = service.stats().latency_p99_seconds;
   // No-op unless options.cache_file is set (and not readonly): persists the
   // grid's synthesis results for the warm-from-disk variant.
   std::string error;
@@ -168,7 +194,9 @@ VariantResult RunGridConcurrently(const Engine& engine, int threads,
   v.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  *total_misses = service.stats().cache.misses;
+  const auto stats = service.stats();
+  *total_misses = stats.cache.misses;
+  v.p99_seconds = stats.latency_p99_seconds;
   return v;
 }
 
@@ -209,7 +237,113 @@ VariantResult RunGridMultiTenant(const std::vector<p2::topology::Cluster>& clust
   const auto stats = service.stats();
   *total_misses = stats.cache.misses;
   *cross_tenant_hits = stats.cache.cross_tenant_hits;
+  v.p99_seconds = stats.latency_p99_seconds;
   return v;
+}
+
+// The contended tail-latency A/B (ISSUE 9). The scenario isolates the one
+// structural difference between the two schedulers: what a pool thread does
+// while a signature it needs is being synthesized by someone else.
+//
+//   - `copies` copies of the grid's FIRST config go in first — at least as
+//     many as there are threads, so every worker starts on the hot config.
+//   - A fault hook stalls exactly ONE synthesis layer (the first to run,
+//     necessarily a hot-config signature) for a long beat. The owner sleeps
+//     in it; every other hot copy promptly finds that signature in flight.
+//   - Two copies each of the remaining configs queue behind as independent
+//     background traffic.
+//
+// Parked baseline: the non-owner workers block inside GetOrSynthesize for
+// the whole stall, the background requests wait for the wake-up, and their
+// queueing delay lands on the tail. Deferral: the same workers register
+// continuations and run the background requests DURING the stall, so the
+// tail is the stall itself, not the stall plus everything behind it. That
+// ordering — not a throughput delta — is what the strict p99 gate checks.
+//
+// One collector thread per handle records the exact submit→complete latency
+// the moment its request resolves; the p50/p99 are rank-based over the
+// sorted exact samples (the strict deferred-vs-parked gate needs finer
+// resolution than the service histogram's log2 buckets).
+struct ContendedResult {
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  std::int64_t deferred_lookups = 0;
+  std::int64_t dedup_waits = 0;
+  std::int64_t waiter_parks = 0;
+  bool identical = true;  ///< every output byte-identical to serial
+};
+
+ContendedResult RunContended(const Engine& engine, int threads, bool defer,
+                             const std::vector<GridConfig>& grid, int copies,
+                             const std::vector<ExperimentResult>& serial) {
+  ContendedResult r;
+  PlannerServiceOptions options;
+  options.threads = threads;
+  options.defer_inflight = defer;
+  PlannerService service(engine, options);
+  // Armed-once: only the FIRST frontier layer to synthesize stalls — the
+  // hot-signature owner. (exchange first, so the sleeping call has already
+  // disarmed the hook for everyone else.)
+  auto armed = std::make_shared<std::atomic<bool>>(true);
+  p2::FaultScope stall([armed](std::string_view point) {
+    if (point == "synth.layer" && armed->exchange(false)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+  });
+  // `copies` hot requests (grid[0]) first, then two copies of each other
+  // config as background traffic.
+  std::vector<std::size_t> config_of;
+  for (int c = 0; c < copies; ++c) config_of.push_back(0);
+  for (std::size_t g = 1; g < grid.size(); ++g) {
+    config_of.push_back(g);
+    config_of.push_back(g);
+  }
+  const std::size_t n = config_of.size();
+  std::vector<PlanHandle> handles;
+  handles.reserve(n);
+  std::vector<std::chrono::steady_clock::time_point> submitted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& cfg = grid[config_of[i]];
+    PlanRequest request;
+    request.axes = cfg.axes;
+    request.reduction_axes = cfg.reduction_axes;
+    submitted[handles.size()] = std::chrono::steady_clock::now();
+    handles.push_back(service.Submit(std::move(request)));
+  }
+  std::vector<double> latencies(n);
+  std::vector<ExperimentResult> results(n);
+  std::vector<std::thread> collectors;
+  collectors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    collectors.emplace_back([&, i] {
+      results[i] = handles[i].get();
+      latencies[i] = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - submitted[i])
+                         .count();
+    });
+  }
+  for (auto& t : collectors) t.join();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (CanonicalResultText(results[i]) !=
+        CanonicalResultText(serial[config_of[i]])) {
+      r.identical = false;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto rank = [&](double p) {
+    std::size_t k =
+        static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    return latencies[k - 1];
+  };
+  r.p50_seconds = rank(0.50);
+  r.p99_seconds = rank(0.99);
+  const auto stats = service.stats();
+  r.deferred_lookups = stats.cache.deferred_lookups;
+  r.dedup_waits = stats.cache.dedup_waits;
+  r.waiter_parks = stats.cache.waiter_parks;
+  return r;
 }
 
 // The cancel-storm smoke (ISSUE 7): the whole grid Submit()ted at once,
@@ -271,7 +405,14 @@ bool SameResults(const std::vector<ExperimentResult>& a,
 
 int main(int argc, char** argv) {
   int threads = 4;
-  if (argc > 1) threads = std::max(1, std::atoi(argv[1]));
+  std::string json_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      threads = std::max(1, std::atoi(argv[i]));
+    }
+  }
 
   EngineOptions opts;
   opts.payload_bytes = 1e9;
@@ -457,7 +598,91 @@ int main(int argc, char** argv) {
       "serial: %s\n",
       static_cast<long long>(storm_cancelled), grid.size(),
       storm_ok ? "ok" : "NO — BUG");
-  return identical && warm_ok && concurrent_ok && multi_tenant_ok && storm_ok
+
+  // ISSUE 9 acceptance: under contention (every worker racing on one hot
+  // config whose owner is stalled, independent traffic queued behind), the
+  // deferral-aware scheduler must never park a pool thread, must actually
+  // defer, must stay byte-identical to serial, and must beat the
+  // parked-waiter baseline's exact client-side p99 at the same thread count.
+  constexpr int kContendedThreads = 3;
+  constexpr int kContendedCopies = 4;  // hot copies, >= threads
+  const int kContendedBackground = 2 * (static_cast<int>(grid.size()) - 1);
+  const auto parked = RunContended(engine, kContendedThreads, /*defer=*/false,
+                                   grid, kContendedCopies, serial_results);
+  const auto deferred = RunContended(engine, kContendedThreads, /*defer=*/true,
+                                     grid, kContendedCopies, serial_results);
+  std::printf(
+      "contended(%d hot + %d background, %d threads): deferred p99 %.3f ms / "
+      "p50 %.3f ms (%lld deferred lookups) vs parked p99 %.3f ms / p50 "
+      "%.3f ms (%lld in-flight waits, %lld parks)\n",
+      kContendedCopies, kContendedBackground, kContendedThreads,
+      deferred.p99_seconds * 1e3, deferred.p50_seconds * 1e3,
+      static_cast<long long>(deferred.deferred_lookups),
+      parked.p99_seconds * 1e3, parked.p50_seconds * 1e3,
+      static_cast<long long>(parked.dedup_waits),
+      static_cast<long long>(parked.waiter_parks));
+  const bool contended_ok =
+      deferred.waiter_parks == 0 && deferred.deferred_lookups > 0 &&
+      deferred.identical && parked.identical &&
+      deferred.p99_seconds < parked.p99_seconds;
+  std::printf(
+      "contended gate: waiter_parks=%lld deferred_lookups=%lld identical=%s "
+      "p99 %.3fms < parked %.3fms: %s\n",
+      static_cast<long long>(deferred.waiter_parks),
+      static_cast<long long>(deferred.deferred_lookups),
+      deferred.identical && parked.identical ? "yes" : "NO",
+      deferred.p99_seconds * 1e3, parked.p99_seconds * 1e3,
+      contended_ok ? "ok" : "NO — BUG");
+
+  // Machine-readable dump (satellite of ISSUE 9): every variant's headline
+  // numbers plus the contended A/B, for CI artifacts and trend tracking.
+  {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      const std::pair<std::string, const VariantResult*> variants[] = {
+          {"serial", &serial},
+          {"cached", &cached},
+          {"cached+par", &parallel},
+          {"warm_disk", &warm},
+          {"concurrent", &concurrent},
+          {"multi_tenant", &multi_tenant},
+      };
+      std::fprintf(f, "{\n  \"threads\": %d,\n  \"variants\": [\n", threads);
+      bool first = true;
+      for (const auto& [name, v] : variants) {
+        std::fprintf(
+            f,
+            "%s    {\"name\": \"%s\", \"misses\": %lld, \"hits\": %lld, "
+            "\"seconds\": %.6f, \"synth_seconds\": %.6f, \"p99_ms\": %.6f}",
+            first ? "" : ",\n", name.c_str(),
+            static_cast<long long>(v->misses), static_cast<long long>(v->hits),
+            v->seconds, v->synth_seconds, v->p99_seconds * 1e3);
+        first = false;
+      }
+      std::fprintf(
+          f,
+          "\n  ],\n  \"contended\": {\n"
+          "    \"threads\": %d, \"hot_copies\": %d, \"background\": %d,\n"
+          "    \"parked_p50_ms\": %.6f, \"parked_p99_ms\": %.6f,\n"
+          "    \"deferred_p50_ms\": %.6f, \"deferred_p99_ms\": %.6f,\n"
+          "    \"deferred_lookups\": %lld, \"waiter_parks\": %lld,\n"
+          "    \"identical\": %s, \"ok\": %s\n  }\n}\n",
+          kContendedThreads, kContendedCopies, kContendedBackground,
+          parked.p50_seconds * 1e3,
+          parked.p99_seconds * 1e3, deferred.p50_seconds * 1e3,
+          deferred.p99_seconds * 1e3,
+          static_cast<long long>(deferred.deferred_lookups),
+          static_cast<long long>(deferred.waiter_parks),
+          deferred.identical && parked.identical ? "true" : "false",
+          contended_ok ? "true" : "false");
+      std::fclose(f);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  return identical && warm_ok && concurrent_ok && multi_tenant_ok &&
+                 storm_ok && contended_ok
              ? 0
              : 1;
 }

@@ -127,6 +127,12 @@ class CancelToken {
   /// deadline() (cv.wait_until) and latches the expiry through reason() on
   /// wake-up. No-op on a null token. Pair with RemoveCancelWaiter before
   /// `cv` is destroyed (CancelWaiter below does both).
+  ///
+  /// This cv contract also adapts to continuation-style consumers: a waiter
+  /// that must never park adapts the wake-up into a callback by sleeping in
+  /// a helpable scheduler loop instead (ThreadPool::TaskGroup::Wait(token,
+  /// on_abort) is the canonical adapter — on wake it invokes the abort hook
+  /// once and keeps executing other work rather than blocking).
   void AddCancelWaiter(std::mutex* m, std::condition_variable* cv) const;
   void RemoveCancelWaiter(const std::condition_variable* cv) const;
 

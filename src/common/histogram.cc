@@ -1,0 +1,47 @@
+#include "common/histogram.h"
+
+#include <cmath>
+
+namespace p2 {
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative → smallest bucket
+  int bucket = 0;
+  double upper = 1e-6;
+  // Loop-doubling instead of log2: exact at bucket boundaries and free of
+  // libm rounding differences across platforms — determinism is the point.
+  while (bucket < kNumBuckets - 1 && seconds > upper) {
+    upper *= 2.0;
+    ++bucket;
+  }
+  ++buckets_[static_cast<std::size_t>(bucket)];
+  ++count_;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  std::int64_t rank =
+      static_cast<std::int64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::int64_t cumulative = 0;
+  double upper = 1e-6;
+  for (int bucket = 0; bucket < kNumBuckets; ++bucket) {
+    cumulative += buckets_[static_cast<std::size_t>(bucket)];
+    if (cumulative >= rank) return upper;
+    upper *= 2.0;
+  }
+  return upper;  // unreachable: cumulative reaches count_ by the last bucket
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int bucket = 0; bucket < kNumBuckets; ++bucket) {
+    buckets_[static_cast<std::size_t>(bucket)] +=
+        other.buckets_[static_cast<std::size_t>(bucket)];
+  }
+  count_ += other.count_;
+}
+
+}  // namespace p2

@@ -1,0 +1,48 @@
+// A tiny fixed-bucket latency histogram for percentile reporting
+// (engine/service.h records per-request submit→complete latency in one).
+//
+// Buckets are log2-spaced upper bounds starting at 1 µs, so ~40 buckets
+// cover sub-microsecond to ~10 minutes with bounded memory and no
+// allocation on the record path. Percentile() returns the upper bound of
+// the bucket containing the requested rank — a deterministic function of
+// the recorded counts, so reports render identically across runs with the
+// same traffic (unlike an exact-quantile estimate over reordered samples).
+// Not thread-safe; callers guard it with their own lock.
+#ifndef P2_COMMON_HISTOGRAM_H_
+#define P2_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace p2 {
+
+class LatencyHistogram {
+ public:
+  /// Bucket b holds samples in (upper(b-1), upper(b)] with
+  /// upper(b) = 1e-6 * 2^b seconds; the last bucket is the overflow
+  /// catch-all (upper ≈ 9.2 minutes).
+  static constexpr int kNumBuckets = 40;
+
+  /// Records one sample. Negative or NaN values (a clock hiccup) land in
+  /// the smallest bucket rather than being dropped, so count() always
+  /// equals the number of Record calls.
+  void Record(double seconds);
+
+  std::int64_t count() const { return count_; }
+
+  /// The upper bound (seconds) of the bucket holding the p-th percentile
+  /// sample (rank ceil(p/100 * count), clamped to [1, count]); 0 when
+  /// empty. p is clamped to [0, 100].
+  double Percentile(double p) const;
+
+  /// Adds another histogram's counts into this one (bucket-wise).
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  std::array<std::int64_t, kNumBuckets> buckets_{};
+  std::int64_t count_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // P2_COMMON_HISTOGRAM_H_

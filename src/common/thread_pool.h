@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace p2 {
 
 class ThreadPool {
@@ -74,6 +76,38 @@ class ThreadPool {
     /// should write to slot i and merge afterwards.
     void ParallelFor(std::int64_t n,
                      const std::function<void(std::int64_t)>& fn);
+
+    /// Reserves a slot for a task that is not enqueued yet: Wait() keeps
+    /// blocking (and helping) until the reservation is settled by exactly
+    /// one CommitDeferred (which enqueues the follow-up task) or
+    /// AbandonDeferred. This is the deferral primitive behind non-blocking
+    /// cache lookups: a task that must pause for an external event reserves
+    /// its slot, returns (freeing the worker to run other groups' tasks),
+    /// and the event's continuation commits the follow-up — no thread ever
+    /// parks in between. Reserve BEFORE registering the continuation, or a
+    /// fast continuation could commit against a reservation that does not
+    /// exist yet. On an inline (<= 1 thread) pool deferral degenerates
+    /// (nothing runs concurrently that could fire a continuation), so the
+    /// reserve/abandon pair is a no-op and CommitDeferred runs inline.
+    void ReserveDeferred();
+    /// Enqueues `task` against one earlier ReserveDeferred(). Safe from any
+    /// thread, including callbacks running outside the pool; the task is
+    /// scheduled like a Submit()ted one (round-robin, per-group fail-fast,
+    /// helpable from Wait).
+    void CommitDeferred(std::function<void()> task);
+    /// Releases one earlier ReserveDeferred() without enqueueing anything.
+    void AbandonDeferred();
+
+    /// Cancel-aware Wait: like Wait(), but when `token` aborts (explicit
+    /// cancel, or deadline expiry — which never notifies a condition
+    /// variable, so the sleep is bounded by the armed deadline instead)
+    /// `on_abort` is invoked exactly once, outside the pool lock. Its job
+    /// is to flush this group's deferred reservations back into the queue
+    /// — their tasks observe the cancellation and unwind — because this
+    /// Wait, like the plain one, returns only once in-flight work AND
+    /// reservations have drained. With a token that cannot be cancelled
+    /// this is exactly Wait().
+    void Wait(const CancelToken& token, const std::function<void()>& on_abort);
 
    private:
     friend class ThreadPool;

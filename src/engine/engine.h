@@ -58,8 +58,18 @@ struct PipelineStats {
   std::int64_t cache_misses = 0;
   /// Lookups that blocked on another request's in-flight synthesis of the
   /// same signature instead of re-synthesizing (each still counts as a hit
-  /// or, if the finished entry could not serve this cap, a miss).
+  /// or, if the finished entry could not serve this cap, a miss). Zero
+  /// under the deferral-aware scheduler, which never blocks — see
+  /// cache_deferred_lookups.
   std::int64_t cache_dedup_waits = 0;
+  /// Lookups that found another request's in-flight synthesis and deferred
+  /// (re-enqueued through a completion continuation while the worker ran
+  /// other tasks) instead of parking — the non-blocking counterpart of
+  /// cache_dedup_waits, taken by the deferral-aware scheduler
+  /// (PipelineOptions::defer_inflight). Like cache_dedup_waits this count
+  /// depends on cross-request arrival order; only the sum of hits+misses
+  /// is per-request deterministic.
+  std::int64_t cache_deferred_lookups = 0;
   /// Hits served by entries another tenant's query synthesized (a subset of
   /// cache_hits; zero on a single-tenant service) — the cross-cluster
   /// sharing a multi-tenant PlannerService exists for.
@@ -81,8 +91,14 @@ struct PipelineStats {
   std::int64_t guided_skipped = 0;
   double synthesis_seconds_saved = 0.0;  ///< re-synthesis avoided by the cache
   double disk_seconds_saved = 0.0;       ///< portion saved across runs (disk)
-  double synthesis_seconds = 0.0;        ///< wall-clock actually synthesizing
-  double evaluation_seconds = 0.0;       ///< lower/predict/measure stage
+  /// Time actually spent synthesizing. Under the staged scheduler this is
+  /// the synthesize stage's wall-clock; under the deferral-aware scheduler
+  /// (where synthesis and evaluation tasks interleave) it is the summed
+  /// per-task synthesis time instead.
+  double synthesis_seconds = 0.0;
+  /// Lower/predict/measure time, with the same staged-wall-clock vs
+  /// summed-task-time split as synthesis_seconds.
+  double evaluation_seconds = 0.0;
   double total_seconds = 0.0;
   int threads = 1;
 };

@@ -100,6 +100,8 @@ std::string ToJson(const ExperimentResult& result) {
      << "\"cache_hits\":" << result.pipeline.cache_hits << ","
      << "\"cache_misses\":" << result.pipeline.cache_misses << ","
      << "\"cache_dedup_waits\":" << result.pipeline.cache_dedup_waits << ","
+     << "\"cache_deferred_lookups\":"
+     << result.pipeline.cache_deferred_lookups << ","
      << "\"cache_cross_tenant_hits\":"
      << result.pipeline.cache_cross_tenant_hits << ","
      << "\"cache_disk_hits\":" << result.pipeline.cache_disk_hits << ","
@@ -146,12 +148,19 @@ std::string ToJson(const PlannerServiceStats& stats) {
      << "\"disk_hits\":" << stats.cache.disk_hits << ","
      << "\"subsumed_hits\":" << stats.cache.subsumed_hits << ","
      << "\"dedup_waits\":" << stats.cache.dedup_waits << ","
+     << "\"deferred_lookups\":" << stats.cache.deferred_lookups << ","
+     << "\"continuations_fired\":" << stats.cache.continuations_fired << ","
+     << "\"waiter_parks\":" << stats.cache.waiter_parks << ","
      << "\"cross_tenant_hits\":" << stats.cache.cross_tenant_hits << ","
      << "\"evictions\":" << stats.cache.evictions << ","
      << "\"seconds_saved\":" << Num(stats.cache.seconds_saved) << ","
      << "\"disk_seconds_saved\":" << Num(stats.cache.disk_seconds_saved)
      << "},"
      << "\"threads\":" << stats.threads << ","
+     << "\"latency_count\":" << stats.latency_count << ","
+     << "\"latency_p50_ms\":" << Num(stats.latency_p50_seconds * 1e3) << ","
+     << "\"latency_p95_ms\":" << Num(stats.latency_p95_seconds * 1e3) << ","
+     << "\"latency_p99_ms\":" << Num(stats.latency_p99_seconds * 1e3) << ","
      << "\"tenants\":[";
   for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
     const TenantStats& tenant = stats.tenants[i];

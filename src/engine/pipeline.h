@@ -55,6 +55,18 @@ struct PipelineOptions {
   /// *other* requests sharing the pool are untouched. Null (the default)
   /// never cancels.
   CancelToken cancel;
+  /// Defer instead of park on another request's in-flight synthesis: a
+  /// signature group owned elsewhere re-enqueues itself through a
+  /// SynthesisCache::TryLookup continuation while the worker runs other
+  /// pending tasks — other placements, evaluations, even whole queued
+  /// requests — so no pool thread ever blocks on a foreign synthesis
+  /// (stats: cache_deferred_lookups up, cache_dedup_waits and the
+  /// service-wide waiter_parks pinned to 0). Off falls back to the staged
+  /// scheduler whose in-flight lookups park on the owner's condition
+  /// variable (the tail-latency baseline bench_pipeline's contended
+  /// variant measures against). Effective only with cache_synthesis on a
+  /// threaded pool; outputs are byte-identical either way.
+  bool defer_inflight = true;
 };
 
 class Pipeline {

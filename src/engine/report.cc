@@ -74,6 +74,9 @@ std::string RenderPipelineStats(const PipelineStats& stats) {
   if (stats.cache_dedup_waits > 0) {
     os << ", " << stats.cache_dedup_waits << " in-flight waits";
   }
+  if (stats.cache_deferred_lookups > 0) {
+    os << ", " << stats.cache_deferred_lookups << " deferred lookups";
+  }
   if (stats.cache_cross_tenant_hits > 0) {
     os << ", " << stats.cache_cross_tenant_hits << " cross-tenant hits";
   }
@@ -107,6 +110,13 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
   if (stats.cache.dedup_waits > 0) {
     os << ", " << stats.cache.dedup_waits << " in-flight waits";
   }
+  if (stats.cache.deferred_lookups > 0) {
+    os << ", " << stats.cache.deferred_lookups << " deferred lookups ("
+       << stats.cache.continuations_fired << " continuations fired)";
+  }
+  if (stats.cache.waiter_parks > 0) {
+    os << ", " << stats.cache.waiter_parks << " waiter parks";
+  }
   if (stats.cache.cross_tenant_hits > 0) {
     os << ", " << stats.cache.cross_tenant_hits << " cross-tenant hits";
   }
@@ -128,6 +138,16 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
   if (stats.save_errors > 0) {
     os << "\ncache save errors: " << stats.save_errors << " (last: "
        << stats.last_save_error << ")";
+  }
+  if (stats.latency_count > 0) {
+    char latency_buf[96];
+    std::snprintf(latency_buf, sizeof(latency_buf),
+                  "\nlatency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms",
+                  stats.latency_p50_seconds * 1e3,
+                  stats.latency_p95_seconds * 1e3,
+                  stats.latency_p99_seconds * 1e3);
+    os << latency_buf << " (" << stats.latency_count
+       << (stats.latency_count == 1 ? " request)" : " requests)");
   }
   if (stats.cache_entries_loaded > 0 || stats.cache.disk_hits > 0) {
     std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",

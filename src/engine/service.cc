@@ -1,6 +1,7 @@
 #include "engine/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <memory>
@@ -257,9 +258,17 @@ PlannerService::Tenant& PlannerService::AdmitTenantLocked(
   return RegisterTenantLocked(key, *request.cluster);
 }
 
-void PlannerService::FinishRequest(std::int64_t id, Tenant& tenant,
-                                   std::exception_ptr error) {
+void PlannerService::FinishRequest(
+    std::int64_t id, Tenant& tenant, std::exception_ptr error,
+    std::chrono::steady_clock::time_point submitted) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    submitted)
+          .count();
   std::unique_lock<std::mutex> lock(tenants_mu_);
+  // Every finished request — aborted included — contributes a latency
+  // sample; rejected submissions never reach here.
+  latency_.Record(elapsed);
   active_.erase(id);
   --in_flight_;
   --tenant.in_flight;
@@ -371,9 +380,10 @@ PlanHandle PlannerService::Submit(PlanRequest request) {
   // cancellation included — into the future; request_tasks_ therefore never
   // sees a throwing task, so one aborted request cannot fail-fast the
   // group's other requests.
+  const auto submitted = std::chrono::steady_clock::now();
   auto task = std::make_shared<std::packaged_task<ExperimentResult()>>(
-      [this, request = std::move(request), token = source.token(), tenant,
-       id]() {
+      [this, request = std::move(request), token = source.token(), tenant, id,
+       submitted]() {
         try {
           // Aborted while queued (deadline already past, cancelled before a
           // worker picked it up): unwind before resolving anything.
@@ -385,14 +395,15 @@ PlanHandle PlannerService::Submit(PlanRequest request) {
                                 .measure_top_k = request.measure_top_k,
                                 .tenant = resolved.id,
                                 .cancel = token,
+                                .defer_inflight = options_.defer_inflight,
                             });
           ExperimentResult result =
               pipeline.Run(request.axes, request.reduction_axes);
           AccumulateTenantStats(resolved, result);
-          FinishRequest(id, *tenant, nullptr);
+          FinishRequest(id, *tenant, nullptr, submitted);
           return result;
         } catch (...) {
-          FinishRequest(id, *tenant, std::current_exception());
+          FinishRequest(id, *tenant, std::current_exception(), submitted);
           throw;
         }
       });
@@ -490,6 +501,10 @@ PlannerServiceStats PlannerService::stats() const {
   stats.peak_in_flight = peak_in_flight_;
   stats.save_errors = save_errors_;
   stats.last_save_error = last_save_error_;
+  stats.latency_count = latency_.count();
+  stats.latency_p50_seconds = latency_.Percentile(50.0);
+  stats.latency_p95_seconds = latency_.Percentile(95.0);
+  stats.latency_p99_seconds = latency_.Percentile(99.0);
   stats.tenants.reserve(tenants_.size());
   for (const auto& tenant : tenants_) stats.tenants.push_back(tenant->stats);
   return stats;

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/histogram.h"
 #include "common/thread_pool.h"
 #include "engine/cache_store.h"
 #include "engine/engine.h"
@@ -145,6 +146,15 @@ struct PlannerServiceOptions {
   /// before cancelling them (see BeginDrain); nullopt (the default) waits
   /// for them indefinitely, like the pre-drain destructor always did.
   std::optional<std::chrono::milliseconds> drain_grace;
+  /// Defer instead of park when a request's synthesis signature is already
+  /// in flight under another request (PipelineOptions::defer_inflight): the
+  /// worker re-enqueues that work through a cache continuation and runs
+  /// other pending tasks meanwhile, keeping every pool thread productive —
+  /// the tail-latency lever for contended traffic (stats().cache
+  /// waiter_parks stays 0; deferred_lookups counts the deferrals). Off
+  /// restores the parked-waiter scheduler. Results are byte-identical
+  /// either way.
+  bool defer_inflight = true;
 };
 
 /// One planning query: evaluate every placement of `axes` on the engine of
@@ -279,6 +289,15 @@ struct PlannerServiceStats {
   /// the cache stopped persisting.
   std::int64_t save_errors = 0;
   std::string last_save_error;  ///< detail of the most recent failure
+  /// Submit→completion latency of finished requests — successful or aborted
+  /// mid-flight; rejected submissions never started and are excluded — from
+  /// a fixed log2-bucket histogram (common/histogram.h): the percentiles
+  /// report their bucket's upper bound, so rendering is deterministic for a
+  /// given set of counts. All zero until the first request finishes.
+  std::int64_t latency_count = 0;
+  double latency_p50_seconds = 0.0;
+  double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
   std::vector<TenantStats> tenants;  ///< registration order
 };
 
@@ -411,9 +430,10 @@ class PlannerService {
   /// std::invalid_argument for a request with neither cluster nor default.
   Tenant& AdmitTenantLocked(const PlanRequest& request);
   /// Books completion of in-flight request `id` (admission bookkeeping,
-  /// abort classification from `error`, drain wake-up).
-  void FinishRequest(std::int64_t id, Tenant& tenant,
-                     std::exception_ptr error);
+  /// abort classification from `error`, submit→complete latency measured
+  /// from `submitted`, drain wake-up).
+  void FinishRequest(std::int64_t id, Tenant& tenant, std::exception_ptr error,
+                     std::chrono::steady_clock::time_point submitted);
   /// Folds a finished request's pipeline stats into its tenant's row.
   void AccumulateTenantStats(Tenant& tenant, const ExperimentResult& result);
 
@@ -448,6 +468,9 @@ class PlannerService {
   std::int64_t save_errors_ = 0;
   std::string last_save_error_;
   std::int64_t next_request_id_ = 0;
+  /// Submit→complete latency of finished requests (see
+  /// PlannerServiceStats); guarded by tenants_mu_.
+  LatencyHistogram latency_;
   /// Cancel levers of in-flight requests, by request id — what a drain
   /// grace deadline fires.
   std::unordered_map<std::int64_t, CancelSource> active_;

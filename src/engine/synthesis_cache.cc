@@ -161,47 +161,7 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     release_reservation();
     const auto it = entries_.find(base);
     if (it != entries_.end() && it->second.CanServe(cap)) {
-      Entry& entry = it->second;
-      TouchLocked(entry);
-      ++stats_.hits;
-      stats_.seconds_saved += entry.original_seconds;
-      if (entry.from_disk) {
-        ++stats_.disk_hits;
-        stats_.disk_seconds_saved += entry.original_seconds;
-      }
-      if (waited) ++stats_.dedup_waits;
-      const bool cross_tenant = entry.owner_tenant != kNoTenant &&
-                                tenant != kNoTenant &&
-                                entry.owner_tenant != tenant;
-      if (cross_tenant) ++stats_.cross_tenant_hits;
-      const bool subsumed =
-          cap < static_cast<std::int64_t>(entry.result->programs.size());
-      if (subsumed) ++stats_.subsumed_hits;
-      if (outcome != nullptr) {
-        outcome->hit = true;
-        outcome->from_disk = entry.from_disk;
-        outcome->subsumed = subsumed;
-        outcome->waited = waited;
-        outcome->cross_tenant = cross_tenant;
-        outcome->seconds_saved = entry.original_seconds;
-      }
-      auto result = entry.result;
-      // The truncation copies up to `cap` programs — do it outside the
-      // lock, off the snapshotted shared_ptr, so concurrent lookups on
-      // other signatures never stall behind it. Truncating to a smaller
-      // cap is exact: the entry's program list is the smallest-first
-      // prefix of the full solution set, so its own prefix is precisely
-      // what a fresh synthesis under `cap` would return. The stats (and
-      // the counterfactual seconds) stay those of the run that produced
-      // the entry, like any other hit.
-      lock.unlock();
-      if (!subsumed) return result;
-      auto truncated = std::make_shared<core::SynthesisResult>();
-      truncated->stats = result->stats;
-      truncated->programs.assign(
-          result->programs.begin(),
-          result->programs.begin() + static_cast<std::ptrdiff_t>(cap));
-      return truncated;
+      return ServeHitLocked(lock, it->second, cap, tenant, waited, outcome);
     }
     // Not servable from the table. If someone is synthesizing this
     // signature right now, wait for them and re-check: their result usually
@@ -215,6 +175,7 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     ++reserved_[base];
     holds_reservation = true;
     waited = true;
+    ++stats_.waiter_parks;
     lock.unlock();
     if (!flight->Wait(options.cancel)) {
       // Our *own* request aborted while parked behind a foreign owner that
@@ -240,12 +201,12 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
     result = std::make_shared<const core::SynthesisResult>(
         SynthesizePrograms(sh, options));
   } catch (...) {
-    // Withdraw the announcement and wake the waiters; each retries the
-    // lookup and (finding no entry and no flight) synthesizes itself.
+    // Withdraw the announcement, wake the waiters, fire any registered
+    // continuations (a blocking owner can have deferred registrants too);
+    // each retries the lookup and (finding no entry and no flight)
+    // dispatches the synthesis itself.
     lock.lock();
-    inflight_.erase(base);
-    lock.unlock();
-    flight->MarkDone();
+    SettleFlight(lock, base);
     throw;
   }
 
@@ -265,10 +226,162 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
   // entry could not serve this cap — ran its own synthesis after all, so
   // it is recorded only in the caller's outcome.
   if (outcome != nullptr) outcome->waited = waited;
-  inflight_.erase(base);
-  lock.unlock();
-  flight->MarkDone();
+  SettleFlight(lock, base);
   return result;
+}
+
+std::shared_ptr<const core::SynthesisResult> SynthesisCache::ServeHitLocked(
+    std::unique_lock<std::mutex>& lock, Entry& entry, std::int64_t cap,
+    std::int64_t tenant, bool waited, CacheLookupOutcome* outcome) {
+  TouchLocked(entry);
+  ++stats_.hits;
+  stats_.seconds_saved += entry.original_seconds;
+  if (entry.from_disk) {
+    ++stats_.disk_hits;
+    stats_.disk_seconds_saved += entry.original_seconds;
+  }
+  if (waited) ++stats_.dedup_waits;
+  const bool cross_tenant = entry.owner_tenant != kNoTenant &&
+                            tenant != kNoTenant && entry.owner_tenant != tenant;
+  if (cross_tenant) ++stats_.cross_tenant_hits;
+  const bool subsumed =
+      cap < static_cast<std::int64_t>(entry.result->programs.size());
+  if (subsumed) ++stats_.subsumed_hits;
+  if (outcome != nullptr) {
+    outcome->hit = true;
+    outcome->from_disk = entry.from_disk;
+    outcome->subsumed = subsumed;
+    outcome->waited = waited;
+    outcome->cross_tenant = cross_tenant;
+    outcome->seconds_saved = entry.original_seconds;
+  }
+  auto result = entry.result;
+  // The truncation copies up to `cap` programs — do it outside the lock,
+  // off the snapshotted shared_ptr, so concurrent lookups on other
+  // signatures never stall behind it. Truncating to a smaller cap is
+  // exact: the entry's program list is the smallest-first prefix of the
+  // full solution set, so its own prefix is precisely what a fresh
+  // synthesis under `cap` would return. The stats (and the counterfactual
+  // seconds) stay those of the run that produced the entry, like any other
+  // hit.
+  lock.unlock();
+  if (!subsumed) return result;
+  auto truncated = std::make_shared<core::SynthesisResult>();
+  truncated->stats = result->stats;
+  truncated->programs.assign(
+      result->programs.begin(),
+      result->programs.begin() + static_cast<std::ptrdiff_t>(cap));
+  return truncated;
+}
+
+void SynthesisCache::SettleFlight(std::unique_lock<std::mutex>& lock,
+                                  const std::string& base) {
+  const auto fit = inflight_.find(base);
+  const std::shared_ptr<InFlight> flight = fit->second;
+  std::vector<InFlight::Continuation> continuations =
+      std::move(flight->continuations);
+  stats_.continuations_fired += static_cast<std::int64_t>(continuations.size());
+  inflight_.erase(fit);
+  lock.unlock();
+  // Parked waiters first (they re-lock mu_ themselves), then the deferred
+  // ones' continuations — all outside every lock, so a continuation is free
+  // to call straight back into the cache or into a ThreadPool group.
+  flight->MarkDone();
+  for (InFlight::Continuation& continuation : continuations) continuation.fn();
+}
+
+SynthesisCache::TryLookupResult SynthesisCache::TryLookup(
+    const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
+    std::function<void()> on_resolved, DeferredLookup* deferred,
+    CacheLookupOutcome* outcome, std::int64_t tenant) {
+  if (outcome != nullptr) *outcome = CacheLookupOutcome{};
+  const std::string base = BaseKey(sh, options);
+  const std::int64_t cap = std::max<std::int64_t>(0, options.max_programs);
+
+  TryLookupResult r;
+  std::unique_lock<std::mutex> lock(mu_);
+  // A retry after a deferral releases its reservation here — under the same
+  // lock acquisition as the lookup below, so eviction (which also needs the
+  // lock) cannot squeeze between the release and the read. This mirrors
+  // GetOrSynthesize's post-wake release_reservation() exactly.
+  if (deferred->active_) {
+    deferred->active_ = false;
+    const auto rit = reserved_.find(deferred->base_);
+    if (--rit->second == 0) reserved_.erase(rit);
+  }
+  const auto it = entries_.find(base);
+  if (it != entries_.end() && it->second.CanServe(cap)) {
+    r.state = TryLookupState::kReady;
+    r.result = ServeHitLocked(lock, it->second, cap, tenant,
+                              /*waited=*/false, outcome);
+    return r;
+  }
+  const auto fit = inflight_.find(base);
+  if (fit != inflight_.end()) {
+    // Defer: reserve the base (the published entry must survive until our
+    // retry reads it — the same immunity a parked waiter holds) and
+    // register the continuation under the tag CancelDeferred withdraws by.
+    ++reserved_[base];
+    deferred->active_ = true;
+    deferred->base_ = base;
+    deferred->id_ = next_continuation_id_++;
+    fit->second->continuations.push_back(
+        InFlight::Continuation{deferred->id_, std::move(on_resolved)});
+    ++stats_.deferred_lookups;
+    r.state = TryLookupState::kInFlight;
+    return r;
+  }
+  // Claim the flight: the caller is now the owner every concurrent lookup
+  // of this base parks or defers behind, until CompleteOwned/AbandonOwned.
+  inflight_.emplace(base, std::make_shared<InFlight>());
+  r.state = TryLookupState::kOwned;
+  return r;
+}
+
+void SynthesisCache::CompleteOwned(
+    const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
+    std::shared_ptr<const core::SynthesisResult> result, std::int64_t tenant) {
+  const std::string base = BaseKey(sh, options);
+  const std::int64_t cap = std::max<std::int64_t>(0, options.max_programs);
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry entry;
+  entry.result = std::move(result);
+  entry.original_seconds = entry.result->stats.seconds;
+  entry.max_programs = cap;
+  entry.owner_tenant = tenant;
+  PublishLocked(base, std::move(entry));
+  ++stats_.misses;
+  SettleFlight(lock, base);
+}
+
+void SynthesisCache::AbandonOwned(const core::SynthesisHierarchy& sh,
+                                  const core::SynthesisOptions& options) {
+  const std::string base = BaseKey(sh, options);
+  std::unique_lock<std::mutex> lock(mu_);
+  SettleFlight(lock, base);
+}
+
+void SynthesisCache::CancelDeferred(DeferredLookup* deferred) {
+  if (deferred == nullptr || !deferred->active_) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  deferred->active_ = false;
+  const auto rit = reserved_.find(deferred->base_);
+  if (--rit->second == 0) reserved_.erase(rit);
+  // Withdraw the continuation if the flight still holds it. The flight may
+  // already be a *successor* (our owner settled, extracting our
+  // continuation, and someone re-claimed the base) — ids are never reused,
+  // so the scan simply finds nothing and the extracted continuation fires
+  // late as the caller's fire-once no-op.
+  const auto fit = inflight_.find(deferred->base_);
+  if (fit != inflight_.end()) {
+    auto& continuations = fit->second->continuations;
+    for (auto it = continuations.begin(); it != continuations.end(); ++it) {
+      if (it->id == deferred->id_) {
+        continuations.erase(it);
+        break;
+      }
+    }
+  }
 }
 
 std::int64_t SynthesisCache::Preload(

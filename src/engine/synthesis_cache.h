@@ -22,11 +22,24 @@
 //    finds no flight, and dispatches the synthesis itself: a dead owner
 //    never parks its waiters forever. Symmetrically, a waiter whose own
 //    request aborts (SynthesisOptions::cancel) interrupts its wait and
-//    unwinds instead of riding out a foreign owner's synthesis. Known
-//    tradeoff: a live waiter blocks its thread — a pool worker waiting here
-//    does not pick up other queued work the way ThreadPool::TaskGroup::Wait
-//    does. A non-blocking "defer this member" lookup would let the pipeline
-//    reorder around in-flight signatures; see the ROADMAP's service item.
+//    unwinds instead of riding out a foreign owner's synthesis.
+//  - Non-blocking lookups: TryLookup() is the deferral-capable face of the
+//    same machinery. Instead of parking on a foreign in-flight synthesis it
+//    registers a completion continuation and returns kInFlight, holding the
+//    same eviction reservation a parked waiter would; owner completion AND
+//    owner death fire the continuations (outside the cache lock), and the
+//    caller retries with the same DeferredLookup handle — the retry
+//    releases the reservation under the same lock acquisition as its
+//    lookup, exactly the parked path's closed publish-to-read window. A
+//    caller that loses interest settles with CancelDeferred(), which
+//    releases the reservation like a cancelled parked waiter and withdraws
+//    the continuation (one already extracted by a completing owner may
+//    still fire late — callers guard with a fire-once flag). kOwned tells
+//    the caller to synthesize itself and settle with CompleteOwned /
+//    AbandonOwned. The pipeline's deferral scheduler (engine/pipeline.cc)
+//    is built on this surface, so no pool thread ever parks on another
+//    request's synthesis (`waiter_parks` counts the remaining blocking
+//    waits of the GetOrSynthesize path).
 //  - max_programs subsumption: an entry synthesized under a larger
 //    max_programs cap serves smaller-cap queries by truncating its program
 //    list. That is exact, not approximate: SynthesizePrograms keeps the
@@ -51,6 +64,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -82,6 +96,16 @@ struct SynthesisCacheStats {
   std::int64_t cross_tenant_hits = 0;
   /// Entries dropped by the LRU cap (max_entries in the constructor).
   std::int64_t evictions = 0;
+  /// TryLookup calls that found a foreign in-flight synthesis and registered
+  /// a completion continuation instead of parking (TryLookupState::kInFlight
+  /// returns — the non-blocking counterpart of dedup_waits).
+  std::int64_t deferred_lookups = 0;
+  /// Continuations fired at owner completion or withdrawal.
+  std::int64_t continuations_fired = 0;
+  /// GetOrSynthesize calls that parked their thread behind a foreign
+  /// in-flight synthesis (one per park, not per call). The deferral-aware
+  /// pipeline keeps this at 0: its lookups go through TryLookup.
+  std::int64_t waiter_parks = 0;
   /// Sum of the original synthesis wall-clock of every entry served from the
   /// cache: the time a cacheless run would have spent re-synthesizing.
   double seconds_saved = 0.0;
@@ -115,6 +139,47 @@ class SynthesisCache {
   /// cross-tenant when served.
   static constexpr std::int64_t kNoTenant = -1;
 
+  /// How a non-blocking TryLookup resolved.
+  enum class TryLookupState {
+    kReady,     ///< served from the table; `result` is set
+    kOwned,     ///< the caller claimed the synthesis: it must synthesize and
+                ///< settle with CompleteOwned (or AbandonOwned on failure)
+    kInFlight,  ///< a foreign call owns an in-flight synthesis; the
+                ///< continuation was registered and `deferred` now holds the
+                ///< reservation
+  };
+
+  struct TryLookupResult {
+    TryLookupState state = TryLookupState::kOwned;
+    /// The served result (truncated to the query's cap where subsumption
+    /// applies); set only for kReady.
+    std::shared_ptr<const core::SynthesisResult> result;
+  };
+
+  /// Handle of one deferred (kInFlight) TryLookup: while active() it holds
+  /// an eviction reservation on the base key and a continuation
+  /// registration on the flight. Passing the handle back into a retry
+  /// TryLookup settles it under the same lock acquisition as the new
+  /// lookup; CancelDeferred settles it without retrying. Not thread-safe —
+  /// one logical waiter owns it at a time — and it must not be destroyed
+  /// while active (the cache cannot release what it no longer knows about).
+  class DeferredLookup {
+   public:
+    DeferredLookup() = default;
+    DeferredLookup(const DeferredLookup&) = delete;
+    DeferredLookup& operator=(const DeferredLookup&) = delete;
+
+    /// True between a kInFlight TryLookup and the retry / CancelDeferred
+    /// that settles it.
+    bool active() const { return active_; }
+
+   private:
+    friend class SynthesisCache;
+    bool active_ = false;
+    std::string base_;      ///< reservation key while active
+    std::uint64_t id_ = 0;  ///< continuation registration tag while active
+  };
+
   /// `max_entries > 0` bounds the cache to that many entries with LRU
   /// eviction; <= 0 (the default) is unbounded.
   explicit SynthesisCache(std::int64_t max_entries = 0)
@@ -130,6 +195,48 @@ class SynthesisCache {
   std::shared_ptr<const core::SynthesisResult> GetOrSynthesize(
       const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
       CacheLookupOutcome* outcome = nullptr, std::int64_t tenant = kNoTenant);
+
+  /// Non-blocking lookup. kReady serves exactly like GetOrSynthesize's hit
+  /// path (same stats and outcome attribution). kOwned announces this
+  /// caller as the in-flight owner — it must run the synthesis itself and
+  /// settle with CompleteOwned / AbandonOwned. kInFlight registers
+  /// `on_resolved` to fire (outside the cache lock, from whichever thread
+  /// settles the flight) when the current owner publishes or withdraws,
+  /// takes an eviction reservation, and marks `deferred` active; the caller
+  /// retries TryLookup with the same handle once the continuation fires —
+  /// usually landing on kReady, though an owner death or a smaller-cap
+  /// publish routes it to kOwned / kInFlight again. `on_resolved` must be
+  /// safe to invoke at any later time from any thread, including after the
+  /// caller lost interest (fire-once guards belong to the caller).
+  /// `deferred` is required; `outcome` is reset on every call, so the
+  /// settling call determines it.
+  TryLookupResult TryLookup(const core::SynthesisHierarchy& sh,
+                            const core::SynthesisOptions& options,
+                            std::function<void()> on_resolved,
+                            DeferredLookup* deferred,
+                            CacheLookupOutcome* outcome = nullptr,
+                            std::int64_t tenant = kNoTenant);
+
+  /// Publishes the result of a kOwned TryLookup (the owner's miss — counted
+  /// here), fires registered continuations, and wakes parked waiters.
+  void CompleteOwned(const core::SynthesisHierarchy& sh,
+                     const core::SynthesisOptions& options,
+                     std::shared_ptr<const core::SynthesisResult> result,
+                     std::int64_t tenant = kNoTenant);
+
+  /// Withdraws a kOwned announcement whose synthesis failed (cancellation
+  /// included): continuations fire and parked waiters wake, and each
+  /// retries and re-dispatches — the dead-owner contract of the parked
+  /// path, verbatim.
+  void AbandonOwned(const core::SynthesisHierarchy& sh,
+                    const core::SynthesisOptions& options);
+
+  /// Settles an active deferred lookup without retrying: releases its
+  /// eviction reservation — exactly like a cancelled parked waiter — and
+  /// withdraws its continuation registration. A continuation already
+  /// extracted by a settling owner may still fire afterwards; that late
+  /// fire must be a no-op for the caller. No-op on an inactive handle.
+  void CancelDeferred(DeferredLookup* deferred);
 
   /// Full cache key for a hierarchy under the given options — the
   /// persistence identity (engine/cache_store.h stores entries under it).
@@ -209,11 +316,32 @@ class SynthesisCache {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
+
+    /// One deferred waiter's completion callback. Guarded by the *cache's*
+    /// mu_ (not by `m`): registration, withdrawal, and extraction all
+    /// happen under the cache lock; firing happens outside every lock.
+    struct Continuation {
+      std::uint64_t id = 0;
+      std::function<void()> fn;
+    };
+    std::vector<Continuation> continuations;
   };
 
   /// Inserts or replaces the entry at `base` (mu_ held), maintaining the
   /// LRU list.
   Entry& PublishLocked(const std::string& base, Entry entry);
+  /// The shared hit path of GetOrSynthesize and TryLookup: LRU touch, hit
+  /// stats and outcome attribution, then (unlocked) the exact subsumption
+  /// truncation. `lock` must hold mu_ on entry; released on return.
+  std::shared_ptr<const core::SynthesisResult> ServeHitLocked(
+      std::unique_lock<std::mutex>& lock, Entry& entry, std::int64_t cap,
+      std::int64_t tenant, bool waited, CacheLookupOutcome* outcome);
+  /// Settles the flight at `base`: erases the announcement and extracts its
+  /// continuations under `lock`, then (unlocked) wakes parked waiters and
+  /// fires the continuations. `lock` must hold mu_ on entry; released on
+  /// return.
+  void SettleFlight(std::unique_lock<std::mutex>& lock,
+                    const std::string& base);
   /// Moves `base` to the front of the LRU list (mu_ held).
   void TouchLocked(Entry& entry);
   /// Drops least-recently-used entries until the cap holds, skipping bases
@@ -230,6 +358,10 @@ class SynthesisCache {
   /// post-wake lookup has run, closing the publish-to-read window.
   std::unordered_map<std::string, std::int64_t> reserved_;
   std::list<std::string> lru_;  ///< base keys, most-recently-used first
+  /// Tags deferred-lookup continuation registrations so CancelDeferred can
+  /// withdraw exactly its own from a flight (never reused, so a stale tag
+  /// matches nothing on a successor flight).
+  std::uint64_t next_continuation_id_ = 1;
   SynthesisCacheStats stats_;
 };
 

@@ -1,0 +1,80 @@
+// The fixed-bucket latency histogram behind the service's percentile
+// reporting (ISSUE 9): log2-spaced bucket upper bounds, rank-based
+// percentiles, deterministic for a given set of counts.
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace p2 {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50.0), 0.0);
+  EXPECT_EQ(h.Percentile(99.0), 0.0);
+}
+
+TEST(LatencyHistogram, PercentileIsTheBucketUpperBound) {
+  LatencyHistogram h;
+  h.Record(0.5e-6);  // bucket 0: upper 1e-6
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 1e-6);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 1e-6);
+
+  h.Record(3e-6);  // (2e-6, 4e-6] -> upper 4e-6
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 1e-6);   // rank 1 of 2
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 4e-6);  // rank 2 of 2
+}
+
+TEST(LatencyHistogram, BoundaryValuesStayInTheirBucket) {
+  // upper(b) is inclusive: a sample exactly at a bucket's upper bound must
+  // not spill into the next bucket.
+  LatencyHistogram h;
+  h.Record(1e-6);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1e-6);
+  LatencyHistogram g;
+  g.Record(2e-6);
+  EXPECT_DOUBLE_EQ(g.Percentile(100.0), 2e-6);
+}
+
+TEST(LatencyHistogram, TailPercentilesFindTheSlowSample) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(1e-3);  // (0.512ms, 1.024ms] band
+  h.Record(10.0);                               // one ~10s outlier
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_LT(h.Percentile(50.0), 0.01);
+  EXPECT_LT(h.Percentile(99.0), 0.01);  // rank 99 of 100: still the fast band
+  EXPECT_GT(h.Percentile(100.0), 1.0);  // rank 100: the outlier's bucket
+}
+
+TEST(LatencyHistogram, DegenerateInputsLandInTheSmallestBucket) {
+  LatencyHistogram h;
+  h.Record(-1.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 2);  // never dropped: count() == number of records
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 1e-6);
+}
+
+TEST(LatencyHistogram, OverflowSamplesUseTheLastBucket) {
+  LatencyHistogram h;
+  h.Record(1e9);  // far beyond the last bucket's natural range
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GT(h.Percentile(50.0), 100.0);  // the catch-all's upper bound
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a;
+  a.Record(1e-3);
+  LatencyHistogram b;
+  b.Record(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_LT(a.Percentile(50.0), 0.01);
+  EXPECT_GT(a.Percentile(100.0), 0.5);
+}
+
+}  // namespace
+}  // namespace p2

@@ -9,14 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <numeric>
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "engine/report.h"
 #include "topology/presets.h"
 
@@ -121,6 +126,131 @@ TEST(PlannerService, RacingQueriesSynthesizeEachSignatureExactlyOnce) {
     EXPECT_EQ(per_request_misses + per_request_hits, 12) << "round " << round;
     EXPECT_EQ(stats.requests, 4);
   }
+}
+
+// ---- deferral-aware scheduler (ISSUE 9) -----------------------------------
+
+// The deferral determinism suite: duplicated configs (so signatures overlap
+// across requests) in randomized submission orders on 1/4/8 threads, with a
+// fault hook stalling every synthesis frontier layer ~1ms — wide in-flight
+// windows, so requests constantly observe each other's open flights and the
+// deferred queue is actually exercised. Every output must stay
+// byte-identical to the serial reference, and on threaded services no pool
+// thread may ever park behind a foreign synthesis (waiter_parks == 0).
+TEST(PlannerService, DeferralSchedulingIsDeterministicUnderStalledOwners) {
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  const auto configs = Configs();
+
+  std::vector<std::string> reference;
+  for (const auto& config : configs) {
+    PlannerService service(engine, PlannerServiceOptions{.threads = 1});
+    reference.push_back(CanonicalResultText(service.Plan(RequestFor(config))));
+  }
+
+  FaultScope stall([](std::string_view point) {
+    if (point == "synth.layer") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Each config twice per round: duplicated signatures guarantee in-flight
+  // overlap somewhere in every threaded round.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    order.push_back(i);
+    order.push_back(i);
+  }
+  std::mt19937 rng(20260808);
+  for (const int threads : {1, 4, 8}) {
+    for (int round = 0; round < 3; ++round) {
+      if (round > 0) std::shuffle(order.begin(), order.end(), rng);
+      PlannerService service(engine,
+                             PlannerServiceOptions{.threads = threads});
+      std::vector<PlanHandle> futures;
+      futures.reserve(order.size());
+      for (const std::size_t index : order) {
+        futures.push_back(service.Submit(RequestFor(configs[index])));
+      }
+      for (std::size_t f = 0; f < futures.size(); ++f) {
+        EXPECT_EQ(CanonicalResultText(futures[f].get()), reference[order[f]])
+            << "config " << order[f] << ", threads=" << threads
+            << ", round=" << round;
+      }
+      EXPECT_EQ(service.stats().cache.waiter_parks, 0)
+          << "threads=" << threads << ", round=" << round
+          << ": a pool thread parked behind a foreign synthesis";
+    }
+  }
+
+  // The parked-waiter scheduler must still be selectable and identical —
+  // it is the bench's tail-latency baseline.
+  PlannerServiceOptions parked;
+  parked.threads = 4;
+  parked.defer_inflight = false;
+  PlannerService service(engine, parked);
+  std::vector<PlanHandle> futures;
+  for (const std::size_t index : order) {
+    futures.push_back(service.Submit(RequestFor(configs[index])));
+  }
+  for (std::size_t f = 0; f < futures.size(); ++f) {
+    EXPECT_EQ(CanonicalResultText(futures[f].get()), reference[order[f]])
+        << "parked scheduler, config " << order[f];
+  }
+  EXPECT_EQ(service.stats().cache.deferred_lookups, 0);
+}
+
+// A deterministic deferral window: the first synthesis is held open until
+// the test has *observed* other requests deferring behind it. Proves the
+// non-blocking path actually engages (deferred_lookups > 0) and resolves
+// without parking or perturbing any output.
+TEST(PlannerService, DeferredRequestsResolveOnOwnerCompletion) {
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  PlanRequest request;
+  request.axes = {8, 2, 2};  // 3 placements, 2 unique signatures
+  request.reduction_axes = {0};
+
+  std::string reference;
+  {
+    PlannerService serial(engine, PlannerServiceOptions{.threads = 1});
+    reference = CanonicalResultText(serial.Plan(request));
+  }
+
+  PlannerService service(engine, PlannerServiceOptions{.threads = 4});
+  std::atomic<bool> armed{true};
+  std::atomic<bool> release{false};
+  FaultScope gate([&](std::string_view point) {
+    if (point != "synth.layer") return;
+    if (!armed.exchange(false)) return;  // only the first owner stalls
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<PlanHandle> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(service.Submit(request));
+  // Wait until at least one racer has registered a continuation against the
+  // stalled owner's flight, then let the owner finish. The timeout bounds
+  // the test if deferral never engages (that itself fails the assertion
+  // below, with the futures still drained).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (service.stats().cache.deferred_lookups == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true);
+
+  for (auto& future : futures) {
+    EXPECT_EQ(CanonicalResultText(future.get()), reference);
+  }
+  const auto stats = service.stats();
+  EXPECT_GT(stats.cache.deferred_lookups, 0)
+      << "no racer ever deferred behind the held-open flight";
+  EXPECT_EQ(stats.cache.continuations_fired, stats.cache.deferred_lookups);
+  EXPECT_EQ(stats.cache.waiter_parks, 0);
+  EXPECT_EQ(stats.cache.misses, 2);  // each signature synthesized once
+  EXPECT_EQ(stats.latency_count, 4);
+  EXPECT_GT(stats.latency_p99_seconds, 0.0);
+  EXPECT_GE(stats.latency_p99_seconds, stats.latency_p50_seconds);
 }
 
 TEST(PlannerService, SubmitIsAsynchronousAndFuturesCarryResults) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
@@ -546,6 +547,170 @@ TEST(SynthesisCache, CancelledWaiterWakesWellUnderTheOldPollPeriod) {
   EXPECT_LT(median_ms, 2.0) << "cancel-to-wake median " << median_ms
                             << " ms — the cv wake-up has regressed toward "
                                "the old 5 ms poll";
+}
+
+// ISSUE 9: the non-blocking lookup surface. TryLookup never parks — it
+// either serves (kReady), claims ownership (kOwned), or registers a
+// continuation against the owner's flight (kInFlight) and returns.
+TEST(SynthesisCache, TryLookupServesClaimsAndDefers) {
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+
+  // Fresh signature: the caller becomes the owner...
+  SynthesisCache::DeferredLookup owner_handle;
+  auto owned = cache.TryLookup(IsomorphicA(), options, [] {}, &owner_handle);
+  ASSERT_EQ(owned.state, SynthesisCache::TryLookupState::kOwned);
+  EXPECT_FALSE(owner_handle.active());
+
+  // ...and while its flight is open, another lookup on an isomorphic
+  // hierarchy defers: continuation registered, no park, no result yet.
+  std::atomic<bool> fired{false};
+  SynthesisCache::DeferredLookup deferred;
+  const auto in_flight = cache.TryLookup(
+      IsomorphicB(), options, [&] { fired.store(true); }, &deferred);
+  ASSERT_EQ(in_flight.state, SynthesisCache::TryLookupState::kInFlight);
+  EXPECT_EQ(in_flight.result, nullptr);
+  EXPECT_TRUE(deferred.active());
+  EXPECT_FALSE(fired.load());
+  EXPECT_EQ(cache.stats().deferred_lookups, 1);
+
+  // Owner completion publishes and fires the continuation synchronously.
+  auto result = std::make_shared<const core::SynthesisResult>(
+      core::SynthesizePrograms(IsomorphicA(), options));
+  cache.CompleteOwned(IsomorphicA(), options, result);
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(cache.stats().continuations_fired, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  // The deferred caller retries: a plain hit now (and the retry releases
+  // the eviction reservation its handle held).
+  CacheLookupOutcome outcome;
+  const auto retried = cache.TryLookup(IsomorphicB(), options, [] {},
+                                       &deferred, &outcome);
+  ASSERT_EQ(retried.state, SynthesisCache::TryLookupState::kReady);
+  EXPECT_FALSE(deferred.active());
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_EQ(retried.result.get(), result.get());
+  EXPECT_EQ(cache.stats().hits, 1);
+  // Nothing in the non-blocking protocol ever parked.
+  EXPECT_EQ(cache.stats().waiter_parks, 0);
+  EXPECT_EQ(cache.stats().dedup_waits, 0);
+}
+
+TEST(SynthesisCache, OwnerDeathFiresContinuationsAndHandsOffOwnership) {
+  SynthesisCache cache;
+  const core::SynthesisOptions options;
+
+  SynthesisCache::DeferredLookup owner_handle;
+  auto owned = cache.TryLookup(IsomorphicA(), options, [] {}, &owner_handle);
+  ASSERT_EQ(owned.state, SynthesisCache::TryLookupState::kOwned);
+
+  std::atomic<bool> fired{false};
+  SynthesisCache::DeferredLookup deferred;
+  const auto in_flight = cache.TryLookup(
+      IsomorphicB(), options, [&] { fired.store(true); }, &deferred);
+  ASSERT_EQ(in_flight.state, SynthesisCache::TryLookupState::kInFlight);
+
+  // The owner's synthesis died: the flight dissolves, continuations fire,
+  // and the deferred caller's retry finds no entry and no flight — it
+  // becomes the new owner and synthesizes for itself.
+  cache.AbandonOwned(IsomorphicA(), options);
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(cache.stats().continuations_fired, 1);
+
+  const auto retried =
+      cache.TryLookup(IsomorphicB(), options, [] {}, &deferred);
+  ASSERT_EQ(retried.state, SynthesisCache::TryLookupState::kOwned);
+  auto result = std::make_shared<const core::SynthesisResult>(
+      core::SynthesizePrograms(IsomorphicB(), options));
+  cache.CompleteOwned(IsomorphicB(), options, result);
+  EXPECT_EQ(cache.stats().misses, 1);  // the dead owner's claim counted none
+  EXPECT_EQ(cache.size(), 1u);
+
+  CacheLookupOutcome outcome;
+  cache.GetOrSynthesize(IsomorphicA(), options, &outcome);
+  EXPECT_TRUE(outcome.hit);
+}
+
+// ISSUE 9 satellite: a deferred waiter holds the same eviction reservation a
+// parked waiter would, and CancelDeferred must release it exactly like the
+// cancelled-parked-waiter path above — no leaked reservation pinning the
+// base in a capped cache forever.
+TEST(SynthesisCache, CancelDeferredReleasesTheEvictionReservation) {
+  SynthesisCache cache(/*max_entries=*/1);
+  const core::SynthesisOptions plain;
+  std::atomic<bool> owner_inside{false};
+  std::atomic<bool> release_owner{false};
+  std::atomic<int> synth_calls{0};
+  FaultScope scope([&](std::string_view point) {
+    if (point != "synth.layer") return;
+    if (synth_calls.fetch_add(1) != 0) return;  // only the owner stalls
+    owner_inside.store(true);
+    while (!release_owner.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread owner([&] { cache.GetOrSynthesize(IsomorphicA(), plain); });
+  while (!owner_inside.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<bool> fired{false};
+  SynthesisCache::DeferredLookup deferred;
+  const auto in_flight = cache.TryLookup(
+      IsomorphicB(), plain, [&] { fired.store(true); }, &deferred);
+  ASSERT_EQ(in_flight.state, SynthesisCache::TryLookupState::kInFlight);
+  EXPECT_TRUE(deferred.active());
+
+  // Departure before the owner resolves: reservation released, continuation
+  // deregistered — the owner's later completion must fire nothing.
+  cache.CancelDeferred(&deferred);
+  EXPECT_FALSE(deferred.active());
+  release_owner.store(true);
+  owner.join();
+  EXPECT_FALSE(fired.load());
+  EXPECT_EQ(cache.stats().continuations_fired, 0);
+
+  // With the reservation gone, the published entry is evictable again: a
+  // second signature displaces it instead of overflowing the cap.
+  cache.GetOrSynthesize(Different(), plain);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+// The blocking path still accounts its parks — the counter the deferral
+// scheduler's tests pin to zero has to be live on the legacy path.
+TEST(SynthesisCache, ParkedWaiterCountsWaiterParks) {
+  SynthesisCache cache;
+  const core::SynthesisOptions plain;
+  std::atomic<bool> owner_inside{false};
+  std::atomic<bool> release_owner{false};
+  std::atomic<bool> waiter_parked{false};
+  std::atomic<int> synth_calls{0};
+  FaultScope scope([&](std::string_view point) {
+    if (point != "synth.layer") return;
+    if (synth_calls.fetch_add(1) != 0) return;  // only the owner stalls
+    owner_inside.store(true);
+    while (!release_owner.load()) {
+      if (waiter_parked.load() && cache.stats().waiter_parks > 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread owner([&] { cache.GetOrSynthesize(IsomorphicA(), plain); });
+  while (!owner_inside.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread waiter([&] {
+    waiter_parked.store(true);
+    cache.GetOrSynthesize(IsomorphicB(), plain);
+  });
+  waiter.join();
+  release_owner.store(true);
+  owner.join();
+  EXPECT_EQ(cache.stats().waiter_parks, 1);
+  EXPECT_EQ(cache.stats().dedup_waits, 1);
+  EXPECT_EQ(cache.stats().deferred_lookups, 0);
 }
 
 TEST(SynthesisCache, ClearResetsEverything) {

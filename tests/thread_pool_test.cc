@@ -11,6 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace p2 {
 namespace {
 
@@ -180,6 +182,93 @@ TEST(TaskGroup, InlineModeRunsTasksImmediately) {
   // Inline tasks capture errors like workers do; Wait rethrows.
   group.Submit([] { throw std::runtime_error("inline boom"); });
   EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+// ---- deferred tasks (ISSUE 9) ---------------------------------------------
+
+TEST(TaskGroup, DeferredReservationHoldsWaitUntilCommitted) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group(pool);
+  std::atomic<bool> ran{false};
+  group.ReserveDeferred();  // Wait must not return while this is pending
+  std::thread committer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    group.CommitDeferred([&ran] { ran.store(true); });
+  });
+  group.Wait();  // returns only after the committed task actually ran
+  EXPECT_TRUE(ran.load());
+  committer.join();
+}
+
+TEST(TaskGroup, AbandonDeferredReleasesTheReservation) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group(pool);
+  group.ReserveDeferred();
+  std::thread abandoner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    group.AbandonDeferred();
+  });
+  group.Wait();  // unblocked by the abandonment, with nothing to run
+  abandoner.join();
+}
+
+TEST(TaskGroup, InlineModeCommitsDeferredTasksImmediately) {
+  ThreadPool pool(1);
+  ThreadPool::TaskGroup group(pool);
+  group.ReserveDeferred();  // no-op without workers
+  int count = 0;
+  group.CommitDeferred([&count] { ++count; });
+  EXPECT_EQ(count, 1);  // ran inline, like Submit
+  group.AbandonDeferred();  // no-op
+  group.Wait();
+}
+
+TEST(TaskGroup, CancellableWaitInvokesAbortHookOnceAndDrains) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group(pool);
+  CancelSource source;
+  std::atomic<int> aborts{0};
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  // The waiter may help-run this task itself, so its release must not
+  // depend on the abort hook (which only the waiter can run): the
+  // canceller thread releases it right after cancelling.
+  group.Submit([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    done.fetch_add(1);
+  });
+  // A reservation a continuation will commit later — the abort hook plays
+  // that continuation's role, the way the pipeline's kick commits every
+  // pending deferred member on cancellation. Wait cannot return before the
+  // hook runs: only the committed task releases this reservation.
+  group.ReserveDeferred();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    source.Cancel();
+    release.store(true);
+  });
+  group.Wait(source.token(), [&] {
+    aborts.fetch_add(1);
+    group.CommitDeferred([&done] { done.fetch_add(1); });
+  });
+  canceller.join();
+  EXPECT_EQ(aborts.load(), 1);  // the hook fires exactly once
+  EXPECT_EQ(done.load(), 2);    // both the task and the committed deferral ran
+}
+
+TEST(TaskGroup, CancellableWaitWithNullTokenIsPlainWait) {
+  ThreadPool pool(2);
+  ThreadPool::TaskGroup group(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    group.Submit([&done] { done.fetch_add(1); });
+  }
+  bool aborted = false;
+  group.Wait(CancelToken(), [&aborted] { aborted = true; });
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_FALSE(aborted);
 }
 
 TEST(TaskGroup, DestructorDrainsInFlightTasks) {

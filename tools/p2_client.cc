@@ -17,8 +17,10 @@
 // the oracle then also proves survivors are unperturbed by their
 // neighbours' aborts. Exit 0 iff no protocol errors, no body mismatches,
 // and (under --check-identical) at least one body was compared.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -79,7 +81,19 @@ struct Tally {
   long long rejected = 0;
   long long failures = 0;   ///< unexpected statuses / transport errors
   long long mismatches = 0; ///< OK bodies differing from the serial reference
+  std::vector<double> latencies;  ///< per-request wall-clock (seconds)
 };
+
+/// Exact rank-based percentile over sorted samples: the value at rank
+/// ceil(p/100 * n), clamped to [1, n].
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
 
 }  // namespace
 
@@ -206,8 +220,13 @@ int main(int argc, char** argv) {
               deadline_storm > 0 &&
               static_cast<long long>(i) % deadline_storm == 0;
           if (stormed) request.deadline_ms = 1;
+          const auto sent = std::chrono::steady_clock::now();
           const p2::server::PlanWireResponse response = client.Plan(request);
+          const double elapsed = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() - sent)
+                                     .count();
           std::lock_guard<std::mutex> lock(tally.mu);
+          tally.latencies.push_back(elapsed);
           switch (response.status) {
             case p2::server::WireStatus::kOk:
               ++tally.ok;
@@ -281,6 +300,19 @@ int main(int argc, char** argv) {
                "%lld rejected, %lld mismatches, %lld failures\n",
                tally.ok, tally.deadline_exceeded, tally.cancelled,
                tally.rejected, tally.mismatches, tally.failures);
+  if (!tally.latencies.empty()) {
+    // Exact client-observed percentiles (all completed requests, whatever
+    // their status — a shed or deadline-exceeded request still cost its
+    // caller that wall-clock).
+    std::sort(tally.latencies.begin(), tally.latencies.end());
+    std::fprintf(stderr,
+                 "p2_client latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms "
+                 "(%zu requests)\n",
+                 PercentileOfSorted(tally.latencies, 50.0) * 1e3,
+                 PercentileOfSorted(tally.latencies, 95.0) * 1e3,
+                 PercentileOfSorted(tally.latencies, 99.0) * 1e3,
+                 tally.latencies.size());
+  }
   if (tally.failures > 0 || tally.mismatches > 0) return 1;
   if (check_identical && tally.ok == 0) {
     std::fprintf(stderr, "--check-identical compared zero bodies\n");
