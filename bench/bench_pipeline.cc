@@ -40,6 +40,14 @@
 // than the parked baseline. Exact per-request latencies (sorted, rank-based)
 // feed the gate — histogram buckets are too coarse for a strict comparison.
 //
+// And a sharded scale-out gate (ISSUE 10): the grid split by index across 2
+// worker services behind an in-process cache plane (a PlannerServer in
+// cache-server mode, each worker consulting it over the framed-TCP
+// RemoteCacheBackend). The workers' combined synthesis-run total must stay
+// strictly below 2 independent full-grid runs, at least one signature must
+// be served off the plane, and the shard blocks — merged in reverse order —
+// must be byte-identical to the serial rendering of the whole grid.
+//
 // Everything is also written machine-readably to BENCH_pipeline.json
 // (override the path with --json=PATH).
 //
@@ -72,8 +80,11 @@
 
 #include "common/fault_injection.h"
 #include "common/format.h"
+#include "engine/experiment_grid.h"
 #include "engine/report.h"
 #include "engine/service.h"
+#include "server/planner_server.h"
+#include "server/remote_cache_client.h"
 #include "topology/presets.h"
 
 namespace {
@@ -634,6 +645,111 @@ int main(int argc, char** argv) {
       deferred.p99_seconds * 1e3, parked.p99_seconds * 1e3,
       contended_ok ? "ok" : "NO — BUG");
 
+  // ISSUE 10 acceptance: the grid sharded across worker services behind a
+  // remote cache plane (an in-process PlannerServer in cache-server mode,
+  // each worker consulting it through the framed-TCP RemoteCacheBackend).
+  // The shards are disjoint configs but their synthesis signatures overlap,
+  // so the plane's ownership grants must keep the workers' combined
+  // synthesis-run total strictly below N independent full-grid runs — and
+  // the shard blocks, merged in any order, must be byte-identical to the
+  // serial rendering of the whole grid.
+  constexpr int kShardWorkers = 2;
+  const auto block_of = [&](std::size_t i, const ExperimentResult& result) {
+    return p2::engine::ShardBlock{
+        static_cast<std::int64_t>(i),
+        p2::engine::ExperimentConfig{grid[i].axes, grid[i].reduction_axes}
+            .ToString(),
+        CanonicalResultText(result)};
+  };
+  std::string serial_grid_text;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    serial_grid_text += p2::engine::RenderShardBlock(block_of(i, serial_results[i]));
+  }
+  PlannerService plane_service(engine, PlannerServiceOptions{});
+  p2::server::PlannerServerOptions plane_options;
+  plane_options.cache_server = true;
+  p2::server::PlannerServer plane(plane_service, plane_options);
+  std::vector<std::string> shard_texts(kShardWorkers);
+  std::vector<std::int64_t> worker_misses(kShardWorkers, 0);
+  std::vector<std::int64_t> worker_remote_hits(kShardWorkers, 0);
+  std::vector<std::int64_t> worker_remote_errors(kShardWorkers, 0);
+  {
+    std::vector<std::thread> shard_threads;
+    for (int w = 0; w < kShardWorkers; ++w) {
+      shard_threads.emplace_back([&, w] {
+        PlannerServiceOptions options;
+        options.threads = 2;
+        options.remote_cache =
+            std::make_shared<p2::server::RemoteCacheClient>(plane.port());
+        PlannerService worker(engine, options);
+        for (std::size_t i : p2::engine::ShardIndices(
+                 grid.size(), w, kShardWorkers)) {
+          PlanRequest request;
+          request.axes = grid[i].axes;
+          request.reduction_axes = grid[i].reduction_axes;
+          shard_texts[static_cast<std::size_t>(w)] +=
+              p2::engine::RenderShardBlock(
+                  block_of(i, worker.Plan(std::move(request))));
+        }
+        const auto stats = worker.stats();
+        worker_misses[static_cast<std::size_t>(w)] = stats.cache.misses;
+        worker_remote_hits[static_cast<std::size_t>(w)] =
+            stats.cache.remote_hits;
+        worker_remote_errors[static_cast<std::size_t>(w)] =
+            stats.cache.remote_errors;
+      });
+    }
+    for (auto& t : shard_threads) t.join();
+  }
+  std::int64_t sharded_misses = 0, sharded_remote_hits = 0,
+               sharded_remote_errors = 0;
+  for (int w = 0; w < kShardWorkers; ++w) {
+    sharded_misses += worker_misses[static_cast<std::size_t>(w)];
+    sharded_remote_hits += worker_remote_hits[static_cast<std::size_t>(w)];
+    sharded_remote_errors += worker_remote_errors[static_cast<std::size_t>(w)];
+  }
+  // Merge with the shard files in reverse order: the merge must not care.
+  std::vector<p2::engine::ShardBlock> shard_blocks;
+  bool sharded_identical = true;
+  {
+    std::string shard_error;
+    for (int w = kShardWorkers - 1; w >= 0; --w) {
+      std::vector<p2::engine::ShardBlock> parsed;
+      if (!p2::engine::ParseShardBlocks(
+              shard_texts[static_cast<std::size_t>(w)], &parsed,
+              &shard_error)) {
+        std::fprintf(stderr, "shard %d unparsable: %s\n", w,
+                     shard_error.c_str());
+        sharded_identical = false;
+      }
+      shard_blocks.insert(shard_blocks.end(), parsed.begin(), parsed.end());
+    }
+    std::string merged;
+    if (!p2::engine::MergeShardBlocks(std::move(shard_blocks),
+                                      static_cast<std::int64_t>(grid.size()),
+                                      &merged, &shard_error)) {
+      std::fprintf(stderr, "shard merge failed: %s\n", shard_error.c_str());
+      sharded_identical = false;
+    } else if (merged != serial_grid_text) {
+      sharded_identical = false;
+    }
+  }
+  // N independent runs = N processes each covering the full grid with a
+  // cold local cache: N x the cached variant's synthesis-run count.
+  const std::int64_t independent_sharded_misses = kShardWorkers * cached.misses;
+  const bool sharded_ok = sharded_misses < independent_sharded_misses &&
+                          sharded_remote_hits > 0 &&
+                          sharded_remote_errors == 0 && sharded_identical;
+  std::printf(
+      "sharded gate: %lld synthesis runs across %d workers < %lld "
+      "independent, %lld remote hits, %lld remote errors, merged "
+      "byte-identical=%s: %s\n",
+      static_cast<long long>(sharded_misses), kShardWorkers,
+      static_cast<long long>(independent_sharded_misses),
+      static_cast<long long>(sharded_remote_hits),
+      static_cast<long long>(sharded_remote_errors),
+      sharded_identical ? "yes" : "NO", sharded_ok ? "ok" : "NO — BUG");
+
   // Machine-readable dump (satellite of ISSUE 9): every variant's headline
   // numbers plus the contended A/B, for CI artifacts and trend tracking.
   {
@@ -668,7 +784,7 @@ int main(int argc, char** argv) {
           "    \"parked_p50_ms\": %.6f, \"parked_p99_ms\": %.6f,\n"
           "    \"deferred_p50_ms\": %.6f, \"deferred_p99_ms\": %.6f,\n"
           "    \"deferred_lookups\": %lld, \"waiter_parks\": %lld,\n"
-          "    \"identical\": %s, \"ok\": %s\n  }\n}\n",
+          "    \"identical\": %s, \"ok\": %s\n  },\n",
           kContendedThreads, kContendedCopies, kContendedBackground,
           parked.p50_seconds * 1e3,
           parked.p99_seconds * 1e3, deferred.p50_seconds * 1e3,
@@ -677,12 +793,25 @@ int main(int argc, char** argv) {
           static_cast<long long>(deferred.waiter_parks),
           deferred.identical && parked.identical ? "true" : "false",
           contended_ok ? "true" : "false");
+      std::fprintf(
+          f,
+          "  \"sharded\": {\n"
+          "    \"workers\": %d, \"total_misses\": %lld,\n"
+          "    \"independent_misses\": %lld, \"remote_hits\": %lld,\n"
+          "    \"remote_errors\": %lld, \"identical\": %s, \"ok\": %s\n"
+          "  }\n}\n",
+          kShardWorkers, static_cast<long long>(sharded_misses),
+          static_cast<long long>(independent_sharded_misses),
+          static_cast<long long>(sharded_remote_hits),
+          static_cast<long long>(sharded_remote_errors),
+          sharded_identical ? "true" : "false",
+          sharded_ok ? "true" : "false");
       std::fclose(f);
       std::printf("wrote %s\n", json_path.c_str());
     }
   }
   return identical && warm_ok && concurrent_ok && multi_tenant_ok &&
-                 storm_ok && contended_ok
+                 storm_ok && contended_ok && sharded_ok
              ? 0
              : 1;
 }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <filesystem>
@@ -232,6 +233,14 @@ bool IsCorrupt(CacheLoadStatus status) {
 
 CacheStore::CacheStore(std::string path) : path_(std::move(path)) {}
 
+std::uint64_t CacheStore::NowUnixSeconds() const {
+  if (clock_) return clock_();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 std::string CacheStore::EncodeEntry(const CacheFileEntry& entry) {
   std::string out;
   AppendU32(&out, static_cast<std::uint32_t>(entry.key.size()));
@@ -249,6 +258,9 @@ std::string CacheStore::EncodeEntry(const CacheFileEntry& entry) {
     AppendU32(&out, static_cast<std::uint32_t>(p.size()));
     for (const core::Instruction& instr : p) EncodeInstruction(&out, instr);
   }
+  // v2 trailer: when the entry was first persisted. Appended last so v1
+  // payloads are exactly this encoding minus the trailer.
+  AppendU64(&out, entry.saved_unix_seconds);
   return out;
 }
 
@@ -293,6 +305,11 @@ bool CacheStore::DecodeEntry(std::string_view payload, CacheFileEntry* entry) {
     }
     entry->result.programs.push_back(std::move(program));
   }
+  // The save stamp: a v2 trailer, absent from v1 payloads (0 = unknown age,
+  // never expired). Anything other than exactly-absent or exactly-one-u64
+  // is malformed.
+  entry->saved_unix_seconds = 0;
+  if (!r.AtEnd() && !r.ReadU64(&entry->saved_unix_seconds)) return false;
   return r.AtEnd();  // trailing bytes inside a payload are malformed too
 }
 
@@ -335,10 +352,11 @@ CacheFileContents CacheStore::DecodeFile(std::string_view bytes) {
   std::uint64_t count = 0;
   r.ReadU32(&version);
   r.ReadU64(&count);
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return fail(CacheLoadStatus::kBadVersion,
                 "format version " + std::to_string(version) +
-                    " (this build reads version " +
+                    " (this build reads versions " +
+                    std::to_string(kMinFormatVersion) + ".." +
                     std::to_string(kFormatVersion) + ")");
   }
   if (count > r.remaining() / kEntryFrameBytes) {
@@ -429,10 +447,24 @@ CacheLoadStatus CacheStore::LoadInto(SynthesisCache* cache) {
   last_load_status_ = contents.status;
   last_load_message_ = contents.message;
   entries_loaded_ = 0;
+  entries_expired_ = 0;
+  loaded_stamps_.clear();
   if (contents.status == CacheLoadStatus::kOk) {
+    const std::uint64_t now = NowUnixSeconds();
     std::vector<std::pair<std::string, core::SynthesisResult>> entries;
     entries.reserve(contents.entries.size());
     for (CacheFileEntry& entry : contents.entries) {
+      // TTL pruning: skip provably-stale entries (a zero stamp has unknown
+      // age and is kept — see the file comment). The pruned entries stay in
+      // the on-disk file until the next Save rewrites it without them.
+      if (ttl_seconds_ > 0 && entry.saved_unix_seconds > 0 &&
+          now > entry.saved_unix_seconds &&
+          now - entry.saved_unix_seconds >
+              static_cast<std::uint64_t>(ttl_seconds_)) {
+        ++entries_expired_;
+        continue;
+      }
+      loaded_stamps_.emplace(entry.key, entry.saved_unix_seconds);
       entries.emplace_back(std::move(entry.key), std::move(entry.result));
     }
     entries_loaded_ = cache->Preload(std::move(entries));
@@ -467,8 +499,17 @@ bool CacheStore::Save(const SynthesisCache& cache, std::string* error) {
     return false;
   }
   std::vector<CacheFileEntry> entries;
+  const std::uint64_t now = NowUnixSeconds();
   for (auto& [key, result] : cache.Snapshot()) {
-    entries.push_back(CacheFileEntry{std::move(key), std::move(result)});
+    CacheFileEntry entry{std::move(key), std::move(result)};
+    // Survivors of the load keep their original persist stamp (age runs
+    // from first persistence, not from the last rewrite); new keys — and
+    // stampless v1 survivors, whose age becomes known now — are stamped
+    // with the save time.
+    const auto it = loaded_stamps_.find(entry.key);
+    entry.saved_unix_seconds =
+        (it != loaded_stamps_.end() && it->second > 0) ? it->second : now;
+    entries.push_back(std::move(entry));
   }
   const std::string image = EncodeFile(entries);
 

@@ -15,6 +15,21 @@
 //            | per program: instruction count u32
 //            | per instruction: slice i32 | form kind u8 | ancestor i32
 //                               | collective u8
+//            | saved-at unix seconds u64   (v2; absent in v1 files)
+//
+// Version compatibility: this build writes version 2 and reads versions 1
+// and 2. A v1 entry carries no save stamp and decodes with
+// saved_unix_seconds == 0 ("unknown age"); a zero stamp is never expired —
+// the TTL policy only prunes entries whose staleness it can prove — and is
+// replaced with the save time on the next rewrite. A version above 2 loads
+// as kBadVersion (cold, and Save refuses to overwrite).
+//
+// TTL policy (optional): set_ttl_seconds(ttl > 0) makes LoadInto skip
+// entries whose stamp is older than ttl at load time, counting them in
+// entries_expired(); the next Save then rewrites the file without them.
+// Surviving entries keep their original stamp across save/load cycles, so
+// an entry's age is measured from when it was first persisted, not from the
+// last rewrite.
 //
 // Corruption policy: a mismatched magic or version, a truncated header or
 // entry, a failed checksum, a malformed payload, or trailing bytes all load
@@ -37,8 +52,10 @@
 #define P2_ENGINE_CACHE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -69,6 +86,9 @@ bool IsCorrupt(CacheLoadStatus status);
 struct CacheFileEntry {
   std::string key;  ///< SynthesisCache::Key of the hierarchy + options
   core::SynthesisResult result;
+  /// When the entry was first persisted (unix seconds); 0 = unknown (v1
+  /// files), which the TTL policy treats as never expired.
+  std::uint64_t saved_unix_seconds = 0;
 };
 
 /// The outcome of decoding a cache file. `entries` is populated only when
@@ -81,12 +101,25 @@ struct CacheFileContents {
 
 class CacheStore {
  public:
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// The version this build writes; reads back to kMinFormatVersion.
+  static constexpr std::uint32_t kFormatVersion = 2;
+  static constexpr std::uint32_t kMinFormatVersion = 1;
   static constexpr char kMagic[4] = {'P', '2', 'S', 'C'};
 
   explicit CacheStore(std::string path);
 
   const std::string& path() const { return path_; }
+
+  /// TTL for persisted entries (see the file comment); <= 0 (the default)
+  /// disables expiry. Takes effect at the next LoadInto.
+  void set_ttl_seconds(std::int64_t ttl_seconds) { ttl_seconds_ = ttl_seconds; }
+  std::int64_t ttl_seconds() const { return ttl_seconds_; }
+
+  /// Overrides the unix-seconds clock the TTL policy and Save stamps use
+  /// (deterministic tests); nullptr restores the system clock.
+  void set_clock_for_test(std::function<std::uint64_t()> clock) {
+    clock_ = std::move(clock);
+  }
 
   /// Reads and decodes the file; never throws (see the corruption policy).
   CacheFileContents Load() const;
@@ -108,6 +141,8 @@ class CacheStore {
   const std::string& last_load_message() const { return last_load_message_; }
   std::int64_t entries_loaded() const { return entries_loaded_; }
   std::int64_t entries_saved() const { return entries_saved_; }
+  /// Entries the last LoadInto pruned as older than the TTL.
+  std::int64_t entries_expired() const { return entries_expired_; }
 
   // --- codec building blocks (exposed for the round-trip test suite) ------
 
@@ -121,11 +156,21 @@ class CacheStore {
   static CacheFileContents DecodeFile(std::string_view bytes);
 
  private:
+  /// The TTL clock: the injected override, else system unix seconds.
+  std::uint64_t NowUnixSeconds() const;
+
   std::string path_;
+  std::int64_t ttl_seconds_ = 0;
+  std::function<std::uint64_t()> clock_;
   CacheLoadStatus last_load_status_ = CacheLoadStatus::kNotConfigured;
   std::string last_load_message_;
   std::int64_t entries_loaded_ = 0;
   std::int64_t entries_saved_ = 0;
+  std::int64_t entries_expired_ = 0;
+  /// Save stamps of the entries the last LoadInto kept, so a rewrite
+  /// preserves each survivor's original persist time (new keys are stamped
+  /// with the save time).
+  std::unordered_map<std::string, std::uint64_t> loaded_stamps_;
 };
 
 }  // namespace p2::engine

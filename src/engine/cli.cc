@@ -87,7 +87,8 @@ std::string CliUsage() {
       "               [--algo=ring|tree] [--payload-mb=N] [--top-k=N]\n"
       "               [--service-threads=N] [--synth-threads=N] [--fuse]\n"
       "               [--cache-file=PATH] [--cache-readonly]\n"
-      "               [--cache-max-entries=N] [--deadline-ms=N]\n"
+      "               [--cache-max-entries=N] [--cache-ttl-seconds=N]\n"
+      "               [--deadline-ms=N]\n"
       "               [--max-in-flight=N] [--drain-grace-ms=N]\n"
       "       p2_plan --system=a100|v100 --nodes=N --grid [...]\n"
       "       p2_plan --topology=SYS:N[,SYS:N...] --grid [...]\n"
@@ -128,6 +129,11 @@ std::string CliUsage() {
       "                evicting least-recently-used first (default:\n"
       "                unbounded); eviction never changes results, an\n"
       "                evicted hierarchy is simply re-synthesized\n"
+      "  --cache-ttl-seconds  skip cache-file entries first persisted more\n"
+      "                than N seconds ago when loading (they are pruned from\n"
+      "                the file on the next save; default: never expire).\n"
+      "                Entries from files written before stamps existed have\n"
+      "                unknown age and are never expired\n"
       "  --deadline-ms  per-request deadline in milliseconds: a config\n"
       "                still planning when it expires is abandoned\n"
       "                (reported, not fatal) and its worker slots freed\n"
@@ -295,6 +301,13 @@ std::optional<CliOptions> ParseCliOptions(
         return std::nullopt;
       }
       opts.cache_max_entries = v;
+    } else if (key == "--cache-ttl-seconds") {
+      std::int64_t v = 0;
+      if (!ParseInt(value, &v) || v < 1) {
+        *error = "--cache-ttl-seconds must be a positive integer";
+        return std::nullopt;
+      }
+      opts.cache_ttl_seconds = v;
     } else if (key == "--deadline-ms") {
       std::int64_t v = 0;
       if (!ParseInt(value, &v) || v < 1) {
@@ -414,6 +427,7 @@ PlannerServiceOptions ServiceOptionsFromCli(const CliOptions& options) {
   svc.cache_file = options.cache_file;
   svc.cache_readonly = options.cache_readonly;
   svc.cache_max_entries = options.cache_max_entries;
+  svc.cache_ttl_seconds = options.cache_ttl_seconds;
   svc.max_in_flight = options.max_in_flight;
   if (options.drain_grace_ms >= 0) {
     svc.drain_grace = std::chrono::milliseconds(options.drain_grace_ms);

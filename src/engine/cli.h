@@ -60,6 +60,7 @@ struct CliOptions {
   std::string cache_file;   // persistent synthesis cache (empty = off)
   bool cache_readonly = false;  // load the cache file but never write it
   std::int64_t cache_max_entries = 0;  // LRU cap; 0 = unbounded
+  std::int64_t cache_ttl_seconds = 0;  // expire loaded entries; 0 = never
   std::int64_t deadline_ms = 0;     // per-request deadline; 0 = none
   std::int64_t max_in_flight = 0;   // service admission cap; 0 = unbounded
   std::int64_t drain_grace_ms = -1;  // shutdown grace; -1 = wait forever

@@ -77,6 +77,11 @@ struct PipelineStats {
   /// Persistent-cache figures (engine/cache_store.h); all zero unless the
   /// service was given a cache file.
   std::int64_t cache_disk_hits = 0;  ///< hits served by on-disk entries
+  /// Hits served by fetching a foreign worker's entry from the remote cache
+  /// plane (engine/remote_cache.h; a subset of cache_hits). Zero unless the
+  /// service was given a remote cache backend — the cross-process sharing
+  /// the sharded grid runner (tools/p2_shard) exists for.
+  std::int64_t cache_remote_hits = 0;
   /// Transposition-search totals (core::SynthesisStats) summed over the
   /// placements, counterfactually like TotalSynthesisSeconds: placements
   /// served from the signature cache contribute the stats of the shared

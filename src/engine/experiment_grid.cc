@@ -1,6 +1,9 @@
 #include "engine/experiment_grid.h"
 
+#include <algorithm>
+#include <charconv>
 #include <sstream>
+#include <utility>
 
 #include "common/format.h"
 
@@ -48,6 +51,104 @@ std::vector<ExperimentConfig> FullGrid(const topology::Cluster& cluster) {
   for (auto& c : TwoAxisConfigs(d)) grid.push_back(std::move(c));
   for (auto& c : ThreeAxisConfigs(d)) grid.push_back(std::move(c));
   return grid;
+}
+
+namespace {
+
+constexpr std::string_view kBlockPrefix = "== config ";
+
+}  // namespace
+
+std::vector<std::size_t> ShardIndices(std::size_t grid_size, int shard_index,
+                                      int num_shards) {
+  std::vector<std::size_t> indices;
+  if (shard_index < 0 || num_shards <= 0 || shard_index >= num_shards) {
+    return indices;
+  }
+  for (std::size_t i = static_cast<std::size_t>(shard_index); i < grid_size;
+       i += static_cast<std::size_t>(num_shards)) {
+    indices.push_back(i);
+  }
+  return indices;
+}
+
+std::string RenderShardBlock(const ShardBlock& block) {
+  std::ostringstream os;
+  os << kBlockPrefix << block.index << ": " << block.config << " ==\n"
+     << block.body;
+  if (!block.body.empty() && block.body.back() != '\n') os << '\n';
+  return os.str();
+}
+
+bool ParseShardBlocks(std::string_view text, std::vector<ShardBlock>* blocks,
+                      std::string* error) {
+  blocks->clear();
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  std::size_t pos = 0;
+  ShardBlock* current = nullptr;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    // A final line without a newline is still a line.
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.substr(0, kBlockPrefix.size()) == kBlockPrefix) {
+      std::string_view rest = line.substr(kBlockPrefix.size());
+      std::int64_t index = 0;
+      const auto [ptr, ec] =
+          std::from_chars(rest.data(), rest.data() + rest.size(), index);
+      const std::string_view after(ptr,
+                                   static_cast<std::size_t>(
+                                       rest.data() + rest.size() - ptr));
+      if (ec != std::errc() || index < 0 || after.substr(0, 2) != ": " ||
+          after.size() < 5 || after.substr(after.size() - 3) != " ==") {
+        return fail("malformed shard block header: " + std::string(line));
+      }
+      blocks->push_back(ShardBlock{
+          index, std::string(after.substr(2, after.size() - 5)), ""});
+      current = &blocks->back();
+      continue;
+    }
+    if (current == nullptr) {
+      return fail("shard output does not start with a block header");
+    }
+    current->body.append(line);
+    current->body.push_back('\n');
+  }
+  return true;
+}
+
+bool MergeShardBlocks(std::vector<ShardBlock> blocks,
+                      std::int64_t expected_count, std::string* merged,
+                      std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  std::sort(blocks.begin(), blocks.end(),
+            [](const ShardBlock& a, const ShardBlock& b) {
+              return a.index < b.index;
+            });
+  if (static_cast<std::int64_t>(blocks.size()) != expected_count) {
+    return fail("expected " + std::to_string(expected_count) +
+                " configs, merged shards hold " +
+                std::to_string(blocks.size()));
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].index != static_cast<std::int64_t>(i)) {
+      return fail(blocks[i].index > static_cast<std::int64_t>(i)
+                      ? "missing config " + std::to_string(i)
+                      : "duplicate config " + std::to_string(blocks[i].index));
+    }
+  }
+  std::string out;
+  for (const ShardBlock& block : blocks) out += RenderShardBlock(block);
+  *merged = std::move(out);
+  return true;
 }
 
 }  // namespace p2::engine

@@ -1,11 +1,22 @@
 // The paper's experiment grid (Section 4 / appendix Table A): for each GPU
 // system and node count, the set of parallelism-axis decompositions and
-// reduction-axis choices evaluated.
+// reduction-axis choices evaluated — plus the shard/merge layer the
+// distributed grid runner (tools/p2_shard) splits it with.
+//
+// Sharding is by grid index modulo the worker count, so any N workers cover
+// the grid exactly once with no coordination. Each worker renders its
+// configs as *shard blocks* — a header line naming the config's grid index
+// followed by the CanonicalResultText body — and the merge step reassembles
+// the blocks of all shards into grid order, validating exact coverage
+// (every index 0..M-1 present exactly once). Because the body is the
+// byte-identity oracle (engine/report.h), a merged N-worker run is
+// byte-identical to a serial single-worker run of the same grid.
 #ifndef P2_ENGINE_EXPERIMENT_GRID_H_
 #define P2_ENGINE_EXPERIMENT_GRID_H_
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "topology/cluster.h"
@@ -33,6 +44,44 @@ std::vector<ExperimentConfig> ThreeAxisConfigs(std::int64_t num_devices);
 
 /// The full appendix grid for one cluster: single + two + three axis configs.
 std::vector<ExperimentConfig> FullGrid(const topology::Cluster& cluster);
+
+/// The grid indices shard `shard_index` of `num_shards` owns: every i in
+/// [0, grid_size) with i % num_shards == shard_index. Disjoint across
+/// shards, exhaustive over the grid; empty when the shard has no work
+/// (more shards than configs). Requires 0 <= shard_index < num_shards.
+std::vector<std::size_t> ShardIndices(std::size_t grid_size, int shard_index,
+                                      int num_shards);
+
+/// One config's result inside a shard output: the grid index, the config's
+/// ToString() (a cross-shard identity check at merge time), and the
+/// CanonicalResultText body.
+struct ShardBlock {
+  std::int64_t index = 0;
+  std::string config;
+  std::string body;
+};
+
+/// Renders one block:
+///   == config <index>: <config> ==
+///   <body lines...>
+/// The body (CanonicalResultText) never begins a line with "== config", so
+/// blocks need no explicit terminator.
+std::string RenderShardBlock(const ShardBlock& block);
+
+/// Parses a shard output (a concatenation of rendered blocks) back into
+/// blocks. False on any malformation — text before the first header or an
+/// unparsable header line; coverage checks are left to the merge.
+bool ParseShardBlocks(std::string_view text, std::vector<ShardBlock>* blocks,
+                      std::string* error);
+
+/// Merges the blocks of all shards into grid order and re-renders them.
+/// Validates exact coverage: every index in [0, expected_count) exactly
+/// once — a missing, duplicate, or out-of-range index fails with a reason.
+/// On success `merged` is byte-identical to a serial run's rendering of the
+/// whole grid.
+bool MergeShardBlocks(std::vector<ShardBlock> blocks,
+                      std::int64_t expected_count, std::string* merged,
+                      std::string* error);
 
 }  // namespace p2::engine
 

@@ -105,6 +105,7 @@ std::string ToJson(const ExperimentResult& result) {
      << "\"cache_cross_tenant_hits\":"
      << result.pipeline.cache_cross_tenant_hits << ","
      << "\"cache_disk_hits\":" << result.pipeline.cache_disk_hits << ","
+     << "\"cache_remote_hits\":" << result.pipeline.cache_remote_hits << ","
      << "\"disk_seconds_saved\":" << Num(result.pipeline.disk_seconds_saved)
      << ","
      << "\"synth_states_visited\":" << result.pipeline.synth_states_visited
@@ -141,11 +142,14 @@ std::string ToJson(const PlannerServiceStats& stats) {
      << "\"save_errors\":" << stats.save_errors << ","
      << "\"last_save_error\":\"" << JsonEscape(stats.last_save_error) << "\","
      << "\"cache_entries_loaded\":" << stats.cache_entries_loaded << ","
+     << "\"cache_entries_expired\":" << stats.cache_entries_expired << ","
      << "\"engines_constructed\":" << stats.engines_constructed << ","
      << "\"cache\":{"
      << "\"hits\":" << stats.cache.hits << ","
      << "\"misses\":" << stats.cache.misses << ","
      << "\"disk_hits\":" << stats.cache.disk_hits << ","
+     << "\"remote_hits\":" << stats.cache.remote_hits << ","
+     << "\"remote_errors\":" << stats.cache.remote_errors << ","
      << "\"subsumed_hits\":" << stats.cache.subsumed_hits << ","
      << "\"dedup_waits\":" << stats.cache.dedup_waits << ","
      << "\"deferred_lookups\":" << stats.cache.deferred_lookups << ","

@@ -23,6 +23,7 @@ std::string ToJson(const PlacementEvaluation& eval);
 ///  "pipeline": {"placements": N, "unique_hierarchies": U, "cache_hits": H,
 ///               "cache_misses": M, "cache_dedup_waits": W,
 ///               "cache_cross_tenant_hits": X, "cache_disk_hits": D,
+///               "cache_remote_hits": RH,
 ///               "disk_seconds_saved": DS, "guided_skipped": G,
 ///               "synthesis_seconds_saved": S, "synthesis_seconds": SS,
 ///               "evaluation_seconds": ES, "total_seconds": TS,
@@ -34,8 +35,10 @@ std::string ToJson(const PlacementEvaluation& eval);
 /// below.
 std::string ToJson(const ExperimentResult& result);
 
-/// {"requests": N, "cache_entries_loaded": L, "engines_constructed": E,
-///  "cache": {"hits": H, "misses": M, "disk_hits": D, "subsumed_hits": SH,
+/// {"requests": N, "cache_entries_loaded": L, "cache_entries_expired": EX,
+///  "engines_constructed": E,
+///  "cache": {"hits": H, "misses": M, "disk_hits": D, "remote_hits": RH,
+///            "remote_errors": RE, "subsumed_hits": SH,
 ///            "dedup_waits": W, "cross_tenant_hits": X, "evictions": EV,
 ///            "seconds_saved": S, "disk_seconds_saved": DS},
 ///  "threads": T,

@@ -372,11 +372,22 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
         fire->fired.store(true, std::memory_order_relaxed);
         group.AbandonDeferred();
         if (looked.state == SynthesisCache::TryLookupState::kOwned) {
-          // This call owns the signature: synthesize, publish, wake/fire
-          // the others. A failed synthesis (cancellation included)
-          // withdraws the claim first — the dead-owner contract. The owner
-          // never defers on its own claim, so every in-flight signature
-          // always has a running owner: owner chains cannot cycle.
+          // This call owns the signature. Before synthesizing, try the
+          // remote cache plane: another worker process may already hold (or
+          // be granted) this signature, and a fetched hit settles the
+          // flight in place of CompleteOwned. A failed fetch (no backend,
+          // plane miss with local grant, plane unreachable) falls through
+          // to local synthesis: publish, wake/fire the others. A failed
+          // synthesis (cancellation included) withdraws the claim first —
+          // the dead-owner contract. The owner never defers on its own
+          // claim, so every in-flight signature always has a running owner:
+          // owner chains cannot cycle.
+          if (auto fetched = service_.cache().FetchRemoteOwned(
+                  hierarchies[i], synth_options, &outcomes[i])) {
+            synthesis[i] = std::move(fetched);
+            ++state.next_member;
+            continue;
+          }
           std::shared_ptr<const core::SynthesisResult> owned;
           const auto owned_start = std::chrono::steady_clock::now();
           try {
@@ -478,6 +489,7 @@ ExperimentResult Pipeline::Run(std::span<const std::int64_t> axes,
           ++result.pipeline.cache_disk_hits;
           result.pipeline.disk_seconds_saved += o.seconds_saved;
         }
+        if (o.from_remote) ++result.pipeline.cache_remote_hits;
         if (o.cross_tenant) ++result.pipeline.cache_cross_tenant_hits;
       } else {
         ++result.pipeline.cache_misses;

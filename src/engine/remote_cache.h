@@ -1,0 +1,77 @@
+// The remote cache plane: an abstract backend the SynthesisCache consults on
+// a local miss before synthesizing, and publishes completions to. This is
+// what makes sharded grid execution (tools/p2_shard) win: the per-signature
+// program search is embarrassingly parallel across worker *processes* except
+// for the memoization plane, so the memoization plane becomes a service —
+// one worker synthesizes a signature, every other worker fetches it.
+//
+// The contract mirrors the in-process in-flight dedup over the wire:
+//
+//   kHit          the plane holds an entry that serves the requested cap;
+//                 `key`/`result` carry it (the key embeds the cap the entry
+//                 was synthesized under, exactly the persisted encoding of
+//                 engine/cache_store.h)
+//   kOwned        the plane granted THIS caller the synthesis: no other
+//                 worker will be granted the same base key until the grant
+//                 expires or a matching publish lands — synthesize locally
+//                 and Publish() the completion
+//   kRetryAfter   a foreign worker holds the grant (or a local synthesis is
+//                 in flight on the serving process); retry the lookup after
+//                 `retry_after_ms` — two workers never synthesize one
+//                 signature
+//   kUnavailable  the plane cannot be reached; the caller degrades to
+//                 local-only synthesis (counted as a `remote_errors` stat,
+//                 never an exception — connection loss must not crash or
+//                 wedge a worker)
+//
+// Implementations must never throw from Lookup/Publish and must be safe to
+// call concurrently (src/server/remote_cache_client.{h,cc} is the framed-TCP
+// implementation against a `p2_server --cache-server`).
+#ifndef P2_ENGINE_REMOTE_CACHE_H_
+#define P2_ENGINE_REMOTE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/synthesizer.h"
+
+namespace p2::engine {
+
+struct RemoteLookupResult {
+  enum class Kind {
+    kHit,
+    kOwned,
+    kRetryAfter,
+    kUnavailable,
+  };
+  Kind kind = Kind::kUnavailable;
+  /// For kRetryAfter: how long the plane suggests waiting before the next
+  /// lookup (bounded by the server's ownership-grant TTL).
+  int retry_after_ms = 0;
+  /// For kHit: the entry's persisted cache key (SynthesisCache::Key form,
+  /// base + ";cap=N") and the synthesis result it maps to. The result's
+  /// stats.seconds is the *original* synthesis wall-clock on whichever
+  /// worker ran it, so seconds-saved accounting spans processes.
+  std::string key;
+  core::SynthesisResult result;
+};
+
+class RemoteCacheBackend {
+ public:
+  virtual ~RemoteCacheBackend() = default;
+
+  /// Looks `base_key` up on the plane for a query capped at `cap` programs.
+  /// Never throws; failures are kUnavailable.
+  virtual RemoteLookupResult Lookup(const std::string& base_key,
+                                    std::int64_t cap) = 0;
+
+  /// Publishes a completed synthesis under its persisted cache key. Returns
+  /// false (never throws) when the plane could not be reached or rejected
+  /// the entry; the local cache keeps serving either way.
+  virtual bool Publish(const std::string& key,
+                       const core::SynthesisResult& result) = 0;
+};
+
+}  // namespace p2::engine
+
+#endif  // P2_ENGINE_REMOTE_CACHE_H_

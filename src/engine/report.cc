@@ -84,6 +84,9 @@ std::string RenderPipelineStats(const PipelineStats& stats) {
     os << "\nguided: " << stats.guided_skipped
        << " measurements skipped by early stopping";
   }
+  if (stats.cache_remote_hits > 0) {
+    os << ", " << stats.cache_remote_hits << " remote hits";
+  }
   if (stats.cache_disk_hits > 0) {
     std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
                   stats.disk_seconds_saved);
@@ -120,6 +123,12 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
   if (stats.cache.cross_tenant_hits > 0) {
     os << ", " << stats.cache.cross_tenant_hits << " cross-tenant hits";
   }
+  if (stats.cache.remote_hits > 0) {
+    os << ", " << stats.cache.remote_hits << " remote hits";
+  }
+  if (stats.cache.remote_errors > 0) {
+    os << ", " << stats.cache.remote_errors << " remote errors";
+  }
   if (stats.cache.evictions > 0) {
     os << ", " << stats.cache.evictions << " evictions";
   }
@@ -149,11 +158,15 @@ std::string RenderServiceStats(const PlannerServiceStats& stats) {
     os << latency_buf << " (" << stats.latency_count
        << (stats.latency_count == 1 ? " request)" : " requests)");
   }
-  if (stats.cache_entries_loaded > 0 || stats.cache.disk_hits > 0) {
+  if (stats.cache_entries_loaded > 0 || stats.cache.disk_hits > 0 ||
+      stats.cache_entries_expired > 0) {
     std::snprintf(buf, sizeof(buf), " (%.2f s saved across runs)",
                   stats.cache.disk_seconds_saved);
     os << "\nservice disk cache: " << stats.cache_entries_loaded
        << " entries loaded, " << stats.cache.disk_hits << " disk hits" << buf;
+    if (stats.cache_entries_expired > 0) {
+      os << ", " << stats.cache_entries_expired << " expired";
+    }
   }
   // One line per tenant (only when the registry holds more than the single
   // default tenant — the classic single-cluster footer stays unchanged).

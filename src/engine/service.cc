@@ -81,8 +81,12 @@ PlannerService::PlannerService(PlannerServiceOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_max_entries),
       pool_(options_.threads) {
+  cache_.set_remote(options_.remote_cache);
   if (!options_.cache_file.empty()) {
     store_.emplace(options_.cache_file);
+    // TTL must be set before the load: expiry is a load-time policy (stale
+    // entries are pruned as the file is read, never served once).
+    store_->set_ttl_seconds(options_.cache_ttl_seconds);
     // Any corruption leaves the cache cold and the status queryable; the
     // service itself never fails over a bad cache file.
     store_->LoadInto(&cache_);
@@ -472,6 +476,18 @@ std::int64_t PlannerService::cache_entries_loaded() const {
   return store_.has_value() ? store_->entries_loaded() : 0;
 }
 
+bool PlannerService::CacheLookupEntry(const std::string& base_key,
+                                      std::int64_t cap, std::string* key,
+                                      core::SynthesisResult* result,
+                                      bool* in_flight) {
+  return cache_.LookupByKey(base_key, cap, key, result, in_flight);
+}
+
+void PlannerService::CachePublishEntry(const std::string& key,
+                                       core::SynthesisResult result) {
+  cache_.PublishByKey(key, std::move(result));
+}
+
 bool PlannerService::SaveCache(std::string* error) {
   if (!store_.has_value() || options_.cache_readonly) return true;
   std::string detail;
@@ -491,6 +507,8 @@ PlannerServiceStats PlannerService::stats() const {
   PlannerServiceStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.cache_entries_loaded = cache_entries_loaded();
+  stats.cache_entries_expired =
+      store_.has_value() ? store_->entries_expired() : 0;
   stats.cache = cache_.stats();
   stats.threads = options_.threads > 1 ? options_.threads : 1;
   std::unique_lock<std::mutex> lock(tenants_mu_);

@@ -129,6 +129,17 @@ struct PlannerServiceOptions {
   /// <= 0 (the default) is unbounded. Eviction never changes results —
   /// an evicted signature is simply re-synthesized on its next miss.
   std::int64_t cache_max_entries = 0;
+  /// With cache_file set: prune entries older than this many seconds at
+  /// load time (engine/cache_store.h's TTL policy;
+  /// stats().cache_entries_expired counts them). <= 0 (the default) keeps
+  /// every entry forever.
+  std::int64_t cache_ttl_seconds = 0;
+  /// The remote cache plane (engine/remote_cache.h): attached to the shared
+  /// SynthesisCache at construction, so every local miss consults a cache
+  /// server before synthesizing and completions are published back —
+  /// sharded workers (tools/p2_shard) dedup synthesis across processes.
+  /// nullptr (the default) is local-only.
+  std::shared_ptr<RemoteCacheBackend> remote_cache;
   /// EngineOptions for engines the service constructs itself for
   /// request-supplied clusters. The compatibility constructor overwrites
   /// this with the borrowed engine's options, so requests naming a cluster
@@ -271,6 +282,9 @@ struct TenantStats {
 struct PlannerServiceStats {
   std::int64_t requests = 0;  ///< queries submitted so far
   std::int64_t cache_entries_loaded = 0;
+  /// Entries the cache-file load pruned as older than
+  /// PlannerServiceOptions::cache_ttl_seconds.
+  std::int64_t cache_entries_expired = 0;
   /// Engines actually constructed by the registry (excludes the borrowed
   /// default engine of the compatibility constructor); requests racing on
   /// one new fingerprint construct exactly one.
@@ -381,6 +395,15 @@ class PlannerService {
   /// true when persistence is unconfigured or cache_readonly is set; returns
   /// false and fills `error` only on an IO failure.
   bool SaveCache(std::string* error = nullptr);
+
+  /// Cache-plane pass-throughs for the wire cache server
+  /// (src/server/planner_server.h): SynthesisCache::LookupByKey /
+  /// PublishByKey on the shared cache, so wire workers, local plans and the
+  /// persistent cache file all share one memoization plane.
+  bool CacheLookupEntry(const std::string& base_key, std::int64_t cap,
+                        std::string* key, core::SynthesisResult* result,
+                        bool* in_flight);
+  void CachePublishEntry(const std::string& key, core::SynthesisResult result);
 
   /// Once-per-service aggregates (see PlannerServiceStats).
   PlannerServiceStats stats() const;

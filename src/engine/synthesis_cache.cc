@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace p2::engine {
@@ -9,6 +11,12 @@ namespace p2::engine {
 namespace {
 
 constexpr std::string_view kCapMarker = ";cap=";
+
+/// Total retry-after budget spent waiting out one foreign grant before the
+/// lookup gives up and synthesizes locally (a safe duplicate, never a wrong
+/// answer): a crashed foreign owner must not wedge this worker even if the
+/// server keeps re-granting.
+constexpr int kMaxRemoteRetryMs = 60'000;
 
 /// Recovers the max_programs cap a persisted Key() embeds. False when the
 /// key was not produced by Key() (e.g. a hand-forged cache file).
@@ -94,6 +102,17 @@ std::string SynthesisCache::Key(const core::SynthesisHierarchy& sh,
                                 const core::SynthesisOptions& options) {
   return BaseKey(sh, options) + std::string(kCapMarker) +
          std::to_string(options.max_programs);
+}
+
+std::string SynthesisCache::BaseOfKey(const std::string& key) {
+  std::string base;
+  std::int64_t cap = 0;
+  return ParseCapFromKey(key, &base, &cap) ? base : key;
+}
+
+void SynthesisCache::set_remote(std::shared_ptr<RemoteCacheBackend> remote) {
+  std::unique_lock<std::mutex> lock(mu_);
+  remote_ = std::move(remote);
 }
 
 SynthesisCache::Entry& SynthesisCache::PublishLocked(const std::string& base,
@@ -194,7 +213,21 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
   // concurrent queries on this one block above.
   auto flight = std::make_shared<InFlight>();
   inflight_.emplace(base, flight);
+  const std::shared_ptr<RemoteCacheBackend> remote = remote_;
   lock.unlock();
+
+  // Consult the remote cache plane before paying for a synthesis (no-op
+  // without a backend). Announcing the flight *first* means local
+  // concurrent lookups park/defer behind the remote round trip too, so the
+  // process makes one plane query per signature, not one per thread.
+  if (remote != nullptr) {
+    core::SynthesisResult fetched;
+    std::int64_t entry_cap = 0;
+    if (ConsultRemote(*remote, base, options, &fetched, &entry_cap)) {
+      return AdoptRemoteHit(base, std::move(fetched), entry_cap, cap, waited,
+                            outcome);
+    }
+  }
 
   std::shared_ptr<const core::SynthesisResult> result;
   try {
@@ -227,7 +260,143 @@ std::shared_ptr<const core::SynthesisResult> SynthesisCache::GetOrSynthesize(
   // it is recorded only in the caller's outcome.
   if (outcome != nullptr) outcome->waited = waited;
   SettleFlight(lock, base);
+  // Publish the completion to the plane (after settling — local waiters
+  // never stall behind the wire). A failed publish only loses cross-worker
+  // reuse of this one entry.
+  if (remote != nullptr &&
+      !remote->Publish(
+          base + std::string(kCapMarker) + std::to_string(cap), *result)) {
+    std::unique_lock<std::mutex> relock(mu_);
+    ++stats_.remote_errors;
+  }
   return result;
+}
+
+bool SynthesisCache::ConsultRemote(RemoteCacheBackend& remote,
+                                   const std::string& base,
+                                   const core::SynthesisOptions& options,
+                                   core::SynthesisResult* result,
+                                   std::int64_t* entry_cap) {
+  const std::int64_t cap = std::max<std::int64_t>(0, options.max_programs);
+  const auto count_error = [this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.remote_errors;
+  };
+  int waited_ms = 0;
+  for (;;) {
+    // A cancelled request stops retrying and falls through to the local
+    // synthesis, whose own cancellation checkpoints unwind it — the remote
+    // consult never needs to throw.
+    if (options.cancel.cancel_requested()) return false;
+    RemoteLookupResult reply = remote.Lookup(base, cap);
+    switch (reply.kind) {
+      case RemoteLookupResult::Kind::kHit: {
+        std::string reply_base;
+        std::int64_t reply_cap = 0;
+        if (!ParseCapFromKey(reply.key, &reply_base, &reply_cap)) {
+          reply_base = reply.key;
+          reply_cap = static_cast<std::int64_t>(reply.result.programs.size());
+        }
+        const bool complete =
+            static_cast<std::int64_t>(reply.result.programs.size()) <
+            reply_cap;
+        if (reply_base != base || (!complete && cap > reply_cap)) {
+          // A hit for the wrong base or one that cannot serve our cap is a
+          // protocol violation by the plane: synthesize locally rather than
+          // adopt an answer we cannot trust.
+          count_error();
+          return false;
+        }
+        *result = std::move(reply.result);
+        *entry_cap = reply_cap;
+        return true;
+      }
+      case RemoteLookupResult::Kind::kOwned:
+        // The grant is ours: synthesize locally and publish the completion.
+        return false;
+      case RemoteLookupResult::Kind::kRetryAfter: {
+        if (waited_ms >= kMaxRemoteRetryMs) {
+          // The foreign owner looks dead (or the grant keeps bouncing):
+          // a duplicate local synthesis is safe, wedging here is not.
+          count_error();
+          return false;
+        }
+        const int sleep_ms = std::clamp(reply.retry_after_ms, 1, 1000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        waited_ms += sleep_ms;
+        break;
+      }
+      case RemoteLookupResult::Kind::kUnavailable:
+        count_error();
+        return false;
+    }
+  }
+}
+
+std::shared_ptr<const core::SynthesisResult> SynthesisCache::AdoptRemoteHit(
+    const std::string& base, core::SynthesisResult fetched,
+    std::int64_t entry_cap, std::int64_t cap, bool waited,
+    CacheLookupOutcome* outcome) {
+  const double original_seconds = fetched.stats.seconds;
+  // Like Preload: this process spent nothing synthesizing, so the served
+  // result reports zero seconds while the foreign wall-clock lives on in
+  // original_seconds for the savings accounting.
+  fetched.stats.seconds = 0.0;
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry entry;
+  entry.result =
+      std::make_shared<const core::SynthesisResult>(std::move(fetched));
+  entry.original_seconds = original_seconds;
+  entry.max_programs = entry_cap;
+  // owner_tenant stays kNoTenant: the entry was synthesized by a foreign
+  // process, not by any tenant of this one.
+  Entry& published = PublishLocked(base, std::move(entry));
+  ++stats_.hits;
+  ++stats_.remote_hits;
+  stats_.seconds_saved += original_seconds;
+  if (waited) ++stats_.dedup_waits;
+  const bool subsumed =
+      cap < static_cast<std::int64_t>(published.result->programs.size());
+  if (subsumed) ++stats_.subsumed_hits;
+  if (outcome != nullptr) {
+    *outcome = CacheLookupOutcome{};
+    outcome->hit = true;
+    outcome->from_remote = true;
+    outcome->subsumed = subsumed;
+    outcome->waited = waited;
+    outcome->seconds_saved = original_seconds;
+  }
+  auto result = published.result;
+  // Settle the flight we claimed before consulting the plane: parked
+  // waiters and deferred continuations are served from the adopted entry.
+  SettleFlight(lock, base);
+  if (!subsumed) return result;
+  auto truncated = std::make_shared<core::SynthesisResult>();
+  truncated->stats = result->stats;
+  truncated->programs.assign(
+      result->programs.begin(),
+      result->programs.begin() + static_cast<std::ptrdiff_t>(cap));
+  return truncated;
+}
+
+std::shared_ptr<const core::SynthesisResult> SynthesisCache::FetchRemoteOwned(
+    const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
+    CacheLookupOutcome* outcome) {
+  std::shared_ptr<RemoteCacheBackend> remote;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    remote = remote_;
+  }
+  if (remote == nullptr) return nullptr;
+  const std::string base = BaseKey(sh, options);
+  const std::int64_t cap = std::max<std::int64_t>(0, options.max_programs);
+  core::SynthesisResult fetched;
+  std::int64_t entry_cap = 0;
+  if (!ConsultRemote(*remote, base, options, &fetched, &entry_cap)) {
+    return nullptr;
+  }
+  return AdoptRemoteHit(base, std::move(fetched), entry_cap, cap,
+                        /*waited=*/false, outcome);
 }
 
 std::shared_ptr<const core::SynthesisResult> SynthesisCache::ServeHitLocked(
@@ -343,7 +512,9 @@ void SynthesisCache::CompleteOwned(
     std::shared_ptr<const core::SynthesisResult> result, std::int64_t tenant) {
   const std::string base = BaseKey(sh, options);
   const std::int64_t cap = std::max<std::int64_t>(0, options.max_programs);
+  const std::shared_ptr<const core::SynthesisResult> completed = result;
   std::unique_lock<std::mutex> lock(mu_);
+  const std::shared_ptr<RemoteCacheBackend> remote = remote_;
   Entry entry;
   entry.result = std::move(result);
   entry.original_seconds = entry.result->stats.seconds;
@@ -352,6 +523,15 @@ void SynthesisCache::CompleteOwned(
   PublishLocked(base, std::move(entry));
   ++stats_.misses;
   SettleFlight(lock, base);
+  // Publish to the remote plane after settling, exactly like the
+  // GetOrSynthesize owner path: local waiters never stall behind the wire,
+  // and a failed publish only loses cross-worker reuse of this entry.
+  if (remote != nullptr &&
+      !remote->Publish(
+          base + std::string(kCapMarker) + std::to_string(cap), *completed)) {
+    std::unique_lock<std::mutex> relock(mu_);
+    ++stats_.remote_errors;
+  }
 }
 
 void SynthesisCache::AbandonOwned(const core::SynthesisHierarchy& sh,
@@ -382,6 +562,60 @@ void SynthesisCache::CancelDeferred(DeferredLookup* deferred) {
       }
     }
   }
+}
+
+bool SynthesisCache::LookupByKey(const std::string& base_key, std::int64_t cap,
+                                 std::string* key,
+                                 core::SynthesisResult* result,
+                                 bool* in_flight) {
+  const std::int64_t clamped = std::max<std::int64_t>(0, cap);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_flight != nullptr) {
+    *in_flight = inflight_.find(base_key) != inflight_.end();
+  }
+  const auto it = entries_.find(base_key);
+  if (it == entries_.end() || !it->second.CanServe(clamped)) return false;
+  TouchLocked(it->second);
+  *key = base_key + std::string(kCapMarker) +
+         std::to_string(it->second.max_programs);
+  *result = *it->second.result;
+  // The wire carries the original synthesis wall-clock (like Snapshot), so
+  // the adopting worker's seconds-saved accounting spans processes.
+  result->stats.seconds = it->second.original_seconds;
+  return true;
+}
+
+bool SynthesisCache::PublishByKey(const std::string& key,
+                                  core::SynthesisResult result) {
+  std::string base;
+  std::int64_t cap = 0;
+  if (!ParseCapFromKey(key, &base, &cap)) {
+    // Same conservative fallback as Preload for a non-Key-shaped key.
+    base = key;
+    cap = static_cast<std::int64_t>(result.programs.size());
+  }
+  const double original_seconds = result.stats.seconds;
+  const bool incoming_complete =
+      static_cast<std::int64_t>(result.programs.size()) < cap;
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = entries_.find(base);
+  // Keep the existing entry when it subsumes the incoming one: it serves
+  // every cap the incoming entry could (complete, or at least as large a
+  // truncated prefix). Out-of-order publishes from racing workers are
+  // harmless either way — both are prefixes of the same ordered list.
+  if (it != entries_.end() &&
+      (it->second.complete() ||
+       (!incoming_complete && it->second.max_programs >= cap))) {
+    return false;
+  }
+  result.stats.seconds = 0.0;
+  Entry entry;
+  entry.result =
+      std::make_shared<const core::SynthesisResult>(std::move(result));
+  entry.original_seconds = original_seconds;
+  entry.max_programs = cap;
+  PublishLocked(base, std::move(entry));
+  return true;
 }
 
 std::int64_t SynthesisCache::Preload(

@@ -75,6 +75,7 @@
 
 #include "common/cancel.h"
 #include "core/synthesizer.h"
+#include "engine/remote_cache.h"
 
 namespace p2::engine {
 
@@ -106,6 +107,15 @@ struct SynthesisCacheStats {
   /// in-flight synthesis (one per park, not per call). The deferral-aware
   /// pipeline keeps this at 0: its lookups go through TryLookup.
   std::int64_t waiter_parks = 0;
+  /// Local misses served by fetching a foreign worker's entry from the
+  /// remote cache plane (engine/remote_cache.h; a subset of `hits`). Zero
+  /// without an attached backend.
+  std::int64_t remote_hits = 0;
+  /// Remote-plane operations that failed (unreachable server, malformed
+  /// reply, exhausted retry budget behind a foreign grant). Each one
+  /// degrades that lookup or publish to local-only — never an error for the
+  /// caller.
+  std::int64_t remote_errors = 0;
   /// Sum of the original synthesis wall-clock of every entry served from the
   /// cache: the time a cacheless run would have spent re-synthesizing.
   double seconds_saved = 0.0;
@@ -121,6 +131,10 @@ struct SynthesisCacheStats {
 struct CacheLookupOutcome {
   bool hit = false;        ///< served without synthesizing in this call
   bool from_disk = false;  ///< the serving entry was preloaded from disk
+  /// Served by fetching a foreign worker's entry from the remote cache
+  /// plane in this call (later local hits on the adopted entry are plain
+  /// hits).
+  bool from_remote = false;
   bool subsumed = false;   ///< served by truncating a larger-cap entry
   bool waited = false;     ///< blocked on a concurrent in-flight synthesis
   /// Served by an entry another tenant's query synthesized (see the tenant
@@ -185,6 +199,16 @@ class SynthesisCache {
   explicit SynthesisCache(std::int64_t max_entries = 0)
       : max_entries_(max_entries) {}
 
+  /// Attaches (or, with nullptr, detaches) the remote cache plane
+  /// (engine/remote_cache.h). With a backend attached, every local miss
+  /// consults the plane before synthesizing — adopting a foreign worker's
+  /// entry as a hit (`remote_hits`), waiting out a foreign in-flight
+  /// synthesis (bounded retries behind its ownership grant), or proceeding
+  /// to a local synthesis whose completion is published back to the plane.
+  /// Backend failures only ever count `remote_errors` and degrade to
+  /// local-only behaviour. Set before concurrent use.
+  void set_remote(std::shared_ptr<RemoteCacheBackend> remote);
+
   /// Returns the memoized synthesis result for `sh`'s signature under
   /// `options`, running core::SynthesizePrograms on a miss. Safe to call
   /// concurrently; see the file comment for the in-flight-dedup,
@@ -237,6 +261,49 @@ class SynthesisCache {
   /// extracted by a settling owner may still fire afterwards; that late
   /// fire must be a no-op for the caller. No-op on an inactive handle.
   void CancelDeferred(DeferredLookup* deferred);
+
+  /// Remote consult for a kOwned TryLookup, before the owner pays for a
+  /// local synthesis. Non-null when the plane served the signature: the
+  /// fetched result was adopted into the table, the owner's flight was
+  /// settled (waking parked waiters and firing continuations), the fetch
+  /// was counted as a hit + remote_hit, and `outcome` was filled — the
+  /// caller must NOT call CompleteOwned/AbandonOwned and uses the returned
+  /// (cap-truncated) result directly. Null — no backend, plane unavailable,
+  /// plane miss with the grant now ours, or retry budget exhausted — leaves
+  /// the flight untouched: synthesize locally and settle as usual
+  /// (CompleteOwned publishes back to the plane). May block for bounded
+  /// retry-after waits behind a foreign in-flight synthesis; returns early
+  /// (null) when `options.cancel` fires.
+  std::shared_ptr<const core::SynthesisResult> FetchRemoteOwned(
+      const core::SynthesisHierarchy& sh, const core::SynthesisOptions& options,
+      CacheLookupOutcome* outcome = nullptr);
+
+  /// Cache-plane (server-side) lookup by persisted base key, for the wire
+  /// cache server (src/server/planner_server.h). Non-blocking: true when an
+  /// entry serves `cap`, filling `key` (the entry's full persisted Key) and
+  /// `result` (with stats.seconds restored to the original synthesis
+  /// wall-clock, so the wire carries the cross-process counterfactual cost)
+  /// and touching the LRU; the entry is returned whole — the querying
+  /// worker truncates to its own cap. `in_flight`, when non-null, reports
+  /// whether a local synthesis of the base is in flight on this process (a
+  /// miss with in_flight is answered retry-after, not with a grant). Does
+  /// not count hit/miss stats: wire lookups are foreign workers' queries,
+  /// tallied by the server's own counters.
+  bool LookupByKey(const std::string& base_key, std::int64_t cap,
+                   std::string* key, core::SynthesisResult* result,
+                   bool* in_flight = nullptr);
+
+  /// Cache-plane publish of a wire entry under its persisted Key (cap
+  /// parsed back out like Preload; an unparsable cap is taken to be the
+  /// program count). False — and a no-op — when an existing entry already
+  /// subsumes the incoming one, so a stale worker's smaller-cap publish
+  /// never clobbers a bigger entry. Counts no miss: the synthesis ran on a
+  /// foreign process.
+  bool PublishByKey(const std::string& key, core::SynthesisResult result);
+
+  /// The base-key prefix of a persisted Key() string (the key unchanged
+  /// when it does not embed a cap) — what grant bookkeeping is keyed by.
+  static std::string BaseOfKey(const std::string& key);
 
   /// Full cache key for a hierarchy under the given options — the
   /// persistence identity (engine/cache_store.h stores entries under it).
@@ -344,6 +411,23 @@ class SynthesisCache {
                     const std::string& base);
   /// Moves `base` to the front of the LRU list (mu_ held).
   void TouchLocked(Entry& entry);
+  /// The remote-plane lookup loop (no lock held): kHit fills
+  /// `result`/`entry_cap` and returns true; kOwned returns false (the grant
+  /// is ours — synthesize); kRetryAfter sleeps and retries within a bounded
+  /// budget; kUnavailable / exhausted budget / malformed reply count
+  /// remote_errors and return false. Checks `options.cancel` between
+  /// rounds.
+  bool ConsultRemote(RemoteCacheBackend& remote, const std::string& base,
+                     const core::SynthesisOptions& options,
+                     core::SynthesisResult* result, std::int64_t* entry_cap);
+  /// Adopts a remote-plane hit while owning the flight at `base`: publishes
+  /// the fetched entry (serve seconds zeroed, original retained), counts a
+  /// hit + remote_hit, fills `outcome`, settles the flight, and returns the
+  /// (cap-truncated) result. Takes mu_.
+  std::shared_ptr<const core::SynthesisResult> AdoptRemoteHit(
+      const std::string& base, core::SynthesisResult fetched,
+      std::int64_t entry_cap, std::int64_t cap, bool waited,
+      CacheLookupOutcome* outcome);
   /// Drops least-recently-used entries until the cap holds, skipping bases
   /// with outstanding waiter reservations (mu_ held); a no-op when
   /// max_entries_ <= 0.
@@ -363,6 +447,10 @@ class SynthesisCache {
   /// matches nothing on a successor flight).
   std::uint64_t next_continuation_id_ = 1;
   SynthesisCacheStats stats_;
+  /// The remote cache plane; nullptr for the (default) local-only cache.
+  /// Guarded by mu_ for the set; operations snapshot the shared_ptr under
+  /// the lock and call the backend outside it.
+  std::shared_ptr<RemoteCacheBackend> remote_;
 };
 
 }  // namespace p2::engine

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -230,10 +231,104 @@ bool PlannerServer::HandleFrame(int fd, const Frame& frame) {
       SendFrame(fd, response);
       return false;
     }
+    case FrameType::kCacheLookupRequest: {
+      cache_lookups_.fetch_add(1, std::memory_order_relaxed);
+      CacheLookupWireRequest wire;
+      std::string decode_error;
+      if (!options_.cache_server) {
+        decode_error = "cache-server mode disabled on this server";
+      } else if (!DecodeCacheLookupRequest(frame.payload, &wire,
+                                           &decode_error)) {
+        decode_error = "bad cache lookup: " + decode_error;
+      } else {
+        CacheLookupWireResponse out;
+        std::string key;
+        core::SynthesisResult result;
+        bool in_flight = false;
+        if (service_.CacheLookupEntry(wire.base_key, wire.cap, &key, &result,
+                                      &in_flight)) {
+          out.kind = CacheLookupWireResponse::Kind::kHit;
+          out.entry.key = std::move(key);
+          out.entry.result = std::move(result);
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          // The entry exists now; whoever held the grant no longer needs
+          // protection and the base can be granted again if the entry is
+          // ever evicted.
+          std::lock_guard<std::mutex> lock(grants_mu_);
+          grants_.erase(wire.base_key);
+        } else {
+          const auto now = std::chrono::steady_clock::now();
+          std::lock_guard<std::mutex> lock(grants_mu_);
+          const auto it = grants_.find(wire.base_key);
+          const bool foreign_grant = it != grants_.end() && it->second > now;
+          if (in_flight || foreign_grant) {
+            // Someone — a foreign worker under grant, or this server's own
+            // in-flight synthesis — is already searching this signature:
+            // the asker retries instead of duplicating the work.
+            out.kind = CacheLookupWireResponse::Kind::kRetryAfter;
+            std::int64_t suggest_ms = 20;
+            if (foreign_grant) {
+              suggest_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               it->second - now)
+                               .count();
+            }
+            out.retry_after_ms = static_cast<std::int32_t>(
+                std::clamp<std::int64_t>(suggest_ms, 1, 1000));
+            cache_retries_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            grants_[wire.base_key] = now + options_.grant_ttl;
+            out.kind = CacheLookupWireResponse::Kind::kOwned;
+            cache_grants_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        Frame response;
+        response.type = FrameType::kCacheLookupResponse;
+        response.payload = EncodeCacheLookupResponse(out);
+        return SendFrame(fd, response);
+      }
+      // Valid frame, unusable payload (or mode off): INVALID_ARGUMENT, and
+      // the connection lives on.
+      Frame error;
+      error.type = FrameType::kError;
+      error.payload =
+          EncodeStatusPayload(WireStatus::kInvalidArgument, decode_error);
+      return SendFrame(fd, error);
+    }
+    case FrameType::kCachePublishRequest: {
+      engine::CacheFileEntry entry;
+      std::string decode_error;
+      if (!options_.cache_server) {
+        decode_error = "cache-server mode disabled on this server";
+      } else if (!DecodeCachePublishRequest(frame.payload, &entry,
+                                            &decode_error)) {
+        decode_error = "bad cache publish: " + decode_error;
+      } else {
+        cache_publishes_.fetch_add(1, std::memory_order_relaxed);
+        const std::string base = engine::SynthesisCache::BaseOfKey(entry.key);
+        service_.CachePublishEntry(entry.key, std::move(entry.result));
+        {
+          // The publish settles the grant for its base: the next asker is
+          // served the entry instead of a retry-after.
+          std::lock_guard<std::mutex> lock(grants_mu_);
+          grants_.erase(base);
+        }
+        Frame response;
+        response.type = FrameType::kCachePublishResponse;
+        response.payload = EncodeStatusPayload(WireStatus::kOk, "");
+        return SendFrame(fd, response);
+      }
+      Frame error;
+      error.type = FrameType::kError;
+      error.payload =
+          EncodeStatusPayload(WireStatus::kInvalidArgument, decode_error);
+      return SendFrame(fd, error);
+    }
     case FrameType::kPlanResponse:
     case FrameType::kStatsResponse:
     case FrameType::kError:
-    case FrameType::kShutdownResponse: {
+    case FrameType::kShutdownResponse:
+    case FrameType::kCacheLookupResponse:
+    case FrameType::kCachePublishResponse: {
       // Client-to-server traffic must never carry response types.
       Frame error;
       error.type = FrameType::kError;
@@ -255,7 +350,12 @@ std::string PlannerServer::StatsJson() {
      << "\"plan_ok\":" << server.plan_ok << ","
      << "\"plan_errors\":" << server.plan_errors << ","
      << "\"stats_requests\":" << server.stats_requests << ","
-     << "\"malformed_frames\":" << server.malformed_frames << "},"
+     << "\"malformed_frames\":" << server.malformed_frames << ","
+     << "\"cache_lookups\":" << server.cache_lookups << ","
+     << "\"cache_hits\":" << server.cache_hits << ","
+     << "\"cache_grants\":" << server.cache_grants << ","
+     << "\"cache_retries\":" << server.cache_retries << ","
+     << "\"cache_publishes\":" << server.cache_publishes << "},"
      << "\"service\":" << engine::ToJson(service_.stats()) << "}";
   return os.str();
 }
@@ -312,6 +412,11 @@ PlannerServerStats PlannerServer::stats() const {
   stats.plan_errors = plan_errors_.load(std::memory_order_relaxed);
   stats.stats_requests = stats_requests_.load(std::memory_order_relaxed);
   stats.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  stats.cache_lookups = cache_lookups_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_grants = cache_grants_.load(std::memory_order_relaxed);
+  stats.cache_retries = cache_retries_.load(std::memory_order_relaxed);
+  stats.cache_publishes = cache_publishes_.load(std::memory_order_relaxed);
   return stats;
 }
 

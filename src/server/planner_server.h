@@ -23,6 +23,15 @@
 // frame with the decode reason and is closed (framing is lost, nothing
 // after the bad bytes can be trusted). Malformed *payloads* inside a valid
 // frame are answered with INVALID_ARGUMENT and the connection lives on.
+//
+// With options.cache_server on, the server additionally serves the cache
+// plane (frames 8-11 of server/wire_protocol.h): lookups answer from the
+// service's SynthesisCache with a hit, an ownership grant, or a retry-after
+// for a base another worker is synthesizing (grants expire after
+// options.grant_ttl so a dead worker never wedges the plane), and publishes
+// land completed entries in the shared cache — so the server's own plans,
+// its persistent cache file, and every connected worker share one
+// memoization plane.
 #ifndef P2_SERVER_PLANNER_SERVER_H_
 #define P2_SERVER_PLANNER_SERVER_H_
 
@@ -32,7 +41,9 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -52,6 +63,16 @@ struct PlannerServerOptions {
   /// requests get this long to finish before being cooperatively cancelled.
   /// nullopt waits for them indefinitely.
   std::optional<std::chrono::milliseconds> drain_grace;
+  /// Serve the cache plane (frame types 8-11): sharded workers
+  /// (tools/p2_shard) look synthesis entries up here before synthesizing
+  /// and publish completions back. Off by default; cache frames on a
+  /// non-cache server answer INVALID_ARGUMENT (the connection lives).
+  bool cache_server = false;
+  /// How long an ownership grant shields a base key from being granted to
+  /// another worker. A worker that dies mid-synthesis stops publishing;
+  /// after this long the next asker is granted the synthesis instead of
+  /// retrying forever.
+  std::chrono::milliseconds grant_ttl{10000};
 };
 
 /// The server's own counters, separate from (and served alongside) the
@@ -63,6 +84,12 @@ struct PlannerServerStats {
   std::int64_t plan_errors = 0;      ///< ... of which carried a non-OK status
   std::int64_t stats_requests = 0;   ///< stats frames served
   std::int64_t malformed_frames = 0; ///< connections dropped on bad frames
+  // Cache-plane counters (all zero unless cache_server is on).
+  std::int64_t cache_lookups = 0;    ///< lookup frames served (any answer)
+  std::int64_t cache_hits = 0;       ///< ... answered with an entry
+  std::int64_t cache_grants = 0;     ///< ... answered with an ownership grant
+  std::int64_t cache_retries = 0;    ///< ... answered retry-after
+  std::int64_t cache_publishes = 0;  ///< publish frames accepted
 };
 
 class PlannerServer {
@@ -109,6 +136,16 @@ class PlannerServer {
   int listen_fd_ = -1;
   int port_ = 0;
 
+  /// Ownership grants of the cache plane: base key -> grant expiry. A base
+  /// is granted to the first asker whose lookup misses; later askers get
+  /// retry-after until the grant expires or a publish / local synthesis
+  /// lands an entry for it. No per-connection identity is needed — the
+  /// protocol only promises that at most one *live* worker holds a base's
+  /// grant at a time, and a dead worker's grant times out.
+  std::mutex grants_mu_;
+  std::unordered_map<std::string, std::chrono::steady_clock::time_point>
+      grants_;
+
   std::atomic<bool> shutting_down_{false};
   std::mutex mu_;  ///< guards conn_fds_ and threads_
   /// Serializes shutdown requests (held across the drain, so a racing
@@ -125,6 +162,11 @@ class PlannerServer {
   std::atomic<std::int64_t> plan_errors_{0};
   std::atomic<std::int64_t> stats_requests_{0};
   std::atomic<std::int64_t> malformed_frames_{0};
+  std::atomic<std::int64_t> cache_lookups_{0};
+  std::atomic<std::int64_t> cache_hits_{0};
+  std::atomic<std::int64_t> cache_grants_{0};
+  std::atomic<std::int64_t> cache_retries_{0};
+  std::atomic<std::int64_t> cache_publishes_{0};
 };
 
 }  // namespace p2::server

@@ -217,8 +217,10 @@ void EncodePipelineStats(std::string* out, const engine::PipelineStats& s) {
   AppendI64(out, s.cache_hits);
   AppendI64(out, s.cache_misses);
   AppendI64(out, s.cache_dedup_waits);
+  AppendI64(out, s.cache_deferred_lookups);
   AppendI64(out, s.cache_cross_tenant_hits);
   AppendI64(out, s.cache_disk_hits);
+  AppendI64(out, s.cache_remote_hits);
   AppendI64(out, s.synth_states_visited);
   AppendI64(out, s.synth_states_deduped);
   AppendI64(out, s.synth_branches_pruned);
@@ -235,8 +237,10 @@ bool DecodePipelineStats(Reader* r, engine::PipelineStats* s) {
   return r->ReadI64(&s->num_placements) && r->ReadI64(&s->unique_hierarchies) &&
          r->ReadI64(&s->cache_hits) && r->ReadI64(&s->cache_misses) &&
          r->ReadI64(&s->cache_dedup_waits) &&
+         r->ReadI64(&s->cache_deferred_lookups) &&
          r->ReadI64(&s->cache_cross_tenant_hits) &&
          r->ReadI64(&s->cache_disk_hits) &&
+         r->ReadI64(&s->cache_remote_hits) &&
          r->ReadI64(&s->synth_states_visited) &&
          r->ReadI64(&s->synth_states_deduped) &&
          r->ReadI64(&s->synth_branches_pruned) &&
@@ -323,7 +327,7 @@ FrameDecodeStatus DecodeFrame(std::string_view buffer, Frame* frame,
   header.ReadU64(&checksum);
   if (version != kWireVersion) return FrameDecodeStatus::kBadVersion;
   if (type < static_cast<std::uint8_t>(FrameType::kPlanRequest) ||
-      type > static_cast<std::uint8_t>(FrameType::kShutdownResponse)) {
+      type > static_cast<std::uint8_t>(FrameType::kCachePublishResponse)) {
     return FrameDecodeStatus::kBadType;
   }
   if (payload_len > kMaxFramePayload) return FrameDecodeStatus::kOversized;
@@ -457,6 +461,90 @@ bool DecodeStatusPayload(std::string_view payload, WireStatus* status,
   std::uint32_t raw = 0;
   if (!r.ReadU32(&raw) || !r.ReadString(text) || !r.AtEnd()) return false;
   *status = static_cast<WireStatus>(raw);
+  return true;
+}
+
+std::string EncodeCacheLookupRequest(const CacheLookupWireRequest& request) {
+  std::string out;
+  AppendString(&out, request.base_key);
+  AppendI64(&out, request.cap);
+  return out;
+}
+
+bool DecodeCacheLookupRequest(std::string_view payload,
+                              CacheLookupWireRequest* request,
+                              std::string* error) {
+  *request = CacheLookupWireRequest{};
+  Reader r(payload);
+  if (!r.ReadString(&request->base_key) || !r.ReadI64(&request->cap)) {
+    return Fail(error, "truncated cache lookup");
+  }
+  if (request->base_key.empty()) {
+    return Fail(error, "empty cache lookup key");
+  }
+  if (request->cap < 0) return Fail(error, "cache lookup cap must be >= 0");
+  if (!r.AtEnd()) return Fail(error, "trailing bytes after cache lookup");
+  return true;
+}
+
+std::string EncodeCacheLookupResponse(const CacheLookupWireResponse& response) {
+  std::string out;
+  AppendU8(&out, static_cast<std::uint8_t>(response.kind));
+  AppendI32(&out, response.retry_after_ms);
+  if (response.kind == CacheLookupWireResponse::Kind::kHit) {
+    AppendString(&out, engine::CacheStore::EncodeEntry(response.entry));
+  } else {
+    AppendString(&out, std::string_view{});
+  }
+  return out;
+}
+
+bool DecodeCacheLookupResponse(std::string_view payload,
+                               CacheLookupWireResponse* response,
+                               std::string* error) {
+  *response = CacheLookupWireResponse{};
+  Reader r(payload);
+  std::uint8_t kind = 0;
+  std::string entry_bytes;
+  if (!r.ReadU8(&kind) || !r.ReadI32(&response->retry_after_ms) ||
+      !r.ReadString(&entry_bytes)) {
+    return Fail(error, "truncated cache lookup response");
+  }
+  if (kind < static_cast<std::uint8_t>(CacheLookupWireResponse::Kind::kHit) ||
+      kind >
+          static_cast<std::uint8_t>(CacheLookupWireResponse::Kind::kRetryAfter)) {
+    return Fail(error, "unknown cache lookup response kind");
+  }
+  response->kind = static_cast<CacheLookupWireResponse::Kind>(kind);
+  if (response->retry_after_ms < 0) {
+    return Fail(error, "negative retry-after");
+  }
+  if (response->kind == CacheLookupWireResponse::Kind::kHit) {
+    // The disk codec's semantic validation applies to the wire entry too:
+    // a checksum-valid but forged hit decodes false here, never reaches
+    // lowering.
+    if (!engine::CacheStore::DecodeEntry(entry_bytes, &response->entry)) {
+      return Fail(error, "malformed cache entry in lookup response");
+    }
+  } else if (!entry_bytes.empty()) {
+    return Fail(error, "unexpected entry bytes in a non-hit response");
+  }
+  if (!r.AtEnd()) {
+    return Fail(error, "trailing bytes after cache lookup response");
+  }
+  return true;
+}
+
+std::string EncodeCachePublishRequest(const engine::CacheFileEntry& entry) {
+  return engine::CacheStore::EncodeEntry(entry);
+}
+
+bool DecodeCachePublishRequest(std::string_view payload,
+                               engine::CacheFileEntry* entry,
+                               std::string* error) {
+  if (!engine::CacheStore::DecodeEntry(payload, entry)) {
+    return Fail(error, "malformed cache entry in publish");
+  }
   return true;
 }
 

@@ -8,9 +8,18 @@
 //             | checksum u64 (FNV-1a-64 of payload) | payload bytes
 //
 // Frame types (u8):
-//   1 PlanRequest       2 PlanResponse
-//   3 StatsRequest      4 StatsResponse
-//   5 Error             6 ShutdownRequest    7 ShutdownResponse
+//   1 PlanRequest          2 PlanResponse
+//   3 StatsRequest         4 StatsResponse
+//   5 Error                6 ShutdownRequest     7 ShutdownResponse
+//   8 CacheLookupRequest   9 CacheLookupResponse
+//  10 CachePublishRequest 11 CachePublishResponse
+//
+// Types 8-11 are the cache-server plane (`p2_server --cache-server`): a
+// lookup miss answers with an ownership grant (kOwned) or a retry-after for
+// a foreign in-flight synthesis, so two workers never synthesize one
+// signature; a publish carries a completed entry in the persisted
+// engine/cache_store.h payload encoding — the wire reuses the disk codec,
+// semantic validation included.
 //
 // Statuses are gRPC-style codes so the abort taxonomy of engine/service.h
 // maps 1:1: PlanRejected -> kResourceExhausted, PlanCancelled ->
@@ -31,13 +40,17 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/cache_store.h"
 #include "engine/engine.h"
 #include "topology/cluster.h"
 
 namespace p2::server {
 
 inline constexpr std::string_view kFrameMagic = "P2RF";
-inline constexpr std::uint32_t kWireVersion = 1;
+/// Bumped to 2 with the cache-server frames: the PlanResponse stats payload
+/// grew two counters, so a version-1 peer must fail fast with kBadVersion
+/// instead of misparsing.
+inline constexpr std::uint32_t kWireVersion = 2;
 /// magic + version u32 + type u8 + payload_len u32 + checksum u64.
 inline constexpr std::size_t kFrameHeaderBytes = 21;
 /// Upper bound a decoder trusts from a length prefix; anything larger is
@@ -53,6 +66,10 @@ enum class FrameType : std::uint8_t {
   kError = 5,
   kShutdownRequest = 6,
   kShutdownResponse = 7,
+  kCacheLookupRequest = 8,
+  kCacheLookupResponse = 9,
+  kCachePublishRequest = 10,
+  kCachePublishResponse = 11,
 };
 
 /// gRPC-style status codes (the subset the planner can produce).
@@ -131,11 +148,56 @@ std::string EncodePlanResponse(const PlanWireResponse& response);
 bool DecodePlanResponse(std::string_view payload, PlanWireResponse* response,
                         std::string* error);
 
-/// StatsResponse / Error payloads share one shape: status + a string (the
-/// stats JSON document, or the error detail).
+/// StatsResponse / Error / CachePublishResponse payloads share one shape:
+/// status + a string (the stats JSON document, or the error detail).
 std::string EncodeStatusPayload(WireStatus status, std::string_view text);
 bool DecodeStatusPayload(std::string_view payload, WireStatus* status,
                          std::string* text);
+
+/// The body of a CacheLookupRequest frame: a SynthesisCache base key (the
+/// cap-less lookup identity) plus the querying worker's max_programs cap.
+struct CacheLookupWireRequest {
+  std::string base_key;
+  std::int64_t cap = 0;
+};
+
+std::string EncodeCacheLookupRequest(const CacheLookupWireRequest& request);
+bool DecodeCacheLookupRequest(std::string_view payload,
+                              CacheLookupWireRequest* request,
+                              std::string* error);
+
+/// The body of a CacheLookupResponse frame — the ownership-grant protocol:
+/// kHit carries an entry that serves the requested cap; kOwned grants the
+/// asker the synthesis (no other worker will be granted the base until the
+/// grant expires or a publish lands); kRetryAfter means a foreign worker
+/// holds the grant (or the server itself is synthesizing the base) — ask
+/// again after retry_after_ms.
+struct CacheLookupWireResponse {
+  enum class Kind : std::uint8_t {
+    kHit = 1,
+    kOwned = 2,
+    kRetryAfter = 3,
+  };
+  Kind kind = Kind::kOwned;
+  std::int32_t retry_after_ms = 0;  ///< meaningful only for kRetryAfter
+  /// Meaningful only for kHit; carried in the persisted
+  /// engine/cache_store.h entry encoding (semantic validation included on
+  /// decode, so a forged hit can never feed the lowering path).
+  engine::CacheFileEntry entry;
+};
+
+std::string EncodeCacheLookupResponse(const CacheLookupWireResponse& response);
+bool DecodeCacheLookupResponse(std::string_view payload,
+                               CacheLookupWireResponse* response,
+                               std::string* error);
+
+/// A CachePublishRequest payload is exactly one persisted cache entry
+/// (engine::CacheStore entry payload bytes); the response is a status
+/// payload. Decoding inherits the cache store's semantic validation.
+std::string EncodeCachePublishRequest(const engine::CacheFileEntry& entry);
+bool DecodeCachePublishRequest(std::string_view payload,
+                               engine::CacheFileEntry* entry,
+                               std::string* error);
 
 }  // namespace p2::server
 

@@ -182,11 +182,13 @@ TEST(CacheStoreCorruption, ChecksummedButMalformedPayloadLoadsCold) {
   std::vector<CacheFileEntry> entries;
   entries.push_back(entry);
   std::string image = CacheStore::EncodeFile(entries);
-  // The collective opcode is the final payload byte; forge it past the enum
-  // and re-stamp the checksum so only the payload validation can catch it.
+  // The collective opcode is the last payload byte before the v2 save-stamp
+  // trailer (8 bytes); forge it past the enum and re-stamp the checksum so
+  // only the payload validation can catch it.
   const std::size_t payload_begin = 16 + 12;  // header + entry frame
   std::string payload = image.substr(payload_begin);
-  payload.back() = static_cast<char>(200);
+  const std::size_t opcode_at = payload.size() - 1 - 8;
+  payload[opcode_at] = static_cast<char>(200);
   CacheFileEntry decoded;
   EXPECT_FALSE(CacheStore::DecodeEntry(payload, &decoded));
 
@@ -201,7 +203,7 @@ TEST(CacheStoreCorruption, ChecksummedButMalformedPayloadLoadsCold) {
     image[16 + 4 + static_cast<std::size_t>(i)] =
         static_cast<char>((h >> (8 * i)) & 0xff);
   }
-  image[image.size() - 1] = static_cast<char>(200);
+  image[payload_begin + opcode_at] = static_cast<char>(200);
   ExpectColdLoad(image, CacheLoadStatus::kBadPayload, "forged_op");
 }
 

@@ -11,6 +11,8 @@
 
 #include "test_temp_path.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -19,7 +21,9 @@
 
 #include "engine/cli.h"
 #include "engine/json_export.h"
+#include "engine/report.h"
 #include "engine/service.h"
+#include "engine/synthesis_cache.h"
 #include "topology/presets.h"
 
 namespace p2::engine {
@@ -296,6 +300,100 @@ TEST(PipelinePersistence, SingleClusterFileWarmsAMultiTenantService) {
   EXPECT_EQ(ToJson(WithoutTimings(v100_result)),
             ToJson(WithoutTimings(cold.Plan(axes, reduce))));
   std::filesystem::remove(path);
+}
+
+TEST(PipelinePersistence, TtlExpiresStaleEntriesAndSparesStamplessOnes) {
+  const Engine engine(topology::MakeA100Cluster(2), FastOptions());
+  const std::vector<std::int64_t> axes = {8, 4};
+  const std::vector<int> reduce = {0};
+  const std::string fresh_path = TempPath("ttl_fresh");
+  {
+    PlannerService writer(engine, PersistentOptions(fresh_path));
+    writer.Plan(axes, reduce);
+    ASSERT_TRUE(writer.SaveCache());
+  }
+
+  // Every persisted entry carries a save stamp (format v2); the injected
+  // clock then probes both sides of the TTL boundary deterministically.
+  std::uint64_t stamp = 0;
+  {
+    CacheStore probe(fresh_path);
+    const CacheFileContents contents = probe.Load();
+    ASSERT_EQ(contents.status, CacheLoadStatus::kOk);
+    ASSERT_FALSE(contents.entries.empty());
+    for (const CacheFileEntry& entry : contents.entries) {
+      EXPECT_GT(entry.saved_unix_seconds, 0u);
+      stamp = std::max(stamp, entry.saved_unix_seconds);
+    }
+  }
+  {
+    CacheStore store(fresh_path);
+    store.set_ttl_seconds(100);
+    store.set_clock_for_test([stamp] { return stamp + 99; });  // within TTL
+    SynthesisCache cache;
+    EXPECT_EQ(store.LoadInto(&cache), CacheLoadStatus::kOk);
+    EXPECT_EQ(store.entries_expired(), 0);
+    EXPECT_GT(store.entries_loaded(), 0);
+  }
+  {
+    CacheStore store(fresh_path);
+    store.set_ttl_seconds(100);
+    store.set_clock_for_test([stamp] { return stamp + 101; });  // past TTL
+    SynthesisCache cache;
+    EXPECT_EQ(store.LoadInto(&cache), CacheLoadStatus::kOk);
+    EXPECT_EQ(store.entries_loaded(), 0);
+    EXPECT_GT(store.entries_expired(), 0);
+  }
+
+  // Service level (the --cache-ttl-seconds path): a file whose stamps are
+  // ancient runs cold, counts the expiry in the stats and the report, and
+  // re-synthesizes instead of serving stale entries.
+  const std::string stale_path = TempPath("ttl_stale");
+  {
+    CacheStore reader(fresh_path);
+    SynthesisCache cache;
+    ASSERT_EQ(reader.LoadInto(&cache), CacheLoadStatus::kOk);
+    CacheStore stale(stale_path);
+    stale.set_clock_for_test([] { return std::uint64_t{100}; });  // in 1970
+    ASSERT_TRUE(stale.Save(cache));
+  }
+  {
+    PlannerServiceOptions options = PersistentOptions(stale_path);
+    options.cache_ttl_seconds = 3600;
+    PlannerService service(engine, options);
+    EXPECT_EQ(service.cache_load_status(), CacheLoadStatus::kOk);
+    EXPECT_EQ(service.cache_entries_loaded(), 0);
+    EXPECT_GT(service.stats().cache_entries_expired, 0);
+    const auto result = service.Plan(axes, reduce);
+    EXPECT_GT(result.pipeline.cache_misses, 0);
+    EXPECT_EQ(result.pipeline.cache_disk_hits, 0);
+    EXPECT_NE(RenderServiceStats(service.stats()).find("expired"),
+              std::string::npos);
+  }
+
+  // Stampless (v1-era) entries have unknown age: never expired.
+  const std::string stampless_path = TempPath("ttl_stampless");
+  {
+    CacheStore reader(fresh_path);
+    SynthesisCache cache;
+    ASSERT_EQ(reader.LoadInto(&cache), CacheLoadStatus::kOk);
+    CacheStore stampless(stampless_path);
+    stampless.set_clock_for_test([] { return std::uint64_t{0}; });
+    ASSERT_TRUE(stampless.Save(cache));
+  }
+  {
+    PlannerServiceOptions options = PersistentOptions(stampless_path);
+    options.cache_ttl_seconds = 1;
+    PlannerService service(engine, options);
+    EXPECT_GT(service.cache_entries_loaded(), 0);
+    EXPECT_EQ(service.stats().cache_entries_expired, 0);
+    const auto result = service.Plan(axes, reduce);
+    EXPECT_EQ(result.pipeline.cache_misses, 0);
+    EXPECT_GT(result.pipeline.cache_disk_hits, 0);
+  }
+  std::filesystem::remove(fresh_path);
+  std::filesystem::remove(stale_path);
+  std::filesystem::remove(stampless_path);
 }
 
 TEST(PipelinePersistence, SecondsSavedAccumulateAcrossRuns) {

@@ -21,6 +21,7 @@
 #include "engine/service.h"
 #include "server/planner_client.h"
 #include "server/planner_server.h"
+#include "server/remote_cache_client.h"
 #include "server/wire_protocol.h"
 #include "topology/presets.h"
 
@@ -117,10 +118,12 @@ void ExpectBalancedJson(const std::string& json) {
 TEST(WireFrame, RoundTripsEveryTypeAndStreamsBackToBack) {
   std::string buffer;
   const std::vector<FrameType> types = {
-      FrameType::kPlanRequest,  FrameType::kPlanResponse,
-      FrameType::kStatsRequest, FrameType::kStatsResponse,
-      FrameType::kError,        FrameType::kShutdownRequest,
-      FrameType::kShutdownResponse,
+      FrameType::kPlanRequest,         FrameType::kPlanResponse,
+      FrameType::kStatsRequest,        FrameType::kStatsResponse,
+      FrameType::kError,               FrameType::kShutdownRequest,
+      FrameType::kShutdownResponse,    FrameType::kCacheLookupRequest,
+      FrameType::kCacheLookupResponse, FrameType::kCachePublishRequest,
+      FrameType::kCachePublishResponse,
   };
   for (std::size_t i = 0; i < types.size(); ++i) {
     Frame frame;
@@ -534,6 +537,305 @@ TEST(PlannerServerTest, StatsEndpointServesWellFormedCounters) {
   EXPECT_NE(stats.json.find("\"requests\":1"), std::string::npos)
       << stats.json;
   EXPECT_GE(fixture.server->stats().stats_requests, 1);
+}
+
+// ---- cache-server plane ---------------------------------------------------
+
+/// A fixture whose server also serves the cache plane (frames 8-11).
+struct CacheServerFixture {
+  CacheServerFixture() {
+    engine::PlannerServiceOptions options;
+    options.threads = 2;
+    options.engine = FastOptions();
+    service = std::make_unique<engine::PlannerService>(options);
+    PlannerServerOptions server_options;
+    server_options.cache_server = true;
+    server = std::make_unique<PlannerServer>(*service, server_options);
+  }
+  std::unique_ptr<engine::PlannerService> service;
+  std::unique_ptr<PlannerServer> server;
+};
+
+/// A publishable entry that passes the disk codec's semantic validation
+/// (same key idiom as tests/cache_store_corruption_test.cc).
+engine::CacheFileEntry ValidCacheEntry() {
+  engine::CacheFileEntry entry;
+  entry.key = "levels:1,2;goal:[0,1];size<=5;cap=1048576";
+  entry.result.stats.seconds = 0.25;
+  entry.result.programs.push_back(
+      core::Program{core::Instruction{0, core::Form::InsideGroup(),
+                                      core::Collective::kAllReduce}});
+  return entry;
+}
+
+constexpr const char* kBaseKey = "levels:1,2;goal:[0,1];size<=5";
+
+TEST(WirePayload, CacheLookupAndPublishPayloadsRoundTrip) {
+  CacheLookupWireRequest request;
+  request.base_key = kBaseKey;
+  request.cap = 1048576;
+  CacheLookupWireRequest decoded_request;
+  std::string error;
+  ASSERT_TRUE(DecodeCacheLookupRequest(EncodeCacheLookupRequest(request),
+                                       &decoded_request, &error))
+      << error;
+  EXPECT_EQ(decoded_request.base_key, request.base_key);
+  EXPECT_EQ(decoded_request.cap, request.cap);
+
+  // Every response kind survives the wire; the hit carries its entry.
+  CacheLookupWireResponse hit;
+  hit.kind = CacheLookupWireResponse::Kind::kHit;
+  hit.entry = ValidCacheEntry();
+  CacheLookupWireResponse decoded;
+  ASSERT_TRUE(DecodeCacheLookupResponse(EncodeCacheLookupResponse(hit),
+                                        &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.kind, CacheLookupWireResponse::Kind::kHit);
+  EXPECT_EQ(decoded.entry.key, hit.entry.key);
+  ASSERT_EQ(decoded.entry.result.programs.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded.entry.result.stats.seconds, 0.25);
+
+  CacheLookupWireResponse retry;
+  retry.kind = CacheLookupWireResponse::Kind::kRetryAfter;
+  retry.retry_after_ms = 40;
+  ASSERT_TRUE(DecodeCacheLookupResponse(EncodeCacheLookupResponse(retry),
+                                        &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.kind, CacheLookupWireResponse::Kind::kRetryAfter);
+  EXPECT_EQ(decoded.retry_after_ms, 40);
+
+  engine::CacheFileEntry published;
+  ASSERT_TRUE(DecodeCachePublishRequest(
+      EncodeCachePublishRequest(ValidCacheEntry()), &published, &error))
+      << error;
+  EXPECT_EQ(published.key, ValidCacheEntry().key);
+
+  // Validation: an empty base key and a forged program are both statuses,
+  // never crashes.
+  CacheLookupWireRequest empty_key;
+  empty_key.cap = 1;
+  EXPECT_FALSE(DecodeCacheLookupRequest(EncodeCacheLookupRequest(empty_key),
+                                        &decoded_request, &error));
+  engine::CacheFileEntry forged = ValidCacheEntry();
+  forged.result.programs[0][0].slice_level = 7;  // beyond the key's depth
+  EXPECT_FALSE(DecodeCachePublishRequest(EncodeCachePublishRequest(forged),
+                                         &published, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CacheServerTest, GrantRetryPublishHitCycle) {
+  CacheServerFixture fixture;
+  RemoteCacheClient worker_a(fixture.server->port());
+  RemoteCacheClient worker_b(fixture.server->port());
+
+  // First asker on an unseen base is granted the synthesis...
+  engine::RemoteLookupResult first = worker_a.Lookup(kBaseKey, 1048576);
+  EXPECT_EQ(first.kind, engine::RemoteLookupResult::Kind::kOwned);
+  // ...and the grant shields the base from the second asker.
+  engine::RemoteLookupResult second = worker_b.Lookup(kBaseKey, 1048576);
+  ASSERT_EQ(second.kind, engine::RemoteLookupResult::Kind::kRetryAfter);
+  EXPECT_GE(second.retry_after_ms, 1);
+  EXPECT_LE(second.retry_after_ms, 1000);
+
+  // The owner publishes its completion; the next lookup is a hit that
+  // round-trips the synthesis result.
+  const engine::CacheFileEntry entry = ValidCacheEntry();
+  EXPECT_TRUE(worker_a.Publish(entry.key, entry.result));
+  engine::RemoteLookupResult third = worker_b.Lookup(kBaseKey, 1048576);
+  ASSERT_EQ(third.kind, engine::RemoteLookupResult::Kind::kHit);
+  EXPECT_EQ(third.key, entry.key);
+  ASSERT_EQ(third.result.programs.size(), 1u);
+  EXPECT_DOUBLE_EQ(third.result.stats.seconds, 0.25);
+
+  const PlannerServerStats stats = fixture.server->stats();
+  EXPECT_EQ(stats.cache_lookups, 3);
+  EXPECT_EQ(stats.cache_grants, 1);
+  EXPECT_EQ(stats.cache_retries, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_publishes, 1);
+}
+
+TEST(CacheServerTest, CacheFramesOnANonCacheServerKeepTheConnection) {
+  ServerFixture fixture;  // cache_server off
+  PlannerClient client(fixture.server->port());
+  CacheLookupWireRequest request;
+  request.base_key = kBaseKey;
+  request.cap = 1;
+  Frame frame;
+  frame.type = FrameType::kCacheLookupRequest;
+  frame.payload = EncodeCacheLookupRequest(request);
+  ASSERT_TRUE(client.SendRaw(EncodeFrame(frame)));
+  Frame reply;
+  ASSERT_TRUE(client.ReceiveFrame(&reply));
+  EXPECT_EQ(reply.type, FrameType::kError);
+  WireStatus status = WireStatus::kOk;
+  std::string detail;
+  ASSERT_TRUE(DecodeStatusPayload(reply.payload, &status, &detail));
+  EXPECT_EQ(status, WireStatus::kInvalidArgument);
+  // The frame itself was valid, so the connection still serves plans.
+  EXPECT_EQ(client.Plan(WireRequestFor(Configs()[0])).status, WireStatus::kOk);
+}
+
+TEST(CacheServerTest, MalformedCachePayloadsKeepTheConnection) {
+  CacheServerFixture fixture;
+  PlannerClient client(fixture.server->port());
+
+  const auto expect_invalid_argument = [&client](Frame frame) {
+    ASSERT_TRUE(client.SendRaw(EncodeFrame(frame)));
+    Frame reply;
+    ASSERT_TRUE(client.ReceiveFrame(&reply));
+    EXPECT_EQ(reply.type, FrameType::kError);
+    WireStatus status = WireStatus::kOk;
+    std::string detail;
+    ASSERT_TRUE(DecodeStatusPayload(reply.payload, &status, &detail));
+    EXPECT_EQ(status, WireStatus::kInvalidArgument);
+    EXPECT_FALSE(detail.empty());
+  };
+
+  // A truncated lookup payload inside a checksum-valid frame.
+  CacheLookupWireRequest request;
+  request.base_key = kBaseKey;
+  request.cap = 1;
+  Frame truncated;
+  truncated.type = FrameType::kCacheLookupRequest;
+  truncated.payload = EncodeCacheLookupRequest(request);
+  truncated.payload.resize(truncated.payload.size() / 2);
+  expect_invalid_argument(std::move(truncated));
+
+  // A publish whose entry fails the disk codec's semantic validation.
+  engine::CacheFileEntry forged = ValidCacheEntry();
+  forged.result.programs[0][0].slice_level = 7;
+  Frame bad_publish;
+  bad_publish.type = FrameType::kCachePublishRequest;
+  bad_publish.payload = EncodeCachePublishRequest(forged);
+  expect_invalid_argument(std::move(bad_publish));
+
+  // Both malformations kept framing intact: the same connection still
+  // completes the full grant cycle.
+  Frame lookup;
+  lookup.type = FrameType::kCacheLookupRequest;
+  lookup.payload = EncodeCacheLookupRequest(request);
+  ASSERT_TRUE(client.SendRaw(EncodeFrame(lookup)));
+  Frame reply;
+  ASSERT_TRUE(client.ReceiveFrame(&reply));
+  EXPECT_EQ(reply.type, FrameType::kCacheLookupResponse);
+}
+
+TEST(CacheServerTest, CorruptCacheFrameClosesTheConnection) {
+  CacheServerFixture fixture;
+  PlannerClient client(fixture.server->port());
+  CacheLookupWireRequest request;
+  request.base_key = kBaseKey;
+  request.cap = 1;
+  Frame frame;
+  frame.type = FrameType::kCacheLookupRequest;
+  frame.payload = EncodeCacheLookupRequest(request);
+  std::string bytes = EncodeFrame(frame);
+  bytes[kFrameHeaderBytes + 2] ^= 0x01;  // payload bit-flip: checksum fails
+  ASSERT_TRUE(client.SendRaw(bytes));
+  Frame reply;
+  ASSERT_TRUE(client.ReceiveFrame(&reply));
+  EXPECT_EQ(reply.type, FrameType::kError);
+  // Framing is lost: the connection is done.
+  Frame next;
+  EXPECT_FALSE(client.ReceiveFrame(&next));
+  EXPECT_GE(fixture.server->stats().malformed_frames, 1);
+}
+
+TEST(CacheServerTest, RacingWorkersSynthesizeStrictlyLessThanIndependent) {
+  // The scale-out gate, in-process: what one worker synthesizes alone...
+  std::vector<std::string> expected;
+  std::int64_t independent_misses = 0;
+  {
+    engine::PlannerServiceOptions options;
+    options.threads = 2;
+    options.engine = FastOptions();
+    engine::PlannerService reference(options);
+    for (const Config& config : Configs()) {
+      engine::PlanRequest request;
+      request.axes = config.axes;
+      request.reduction_axes = config.reduction_axes;
+      request.cluster = topology::MakeA100Cluster(2);
+      expected.push_back(
+          engine::CanonicalResultText(reference.Plan(std::move(request))));
+    }
+    independent_misses = reference.stats().cache.misses;
+  }
+  ASSERT_GT(independent_misses, 0);
+
+  // ...two workers racing the same grid through the shared plane must
+  // synthesize strictly less than twice between them, with at least one
+  // signature served off the plane — and identical bytes throughout.
+  CacheServerFixture fixture;
+  constexpr int kWorkers = 2;
+  std::vector<std::unique_ptr<engine::PlannerService>> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    engine::PlannerServiceOptions options;
+    options.threads = 2;
+    options.engine = FastOptions();
+    options.remote_cache =
+        std::make_shared<RemoteCacheClient>(fixture.server->port());
+    workers.push_back(std::make_unique<engine::PlannerService>(options));
+  }
+  std::vector<std::vector<std::string>> bodies(kWorkers);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        for (const Config& config : Configs()) {
+          engine::PlanRequest request;
+          request.axes = config.axes;
+          request.reduction_axes = config.reduction_axes;
+          request.cluster = topology::MakeA100Cluster(2);
+          bodies[w].push_back(engine::CanonicalResultText(
+              workers[w]->Plan(std::move(request))));
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  std::int64_t total_misses = 0;
+  std::int64_t total_remote_hits = 0;
+  std::int64_t total_remote_errors = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    ASSERT_EQ(bodies[w].size(), expected.size()) << "worker " << w;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(bodies[w][i], expected[i]) << "worker " << w << " config "
+                                           << i;
+    }
+    const engine::PlannerServiceStats stats = workers[w]->stats();
+    total_misses += stats.cache.misses;
+    total_remote_hits += stats.cache.remote_hits;
+    total_remote_errors += stats.cache.remote_errors;
+  }
+  EXPECT_LT(total_misses, kWorkers * independent_misses);
+  EXPECT_GT(total_remote_hits, 0);
+  EXPECT_EQ(total_remote_errors, 0);
+}
+
+TEST(CacheServerTest, UnreachablePlaneDegradesToLocalSynthesis) {
+  // A worker pointed at a dead port must still plan — local-only, counting
+  // remote errors, never throwing.
+  engine::PlannerServiceOptions options;
+  options.threads = 2;
+  options.engine = FastOptions();
+  options.remote_cache = std::make_shared<RemoteCacheClient>(1);  // nothing
+  engine::PlannerService worker(options);
+  engine::PlanRequest request;
+  request.axes = Configs()[0].axes;
+  request.reduction_axes = Configs()[0].reduction_axes;
+  request.cluster = topology::MakeA100Cluster(2);
+  const engine::ExperimentResult result = worker.Plan(std::move(request));
+  EXPECT_GT(result.pipeline.num_placements, 0);
+  const engine::PlannerServiceStats stats = worker.stats();
+  EXPECT_GT(stats.cache.misses, 0);
+  EXPECT_GT(stats.cache.remote_errors, 0);
+  EXPECT_EQ(stats.cache.remote_hits, 0);
 }
 
 TEST(PlannerServerTest, ShutdownFrameAcksOnlyAfterTheDrain) {

@@ -2,13 +2,21 @@
 //
 //   p2_server [--port=N] [--port-file=PATH] [--service-threads=N]
 //             [--cache-file=PATH] [--cache-max-entries=N]
-//             [--max-in-flight=N] [--drain-grace-ms=N]
+//             [--cache-ttl-seconds=N] [--max-in-flight=N]
+//             [--drain-grace-ms=N] [--cache-server] [--grant-ttl-ms=N]
 //
 // Binds the loopback interface only. --port=0 (the default) picks an
 // ephemeral port; the bound port is printed to stdout and, with
 // --port-file, written (atomically enough for a polling reader: the file
 // appears only after the server is accepting). The process exits 0 after a
 // client's shutdown frame drained the service — the CI smoke asserts that.
+//
+// --cache-server additionally serves the synthesis-cache plane (frame
+// types 8-11) to sharded grid workers (tools/p2_shard): lookups answer
+// with an entry, an ownership grant, or a retry-after, and publishes land
+// in the shared cache (persisted by --cache-file like any other entry).
+// --grant-ttl-ms bounds how long a dead worker's grant can shadow a base
+// key (default 10000).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +41,8 @@ bool ParseInt(const std::string& value, long long* out) {
 int main(int argc, char** argv) {
   int port = 0;
   std::string port_file;
+  bool cache_server = false;
+  long long grant_ttl_ms = -1;
   p2::engine::PlannerServiceOptions service_options;
   service_options.threads = 4;
   std::optional<std::chrono::milliseconds> drain_grace;
@@ -54,6 +64,12 @@ int main(int argc, char** argv) {
       service_options.cache_file = value;
     } else if (key == "--cache-max-entries" && ParseInt(value, &n)) {
       service_options.cache_max_entries = n;
+    } else if (key == "--cache-ttl-seconds" && ParseInt(value, &n)) {
+      service_options.cache_ttl_seconds = n;
+    } else if (key == "--cache-server") {
+      cache_server = true;
+    } else if (key == "--grant-ttl-ms" && ParseInt(value, &n)) {
+      if (n > 0) grant_ttl_ms = n;
     } else if (key == "--max-in-flight" && ParseInt(value, &n)) {
       service_options.max_in_flight = n;
     } else if (key == "--drain-grace-ms" && ParseInt(value, &n)) {
@@ -77,6 +93,10 @@ int main(int argc, char** argv) {
   p2::server::PlannerServerOptions server_options;
   server_options.port = port;
   server_options.drain_grace = drain_grace;
+  server_options.cache_server = cache_server;
+  if (grant_ttl_ms > 0) {
+    server_options.grant_ttl = std::chrono::milliseconds(grant_ttl_ms);
+  }
   try {
     p2::server::PlannerServer server(service, server_options);
     std::printf("p2_server listening on 127.0.0.1:%d\n", server.port());
